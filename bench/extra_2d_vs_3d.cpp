@@ -1,0 +1,49 @@
+// Extra — why 3D is the hard case (Sections II, IV): rank structure and
+// tuned BAND_SIZE of st-2D-exp (the prior work's regime, [22][23]) against
+// st-3D-exp and the smoother 3D comparators, at identical N/b/accuracy.
+// Fig. 13's observation that accuracy 1e-3 behaves "similar to 2D
+// applications" is quantified here from the other side.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ptlr;
+using namespace ptlr::core;
+
+int main() {
+  const auto sc = bench::scale();
+  bench::header("Extra", "st-2D-exp vs st-3D-exp rank structure");
+  std::printf("N = %d, b = %d, accuracy %.0e\n\n", sc.n, sc.b, sc.tol);
+
+  Table t({"problem", "minrank", "avgrank", "maxrank", "ratio_maxrank",
+           "tuned BAND_SIZE", "TLR/dense memory"});
+  for (auto kind : {stars::ProblemKind::kSt2DExp,
+                    stars::ProblemKind::kSt3DExp,
+                    stars::ProblemKind::kSt3DMatern,
+                    stars::ProblemKind::kSt3DSqExp}) {
+    auto prob = stars::make_problem(kind, sc.n, 42, 1e-2);
+    auto a = tlr::TlrMatrix::from_problem_parallel(prob, sc.b,
+                                                   {sc.tol, 1 << 30},
+                                                   sc.threads, 1);
+    const auto s = a.rank_stats();
+    const int band = tune_band_size(RankMap::from_matrix(a)).band_size;
+    t.row().cell(stars::to_string(kind))
+        .cell(static_cast<long long>(s.min)).cell(s.avg, 4)
+        .cell(static_cast<long long>(s.max))
+        .cell(static_cast<double>(s.max) / sc.b, 3)
+        .cell(static_cast<long long>(band))
+        .cell(static_cast<double>(a.footprint_elements()) /
+                  (static_cast<double>(sc.n) * sc.n),
+              3);
+  }
+  t.print(std::cout);
+  std::printf("\nReading: the 2D exponential field compresses to far lower "
+              "ranks (BAND_SIZE\nnear 1 — weak-admissibility territory), "
+              "while every 3D kernel carries high,\nheterogeneous "
+              "near-diagonal ranks that need the BAND-DENSE-TLR machinery.\n"
+              "Smoothness only helps the far field (squared-exponential "
+              "reaches minrank 0)\n— it is the dimensionality that sets the "
+              "near-field rank, the paper's core\nobservation about 3D "
+              "problems.\n");
+  return 0;
+}

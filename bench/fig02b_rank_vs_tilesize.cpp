@@ -1,0 +1,36 @@
+// Fig. 2b — impact of the tile size on the rank information (maxrank,
+// avgrank, minrank) after compressing an st-3D-exp matrix, plus the
+// ratio_maxrank / ratio_discrepancy control quantities of Section IV.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tlr/tlr_matrix.hpp"
+
+using namespace ptlr;
+
+int main() {
+  const auto sc = bench::scale();
+  bench::header("Fig. 2b", "rank statistics vs tile size after compression");
+  std::printf("st-3D-exp, N = %d, accuracy %.0e\n\n", sc.n, sc.tol);
+
+  auto prob = bench::st3d_exp(sc.n);
+  Table t({"tile size b", "minrank", "avgrank", "maxrank", "ratio_maxrank",
+           "ratio_discrepancy", "NT (parallelism)"});
+  for (int b : {64, 128, 192, 256, 384, 512}) {
+    if (b * 4 > sc.n) continue;
+    auto a = tlr::TlrMatrix::from_problem(prob, b, {sc.tol, 1 << 30}, 1);
+    const auto s = a.rank_stats();
+    t.row().cell(static_cast<long long>(b))
+        .cell(static_cast<long long>(s.min)).cell(s.avg, 4)
+        .cell(static_cast<long long>(s.max))
+        .cell(static_cast<double>(s.max) / b, 3)
+        .cell((s.max - s.avg) / b, 3)
+        .cell(static_cast<long long>(a.nt()));
+  }
+  t.print(std::cout);
+  std::printf("\nShape check vs paper: absolute ranks barely move with b "
+              "(the ε-rank is a\ngeometry property), so ratio_maxrank and "
+              "ratio_discrepancy FALL as the tile\nsize grows — while NT, "
+              "the available parallelism, falls too. Fig. 2b's tradeoff.\n");
+  return 0;
+}

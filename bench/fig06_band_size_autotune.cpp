@@ -1,0 +1,93 @@
+// Fig. 6 — impact of BAND_SIZE auto-tuning:
+//   (a) time-to-solution vs forced BAND_SIZE, with the fluctuation box,
+//   (b) total model flops vs BAND_SIZE,
+//   (c) per-sub-diagonal flops in dense vs TLR format (+ maxrank),
+//   (d) auto-tuning + matrix regeneration overhead vs the factorization.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ptlr;
+using namespace ptlr::core;
+
+int main() {
+  const auto sc = bench::scale();
+  bench::header("Fig. 6", "BAND_SIZE auto-tuning (Algorithm 1)");
+
+  for (int n : {sc.n / 2, sc.n}) {
+    std::printf("\n--- st-3D-exp, N = %d, b = %d, accuracy %.0e ---\n", n,
+                sc.b, sc.tol);
+    auto prob = bench::st3d_exp(n);
+    const compress::Accuracy acc{sc.tol, 1 << 30};
+    auto base = tlr::TlrMatrix::from_problem(prob, sc.b, acc, 1);
+    const auto ranks = RankMap::from_matrix(base);
+    auto tuned = tune_band_size(ranks);
+
+    // (a)+(b): sweep forced band sizes around the tuned one.
+    const int wmax =
+        std::min(base.nt() - 1, std::max(2 * tuned.band_size, 4));
+    Table ab({"BAND_SIZE", "time (s)", "model Gflop", "in fluctuation box",
+              "tuned"});
+    const double fmin = *std::min_element(
+        tuned.total_by_band.begin(),
+        tuned.total_by_band.begin() + wmax);
+    for (int w = 1; w <= wmax; ++w) {
+      auto a = base;  // deep copy: each run factorizes fresh data
+      CholeskyConfig cfg;
+      cfg.acc = acc;
+      cfg.band_size = w;
+      cfg.nthreads = sc.threads;
+      auto res = factorize(a, &prob, cfg);
+      const double fw = tuned.total_by_band[static_cast<std::size_t>(w - 1)];
+      ab.row().cell(static_cast<long long>(w)).cell(res.factor_seconds, 4)
+          .cell(fw / 1e9, 4)
+          .cell(std::string(fw <= fmin / 0.67 ? "yes" : "no"))
+          .cell(std::string(w == tuned.band_size ? "<== Algorithm 1" : ""));
+    }
+    ab.print(std::cout);
+
+    // (c): marginal dense vs TLR flops per sub-diagonal.
+    std::printf("\n(c) per-sub-diagonal flops (marginal), maxrank "
+                "annotations:\n");
+    auto sub = base.subdiag_maxrank();
+    Table c({"subdiag d", "dense Gflop", "TLR Gflop", "cheaper", "maxrank"});
+    for (int d = 1; d < std::min<int>(base.nt(),
+                                      static_cast<int>(
+                                          tuned.dense_subdiag.size()));
+         ++d) {
+      const double fd = tuned.dense_subdiag[static_cast<std::size_t>(d)];
+      const double ft = tuned.tlr_subdiag[static_cast<std::size_t>(d)];
+      if (fd == 0 && ft == 0) break;
+      c.row().cell(static_cast<long long>(d)).cell(fd / 1e9, 4)
+          .cell(ft / 1e9, 4)
+          .cell(std::string(fd < ft ? "dense" : "TLR"))
+          .cell(static_cast<long long>(sub[static_cast<std::size_t>(d)]));
+    }
+    c.print(std::cout);
+
+    // (d): tuning + regeneration overhead.
+    {
+      auto a = base;
+      CholeskyConfig cfg;
+      cfg.acc = acc;
+      cfg.band_size = 0;  // auto
+      cfg.nthreads = sc.threads;
+      auto res = factorize(a, &prob, cfg);
+      std::printf("\n(d) tuned BAND_SIZE = %d: auto-tune %.4f s, band "
+                  "regeneration %.4f s,\n    factorization %.3f s — "
+                  "overhead = %.2f%% of time-to-solution\n",
+                  res.band_size, res.tune_seconds, res.regen_seconds,
+                  res.factor_seconds,
+                  100.0 * (res.tune_seconds + res.regen_seconds) /
+                      (res.tune_seconds + res.regen_seconds +
+                       res.factor_seconds));
+    }
+  }
+  std::printf("\nShape check vs paper: both time and flops have a sweet spot"
+              " in BAND_SIZE;\nAlgorithm 1's pick sits inside the "
+              "[0.67, 1] fluctuation box near the optimum;\nnear-diagonal "
+              "sub-diagonals are cheaper dense, far ones cheaper TLR; and\n"
+              "the tuning + regeneration overhead is negligible (Fig. 6d).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 13 — evaluation of different accuracy thresholds:
+//   (a) BAND_SIZE auto-tuning per threshold (total flops per candidate and
+//       the fluctuation box),
+//   (b) ratio_maxrank and tuned BAND_SIZE vs matrix size per threshold,
+//   (c) time-to-solution per threshold.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ptlr;
+using namespace ptlr::core;
+
+int main() {
+  const auto sc = bench::scale();
+  bench::header("Fig. 13", "impact of the accuracy threshold");
+  const std::vector<double> accs{1e-3, 1e-5, 1e-7};
+
+  // (a) auto-tuning curves per accuracy at fixed size.
+  std::printf("(a) BAND_SIZE tuning at N = %d, b = %d:\n\n", sc.n, sc.b);
+  auto prob = bench::st3d_exp(sc.n);
+  Table a({"accuracy", "tuned BAND_SIZE", "F(1) Gflop", "F(tuned) Gflop",
+           "F(tuned+2) Gflop"});
+  for (double eps : accs) {
+    auto m = tlr::TlrMatrix::from_problem(prob, sc.b, {eps, 1 << 30}, 1);
+    auto tuned = tune_band_size(RankMap::from_matrix(m));
+    const auto& f = tuned.total_by_band;
+    const auto at = [&](int w) {
+      return w >= 1 && w <= static_cast<int>(f.size())
+                 ? f[static_cast<std::size_t>(w - 1)] / 1e9
+                 : 0.0;
+    };
+    a.row().cell(eps, 2).cell(static_cast<long long>(tuned.band_size))
+        .cell(at(1), 4).cell(at(tuned.band_size), 4)
+        .cell(at(tuned.band_size + 2), 4);
+  }
+  a.print(std::cout);
+
+  // (b) ratio_maxrank and tuned band vs N per accuracy.
+  std::printf("\n(b) ratio_maxrank / tuned BAND_SIZE vs matrix size:\n\n");
+  std::vector<std::string> headers{"N"};
+  for (double eps : accs) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "eps=%.0e", eps);
+    headers.emplace_back(buf);
+  }
+  Table b(headers);
+  for (int n : {1024, 2048, 4096}) {
+    auto p = bench::st3d_exp(n);
+    auto& row = b.row();
+    row.cell(static_cast<long long>(n));
+    for (double eps : accs) {
+      auto m = tlr::TlrMatrix::from_problem(p, sc.b, {eps, 1 << 30}, 1);
+      const auto s = m.rank_stats();
+      const int band = tune_band_size(RankMap::from_matrix(m)).band_size;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.2f / band %d",
+                    static_cast<double>(s.max) / sc.b, band);
+      row.cell(std::string(buf));
+    }
+  }
+  b.print(std::cout);
+
+  // (c) time-to-solution per accuracy.
+  std::printf("\n(c) time-to-solution at N = %d:\n\n", sc.n);
+  Table c({"accuracy", "compress (s)", "factorize (s)", "BAND_SIZE",
+           "avgrank"});
+  for (double eps : accs) {
+    WallTimer tc;
+    auto m = tlr::TlrMatrix::from_problem(prob, sc.b, {eps, 1 << 30}, 1);
+    const double compress_secs = tc.seconds();
+    const double avg = m.rank_stats().avg;
+    CholeskyConfig cfg;
+    cfg.acc = {eps, 1 << 30};
+    cfg.band_size = 0;
+    cfg.nthreads = sc.threads;
+    auto res = factorize(m, &prob, cfg);
+    c.row().cell(eps, 2).cell(compress_secs, 4).cell(res.factor_seconds, 4)
+        .cell(static_cast<long long>(res.band_size)).cell(avg, 4);
+  }
+  c.print(std::cout);
+  std::printf("\nShape check vs paper: looser accuracy → faster rank decay "
+              "→ smaller tuned\nBAND_SIZE (1e-3 behaves 2D-like with a "
+              "narrow band) and faster time to\nsolution; ratio_maxrank "
+              "falls with the matrix size and with looser accuracy.\n");
+  return 0;
+}

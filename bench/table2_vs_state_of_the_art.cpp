@@ -1,0 +1,77 @@
+// Table II — comparison with the state of the art on the virtual cluster:
+//   PaRSEC-HiCMA-Prev      : BAND_SIZE = 1, band distribution of width 1,
+//                            recursive POTRF only, static-maxrank memory;
+//   "Band-dense"           : + auto-tuned BAND_SIZE densification and the
+//                            hybrid band distribution (still POTRF-only
+//                            recursion);
+//   "Recursive kernels"    : + recursive formulations of all region-(1)
+//                            kernels (PaRSEC-HiCMA-New).
+// Rank profiles are fitted from a really-compressed st-3D-exp matrix and
+// extended to larger NT with the fitted decay model (DESIGN.md §1).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ptlr;
+using namespace ptlr::core;
+
+int main() {
+  const auto sc = bench::scale();
+  bench::header("Table II", "Prev vs Band-dense vs Recursive kernels");
+
+  // Fit the st-3D-exp decay from a real compression.
+  auto prob = bench::st3d_exp(sc.n);
+  auto real = tlr::TlrMatrix::from_problem(prob, sc.b, {sc.tol, 1 << 30}, 1);
+  const auto decay = RankDecayModel::fit(real);
+  std::printf("rank decay fitted from real compression (N=%d, b=%d, "
+              "eps=%.0e): kmax=%d kmin=%d alpha=%.2f\n\n",
+              sc.n, sc.b, sc.tol, decay.kmax, decay.kmin, decay.alpha);
+
+  Table t({"nodes", "NT (size)", "Prev (s)", "Band-dense (s)",
+           "Recursive kernels (s)", "total speedup"});
+  struct Row {
+    int nodes, nt;
+  };
+  // Prev stores every tile inside the static maxrank = b/2 descriptor, so
+  // its computations never see ranks above that cap.
+  RankDecayModel prev_decay = decay;
+  prev_decay.kmax = std::min(prev_decay.kmax, sc.b / 2);
+  for (const Row r : {Row{8, 32}, Row{16, 32}, Row{32, 32}, Row{16, 64},
+                      Row{32, 64}, Row{32, 96}}) {
+    auto base = RankMap::synthetic(r.nt, sc.b, decay, 1);
+    const int band = tune_band_size(base).band_size;
+
+    // Prev: band 1, width-1 band distribution, POTRF recursion only.
+    auto prev_map = RankMap::synthetic(r.nt, sc.b, prev_decay, 1);
+    auto prev_cfg = bench::paper_node_config(r.nodes);
+    prev_cfg.band_dist_width = 1;
+    prev_cfg.recursive_all = false;
+    prev_cfg.recursive_potrf = true;
+    const double t_prev = simulate_cholesky(prev_map, prev_cfg).sim.makespan;
+
+    // Band-dense: tuned band + hybrid distribution, POTRF recursion only.
+    auto banded = base;
+    banded.set_band(band);
+    auto bd_cfg = bench::paper_node_config(r.nodes);
+    bd_cfg.recursive_all = false;
+    bd_cfg.recursive_potrf = true;
+    const double t_bd = simulate_cholesky(banded, bd_cfg).sim.makespan;
+
+    // + recursive kernels everywhere on the band.
+    auto rec_cfg = bench::paper_node_config(r.nodes);
+    rec_cfg.recursive_all = true;
+    rec_cfg.recursive_block = sc.b / 4;
+    const double t_rec = simulate_cholesky(banded, rec_cfg).sim.makespan;
+
+    t.row().cell(static_cast<long long>(r.nodes))
+        .cell(static_cast<long long>(r.nt)).cell(t_prev, 4).cell(t_bd, 4)
+        .cell(t_rec, 4).cell(t_prev / t_rec, 3);
+  }
+  t.print(std::cout);
+  std::printf("\nShape check vs paper (Table II): the bulk of the speedup "
+              "comes from the\nBand-dense step (flop reduction + balanced "
+              "hybrid distribution), recursive\nkernels add a further gain "
+              "by shortening the critical path, and the total\nspeedup "
+              "grows with the node count at fixed size (paper: 5.2x-7.6x).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: compress a 3D exponential covariance matrix, factorize it
+// with the auto-tuned BAND-DENSE-TLR Cholesky, and solve a linear system.
+//
+//   $ ./quickstart [n] [tile_size]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cholesky.hpp"
+#include "core/solve.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptlr;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 2048;
+  const int b = argc > 2 ? std::atoi(argv[2]) : 128;
+  const double eps = 1e-6;
+
+  std::printf("PTLR quickstart: st-3D-exp covariance, N = %d, b = %d, "
+              "accuracy %.0e\n", n, b, eps);
+
+  // 1. The covariance matrix problem: Matérn theta = (1, 0.1, 0.5) on a
+  //    Morton-ordered 3D point cloud (the paper's st-3D-exp).
+  auto problem = stars::make_problem(stars::ProblemKind::kSt3DExp, n);
+
+  // 2. Compress into tile low-rank format. Tiles are generated lazily, so
+  //    the dense operator is never materialized.
+  const compress::Accuracy acc{eps, 1 << 30};
+  auto sigma = tlr::TlrMatrix::from_problem(problem, b, acc, /*band=*/1);
+  const auto ranks = sigma.rank_stats();
+  std::printf("compressed: NT = %d tiles/dim, off-diagonal ranks "
+              "min/avg/max = %d/%.1f/%d\n",
+              sigma.nt(), ranks.min, ranks.avg, ranks.max);
+  std::printf("memory: %.1f MB exact-rank vs %.1f MB dense\n",
+              static_cast<double>(sigma.footprint_elements()) * 8 / 1e6,
+              static_cast<double>(n) * n * 8 / 1e6);
+
+  // 3. Factorize. band_size = 0 runs the Algorithm 1 auto-tuner, which
+  //    densifies the high-rank sub-diagonals before the factorization.
+  core::CholeskyConfig cfg;
+  cfg.acc = acc;
+  cfg.band_size = 0;
+  cfg.nthreads = 2;
+  auto result = core::factorize(sigma, &problem, cfg);
+  std::printf("factorized in %.3f s (auto-tuned BAND_SIZE = %d, "
+              "%.2f Gflop model)\n",
+              result.factor_seconds, result.band_size,
+              result.model_flops / 1e9);
+
+  // 4. Solve Sigma x = z and check the residual.
+  Rng rng(0);
+  auto z = problem.synthetic_observations(rng);
+  auto x = core::solve(sigma, z);
+  // Residual r = z - Sigma x, evaluated tile-free via the kernel.
+  double rnorm = 0.0, znorm = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double ri = z[static_cast<std::size_t>(i)];
+    for (int j = 0; j < n; ++j)
+      ri -= problem.entry(i, j) * x[static_cast<std::size_t>(j)];
+    rnorm += ri * ri;
+    znorm += z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+  }
+  std::printf("solve residual ||z - Sigma x|| / ||z|| = %.2e\n",
+              std::sqrt(rnorm / znorm));
+  std::printf("log det(Sigma) = %.4f\n", core::log_det(sigma));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Project a laptop-compressed problem onto the virtual cluster: fit the
+// rank-decay model from a real compression, then simulate the BAND-DENSE-
+// TLR Cholesky on growing node counts — the workflow for sizing a real
+// distributed run before buying the node-hours.
+//
+//   $ ./virtual_cluster_scaling [n] [tile_size] [nt_scaled]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/cholesky.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptlr;
+  using namespace ptlr::core;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 2048;
+  const int b = argc > 2 ? std::atoi(argv[2]) : 128;
+  const int nt_scaled = argc > 3 ? std::atoi(argv[3]) : 96;
+
+  std::printf("virtual cluster sizing: fit ranks at N = %d (b = %d), "
+              "project to NT = %d\n\n", n, b, nt_scaled);
+
+  // Fit the rank decay from a real compression at laptop scale...
+  auto prob = stars::make_problem(stars::ProblemKind::kSt3DExp, n);
+  auto real = tlr::TlrMatrix::from_problem(prob, b, {1e-4, 1 << 30}, 1);
+  const auto decay = RankDecayModel::fit(real);
+  std::printf("fitted decay: kmax = %d, kmin = %d, alpha = %.2f\n\n",
+              decay.kmax, decay.kmin, decay.alpha);
+
+  // ...synthesize the target-size rank map, tune the band, and simulate.
+  auto map = RankMap::synthetic(nt_scaled, b, decay, 1);
+  const int band = tune_band_size(map).band_size;
+  map.set_band(band);
+  std::printf("projected problem: NT = %d (N = %d), tuned BAND_SIZE = %d\n\n",
+              nt_scaled, nt_scaled * b, band);
+
+  Table t({"nodes", "time (s)", "speedup", "efficiency", "messages",
+           "GB moved"});
+  double t1 = 0.0;
+  for (int nodes : {1, 4, 16, 64, 256}) {
+    VirtualClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.cores_per_node = 16;
+    cfg.rates = {1e9, 3.3e8};
+    cfg.recursive_all = true;
+    cfg.recursive_block = b / 4;
+    auto res = simulate_cholesky(map, cfg);
+    if (nodes == 1) t1 = res.sim.makespan;
+    t.row().cell(static_cast<long long>(nodes)).cell(res.sim.makespan, 4)
+        .cell(t1 / res.sim.makespan, 3)
+        .cell(t1 / res.sim.makespan / nodes, 3)
+        .cell(res.sim.messages)
+        .cell(res.sim.message_bytes / 1e9, 3);
+  }
+  t.print(std::cout);
+  std::printf("\nPick the node count where efficiency is still acceptable "
+              "for your budget.\n");
+  return 0;
+}

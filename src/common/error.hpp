@@ -1,0 +1,59 @@
+// Error handling utilities shared by all PTLR modules.
+//
+// PTLR follows a fail-fast policy: programming errors (bad dimensions,
+// invalid arguments) throw ptlr::Error with a formatted message, numerical
+// failures (non-SPD matrix in POTRF) throw ptlr::NumericalError carrying the
+// offending index so that callers can report which tile broke.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ptlr {
+
+/// Base class for all PTLR exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Thrown when a numerical algorithm fails (e.g. POTRF on a non-SPD matrix).
+class NumericalError : public Error {
+ public:
+  NumericalError(const std::string& msg, long long info)
+      : Error(msg + " (info=" + std::to_string(info) + ")"), info_(info) {}
+  /// LAPACK-style info value: index of the failure, algorithm specific.
+  [[nodiscard]] long long info() const noexcept { return info_; }
+
+ private:
+  long long info_;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PTLR check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ptlr
+
+/// Precondition check that is always on (cheap checks on API boundaries).
+#define PTLR_CHECK(expr, msg)                                            \
+  do {                                                                   \
+    if (!(expr)) ::ptlr::detail::check_failed(#expr, __FILE__, __LINE__, \
+                                              (msg));                    \
+  } while (0)
+
+/// Internal invariant check, compiled out in release builds.
+#ifndef NDEBUG
+#define PTLR_ASSERT(expr, msg) PTLR_CHECK(expr, msg)
+#else
+#define PTLR_ASSERT(expr, msg) \
+  do {                         \
+  } while (0)
+#endif

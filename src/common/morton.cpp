@@ -1,0 +1,73 @@
+#include "common/morton.hpp"
+
+namespace ptlr::morton {
+
+std::uint64_t spread2(std::uint32_t x) noexcept {
+  std::uint64_t v = x;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+std::uint64_t spread3(std::uint32_t x) noexcept {
+  std::uint64_t v = x & 0x1FFFFF;  // 21 bits
+  v = (v | (v << 32)) & 0x1F00000000FFFFull;
+  v = (v | (v << 16)) & 0x1F0000FF0000FFull;
+  v = (v | (v << 8)) & 0x100F00F00F00F00Full;
+  v = (v | (v << 4)) & 0x10C30C30C30C30C3ull;
+  v = (v | (v << 2)) & 0x1249249249249249ull;
+  return v;
+}
+
+std::uint32_t compact2(std::uint64_t x) noexcept {
+  std::uint64_t v = x & 0x5555555555555555ull;
+  v = (v | (v >> 1)) & 0x3333333333333333ull;
+  v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v >> 4)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v >> 8)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v >> 16)) & 0x00000000FFFFFFFFull;
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint32_t compact3(std::uint64_t x) noexcept {
+  std::uint64_t v = x & 0x1249249249249249ull;
+  v = (v | (v >> 2)) & 0x10C30C30C30C30C3ull;
+  v = (v | (v >> 4)) & 0x100F00F00F00F00Full;
+  v = (v | (v >> 8)) & 0x1F0000FF0000FFull;
+  v = (v | (v >> 16)) & 0x1F00000000FFFFull;
+  v = (v | (v >> 32)) & 0x1FFFFFull;
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t encode2(std::uint32_t x, std::uint32_t y) noexcept {
+  return spread2(x) | (spread2(y) << 1);
+}
+
+std::uint64_t encode3(std::uint32_t x, std::uint32_t y,
+                      std::uint32_t z) noexcept {
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+void decode2(std::uint64_t key, std::uint32_t& x, std::uint32_t& y) noexcept {
+  x = compact2(key);
+  y = compact2(key >> 1);
+}
+
+void decode3(std::uint64_t key, std::uint32_t& x, std::uint32_t& y,
+             std::uint32_t& z) noexcept {
+  x = compact3(key);
+  y = compact3(key >> 1);
+  z = compact3(key >> 2);
+}
+
+std::uint32_t quantize(double v, int bits) noexcept {
+  if (v < 0.0) v = 0.0;
+  if (v >= 1.0) v = 0x1.fffffffffffffp-1;  // largest double < 1
+  const auto cells = static_cast<double>(1ull << bits);
+  return static_cast<std::uint32_t>(v * cells);
+}
+
+}  // namespace ptlr::morton

@@ -1,0 +1,43 @@
+// Morton (Z-order) encoding for 2D and 3D integer coordinates.
+//
+// The paper uses Morton ordering of the spatial locations (Section IV,
+// ref. [31]) so that nearby points land in nearby matrix rows, which is what
+// gives off-diagonal tiles their low-rank structure and a good compression
+// ratio. ptlr::stars sorts point clouds by these keys before building the
+// covariance operator.
+#pragma once
+
+#include <cstdint>
+
+namespace ptlr::morton {
+
+/// Interleave the low 32 bits of x with zeros (one gap bit per data bit).
+std::uint64_t spread2(std::uint32_t x) noexcept;
+
+/// Interleave the low 21 bits of x with zeros (two gap bits per data bit).
+std::uint64_t spread3(std::uint32_t x) noexcept;
+
+/// Inverse of spread2: extract every second bit.
+std::uint32_t compact2(std::uint64_t x) noexcept;
+
+/// Inverse of spread3: extract every third bit.
+std::uint32_t compact3(std::uint64_t x) noexcept;
+
+/// 2D Morton key of (x, y); x contributes the even bits.
+std::uint64_t encode2(std::uint32_t x, std::uint32_t y) noexcept;
+
+/// 3D Morton key of (x, y, z); x contributes bits 0, 3, 6, ...
+std::uint64_t encode3(std::uint32_t x, std::uint32_t y,
+                      std::uint32_t z) noexcept;
+
+/// Decode a 2D Morton key.
+void decode2(std::uint64_t key, std::uint32_t& x, std::uint32_t& y) noexcept;
+
+/// Decode a 3D Morton key.
+void decode3(std::uint64_t key, std::uint32_t& x, std::uint32_t& y,
+             std::uint32_t& z) noexcept;
+
+/// Quantize a coordinate in [0,1) to `bits` bits and return the grid index.
+std::uint32_t quantize(double v, int bits) noexcept;
+
+}  // namespace ptlr::morton

@@ -1,0 +1,94 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace ptlr {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PTLR_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  PTLR_CHECK(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(long long v) { return cell(std::to_string(v)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << "  ";
+      os << v;
+      for (std::size_t p = v.size(); p < width[c]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  for (const auto& r : rows_) line(r);
+}
+
+std::string ascii_heatmap(int nt, const std::vector<double>& values,
+                          double vmax) {
+  // 10-step grey ramp from light to dark; '.' marks a structurally
+  // zero/absent tile.
+  static const char ramp[] = " .:-=+*#%@";
+  PTLR_CHECK(static_cast<int>(values.size()) == nt * nt,
+             "heatmap expects an nt*nt value field");
+  std::string out;
+  out.reserve(static_cast<std::size_t>(nt) * (nt + 1));
+  for (int i = 0; i < nt; ++i) {
+    for (int j = 0; j < nt; ++j) {
+      const double v = values[static_cast<std::size_t>(i) * nt + j];
+      if (v < 0) {
+        out += ' ';
+        continue;
+      }
+      int idx = vmax > 0 ? static_cast<int>(v / vmax * 9.0) : 0;
+      idx = std::clamp(idx, 0, 9);
+      out += ramp[idx];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ptlr

@@ -1,0 +1,47 @@
+// Minimal fixed-width table / CSV emitter used by the benchmark harnesses to
+// print the rows and series of the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ptlr {
+
+/// Accumulates rows of heterogeneous cells (stored as strings) and renders
+/// them either as an aligned ASCII table or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls append to it.
+  Table& row();
+
+  /// Append a string cell to the current row.
+  Table& cell(const std::string& v);
+  /// Append a formatted floating-point cell (printf %.*g style).
+  Table& cell(double v, int precision = 6);
+  /// Append an integer cell.
+  Table& cell(long long v);
+  Table& cell(int v) { return cell(static_cast<long long>(v)); }
+  Table& cell(std::size_t v) { return cell(static_cast<long long>(v)); }
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+  /// Render as CSV (headers first).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a simple ASCII heat map of a lower-triangular value field
+/// (used for the Fig. 1 rank heat maps). `value(i, j)` is queried for
+/// j <= i < nt; negative values are rendered blank.
+std::string ascii_heatmap(int nt, const std::vector<double>& values,
+                          double vmax);
+
+}  // namespace ptlr

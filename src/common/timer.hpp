@@ -1,0 +1,29 @@
+// Lightweight wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace ptlr {
+
+/// Monotonic wall-clock timer. Construction starts the clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ptlr

@@ -1,0 +1,143 @@
+#include "compress/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dense/blas.hpp"
+#include "dense/lapack.hpp"
+#include "dense/util.hpp"
+
+namespace ptlr::compress {
+
+using dense::Matrix;
+using dense::Trans;
+
+Matrix LowRankFactor::to_dense() const {
+  Matrix out(rows(), cols());
+  if (rank() > 0)
+    dense::gemm(Trans::N, Trans::T, 1.0, u.view(), v.view(), 0.0, out.view());
+  return out;
+}
+
+int truncation_rank(const std::vector<double>& s, double tol) {
+  double tail2 = 0.0;
+  int k = static_cast<int>(s.size());
+  while (k > 0) {
+    const double cand = tail2 + s[k - 1] * s[k - 1];
+    if (std::sqrt(cand) > tol) break;
+    tail2 = cand;
+    --k;
+  }
+  return k;
+}
+
+std::optional<LowRankFactor> compress(dense::ConstMatrixView a,
+                                      const Accuracy& acc) {
+  const int m = a.rows(), n = a.cols();
+  const int cap = std::min({m, n, acc.maxrank});
+  Matrix w = dense::to_matrix(a);
+  // Leave slack below the target so the SVD polish decides the final rank.
+  auto piv = dense::geqp3_trunc(w.view(), acc.tol * 0.5, cap);
+  if (piv.rank == cap && piv.tail_frob > acc.tol * 0.5 && cap < std::min(m, n)) {
+    return std::nullopt;  // rank exceeds the admissible maximum: stay dense
+  }
+  const int kq = piv.rank;
+  if (kq == 0) {
+    // Numerically zero block: the canonical rank-0 factor.
+    return LowRankFactor{Matrix(m, 0), Matrix(n, 0)};
+  }
+
+  // A = Q * (R P^T); put B = P R^T (n-by-kq) and decompose it. R is the
+  // kq-by-n upper-trapezoid of the factored copy, column j belonging to
+  // original column jpvt[j].
+  Matrix b(n, kq);
+  for (int j = 0; j < n; ++j) {
+    const int orig = piv.jpvt[j];
+    const int rows_in_col = std::min(j + 1, kq);
+    for (int i = 0; i < rows_in_col; ++i) b(orig, i) = w(i, j);
+  }
+  auto svd = dense::jacobi_svd(b.view());  // B = Ub * diag(s) * Wb^T
+
+  int k = truncation_rank(svd.s, acc.tol);
+  if (k > acc.maxrank) return std::nullopt;
+
+  // U = Q * Wb(:, :k),  V = Ub(:, :k) * diag(s).
+  Matrix q = w;  // reflectors live in w
+  dense::orgqr(q.view(), piv.tau, kq);
+  Matrix u(m, k), v(n, k);
+  if (k > 0) {
+    dense::gemm(Trans::N, Trans::N, 1.0, q.block(0, 0, m, kq),
+                svd.v.block(0, 0, kq, k), 0.0, u.view());
+    for (int j = 0; j < k; ++j)
+      for (int i = 0; i < n; ++i) v(i, j) = svd.u(i, j) * svd.s[j];
+  }
+  return LowRankFactor{std::move(u), std::move(v)};
+}
+
+int numerical_rank(dense::ConstMatrixView a, const Accuracy& acc) {
+  Accuracy unlimited = acc;
+  unlimited.maxrank = std::min(a.rows(), a.cols());
+  auto f = compress(a, unlimited);
+  return f ? f->rank() : unlimited.maxrank;
+}
+
+int recompress(LowRankFactor& f, const Accuracy& acc) {
+  const int k = f.rank();
+  if (k == 0) return 0;
+  const int m = f.rows(), n = f.cols();
+
+  // Thin QRs of both factors. If k exceeds a dimension the factor is
+  // already rank-limited by that dimension; handle via padded copies.
+  const int ku = std::min(m, k), kv = std::min(n, k);
+  Matrix qu = f.u, qv = f.v;
+  std::vector<double> tau_u, tau_v;
+  dense::geqrf(qu.view(), tau_u);
+  dense::geqrf(qv.view(), tau_v);
+  Matrix ru(ku, k), rv(kv, k);
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i <= std::min(j, ku - 1); ++i) ru(i, j) = qu(i, j);
+    for (int i = 0; i <= std::min(j, kv - 1); ++i) rv(i, j) = qv(i, j);
+  }
+  // Core matrix M = Ru * Rv^T (ku-by-kv); A = Qu M Qv^T.
+  Matrix core(ku, kv);
+  dense::gemm(Trans::N, Trans::T, 1.0, ru.view(), rv.view(), 0.0,
+              core.view());
+  // jacobi_svd needs rows >= cols; transpose when the core is wide.
+  const bool wide = ku < kv;
+  dense::Svd svd;
+  if (wide) {
+    Matrix ct(kv, ku);
+    for (int j = 0; j < kv; ++j)
+      for (int i = 0; i < ku; ++i) ct(j, i) = core(i, j);
+    svd = dense::jacobi_svd(ct.view());
+    std::swap(svd.u, svd.v);  // M = U S V^T with U ku-side, V kv-side
+  } else {
+    svd = dense::jacobi_svd(core.view());
+  }
+  const int knew = truncation_rank(svd.s, acc.tol);
+  if (knew >= k) return k;  // no reduction; keep the existing factor
+
+  // Unew = Qu * Um(:, :knew); Vnew = Qv * Vm(:, :knew) * diag(s).
+  dense::orgqr(qu.view(), tau_u, ku);
+  dense::orgqr(qv.view(), tau_v, kv);
+  Matrix unew(m, knew), vnew(n, knew);
+  if (knew > 0) {
+    dense::gemm(Trans::N, Trans::N, 1.0, qu.block(0, 0, m, ku),
+                svd.u.block(0, 0, ku, knew), 0.0, unew.view());
+    Matrix vs(kv, knew);
+    for (int j = 0; j < knew; ++j)
+      for (int i = 0; i < kv; ++i) vs(i, j) = svd.v(i, j) * svd.s[j];
+    dense::gemm(Trans::N, Trans::N, 1.0, qv.block(0, 0, n, kv), vs.view(),
+                0.0, vnew.view());
+  }
+  f.u = std::move(unew);
+  f.v = std::move(vnew);
+  return knew;
+}
+
+double approximation_error(dense::ConstMatrixView a, const LowRankFactor& f) {
+  Matrix rec = f.to_dense();
+  return dense::frob_diff(a, rec.view());
+}
+
+}  // namespace ptlr::compress

@@ -1,0 +1,59 @@
+// ε-truncated low-rank compression and recompression.
+//
+// compress(): dense tile → U·Vᵀ at an accuracy threshold, the STARS-H
+// compression step of Section III-B. Implemented as truncated column-
+// pivoted QR (cheap rank discovery) followed by an SVD polish of the small
+// triangular factor, so the returned rank is the minimal rank meeting the
+// threshold in the Frobenius norm.
+//
+// recompress(): rounds a (possibly rank-inflated) U·Vᵀ back to minimal rank
+// via the classical QR+QR+small-SVD scheme — the "recompression" stage that
+// dominates TLR GEMM at high rank (Section IV, Fig. 2a) and that splits the
+// LR GEMM kernels into two stages for dynamic memory designation
+// (Section VII-B).
+#pragma once
+
+#include <optional>
+
+#include "compress/lowrank.hpp"
+
+namespace ptlr::compress {
+
+/// Accuracy policy for compression/recompression.
+struct Accuracy {
+  /// Frobenius-norm truncation threshold (absolute, as in the paper's
+  /// fixed accuracy thresholds 1e-8 … 1e-3).
+  double tol = 1e-8;
+  /// Cap on the admissible rank; compression fails above it. The paper sets
+  /// maxrank = b/2 to keep TLR competitive with dense (Section III-B).
+  int maxrank = 1 << 30;
+  /// Adaptive on-demand densification (the paper's Section IX future
+  /// work): when > 0, a low-rank tile whose rank grows beyond
+  /// densify_ratio · min(rows, cols) during the factorization is rolled
+  /// back to dense on the spot. 0 disables the policy.
+  double densify_ratio = 0.0;
+};
+
+/// Compress a dense block to U·Vᵀ with ‖A − U·Vᵀ‖_F ≤ tol.
+/// Returns std::nullopt if that would need more than `maxrank` columns —
+/// the caller then keeps the tile dense (BAND-DENSE-TLR densification).
+std::optional<LowRankFactor> compress(dense::ConstMatrixView a,
+                                      const Accuracy& acc);
+
+/// Exact numerical rank of a block at threshold `acc` (no factor built).
+int numerical_rank(dense::ConstMatrixView a, const Accuracy& acc);
+
+/// Round an existing factor down to minimal rank at `acc`. Returns the new
+/// rank. Cost: O(b·k²) QRs plus an O(k³) SVD — the Table I constants of the
+/// (5)/(6)-GEMM kernels come from this step.
+int recompress(LowRankFactor& f, const Accuracy& acc);
+
+/// ‖A − U·Vᵀ‖_F, for accuracy validation in tests.
+double approximation_error(dense::ConstMatrixView a, const LowRankFactor& f);
+
+/// Smallest k such that dropping singular values s[k:] keeps the Frobenius
+/// tail at or below `tol` (s must be descending) — the paper's
+/// accuracy-threshold truncation rule, shared by all backends.
+int truncation_rank(const std::vector<double>& s, double tol);
+
+}  // namespace ptlr::compress

@@ -1,0 +1,36 @@
+// The tile-level low-rank representation A ≈ U·Vᵀ.
+//
+// This is HiCMA's compressed tile format (Section III-B): two tall-and-
+// skinny factors of size b×k where k is the numerical rank of the tile at
+// the chosen accuracy threshold.
+#pragma once
+
+#include "dense/matrix.hpp"
+
+namespace ptlr::compress {
+
+/// A rank-k factorization A ≈ U·Vᵀ with U (m×k) and V (n×k).
+struct LowRankFactor {
+  dense::Matrix u;
+  dense::Matrix v;
+
+  LowRankFactor() = default;
+  LowRankFactor(dense::Matrix u_, dense::Matrix v_)
+      : u(std::move(u_)), v(std::move(v_)) {
+    PTLR_CHECK(u.cols() == v.cols(), "U/V rank mismatch");
+  }
+
+  [[nodiscard]] int rank() const { return u.cols(); }
+  [[nodiscard]] int rows() const { return u.rows(); }
+  [[nodiscard]] int cols() const { return v.rows(); }
+
+  /// Storage in scalar elements: 2*b*k for a square tile.
+  [[nodiscard]] std::size_t elements() const {
+    return u.size() + v.size();
+  }
+
+  /// Materialize the dense m×n matrix U·Vᵀ.
+  [[nodiscard]] dense::Matrix to_dense() const;
+};
+
+}  // namespace ptlr::compress

@@ -1,0 +1,58 @@
+// Alternative low-rank approximation algorithms.
+//
+// STARS-H/HiCMA expose several compression backends with different
+// cost/robustness tradeoffs; PTLR implements the three standard ones:
+//
+//   kCpqrSvd — truncated column-pivoted QR + SVD polish (the default of
+//              compress(); deterministic, minimal rank, O(b²k) with a
+//              safety margin),
+//   kRsvd    — randomized SVD (Halko/Martinsson/Tropp): Gaussian sketch,
+//              power iteration, small SVD; O(b²(k+p)) with tiny constants,
+//              the method of choice for large tiles,
+//   kAca     — adaptive cross approximation with partial pivoting: builds
+//              the factors from matrix *entries* only (rank-1 updates from
+//              selected rows/columns); the classical H-matrix compressor,
+//              cheapest when entry evaluation is cheap, heuristic error
+//              control (a recompression pass restores minimal rank).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "compress/compress.hpp"
+
+namespace ptlr::compress {
+
+/// Compression backend selector.
+enum class Method { kCpqrSvd, kRsvd, kAca };
+
+/// Human-readable backend name.
+const char* to_string(Method m);
+
+/// Randomized SVD compression: sketch with `oversample` extra columns and
+/// `power_iters` power iterations (defaults follow the literature).
+/// Returns std::nullopt if the rank cap is exceeded.
+std::optional<LowRankFactor> compress_rsvd(dense::ConstMatrixView a,
+                                           const Accuracy& acc, Rng& rng,
+                                           int oversample = 10,
+                                           int power_iters = 1);
+
+/// ACA with partial pivoting on an explicit matrix, followed by a
+/// recompression pass to minimal rank. Returns std::nullopt if the rank
+/// cap is exceeded before the residual estimate meets the threshold.
+std::optional<LowRankFactor> compress_aca(dense::ConstMatrixView a,
+                                          const Accuracy& acc);
+
+/// Entry-oracle ACA: compresses the block whose (i, j) entry is
+/// `entry(i, j)` without ever materializing it — how hierarchical-matrix
+/// libraries compress kernel matrices directly from the kernel.
+std::optional<LowRankFactor> compress_aca_oracle(
+    int rows, int cols, const std::function<double(int, int)>& entry,
+    const Accuracy& acc);
+
+/// Unified front-end: dispatch on `method`.
+std::optional<LowRankFactor> compress_with(Method method,
+                                           dense::ConstMatrixView a,
+                                           const Accuracy& acc, Rng& rng);
+
+}  // namespace ptlr::compress

@@ -1,0 +1,186 @@
+#include "core/band_tuner.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "hcore/kernels.hpp"
+
+namespace ptlr::core {
+
+namespace {
+
+using flops::Kernel;
+
+// Accumulates flops into (band-candidate W, sub-diagonal d) buckets using a
+// difference array along W, so each task contributes O(#breakpoints)
+// updates instead of O(wmax).
+class WdAccumulator {
+ public:
+  WdAccumulator(int wmax, int nt)
+      : wmax_(wmax), nt_(nt),
+        diff_(static_cast<std::size_t>(wmax + 2) *
+                  static_cast<std::size_t>(nt),
+              0.0) {}
+
+  /// Add `cost` to sub-diagonal `d` for candidates W in [wlo, whi].
+  void add(int wlo, int whi, int d, double cost) {
+    wlo = std::max(wlo, 1);
+    whi = std::min(whi, wmax_);
+    if (wlo > whi) return;
+    diff_[idx(wlo, d)] += cost;
+    diff_[idx(whi + 1, d)] -= cost;
+  }
+
+  /// Resolve to cost[W][d] (W in 1..wmax).
+  [[nodiscard]] std::vector<std::vector<double>> resolve() const {
+    std::vector<std::vector<double>> out(
+        static_cast<std::size_t>(wmax_),
+        std::vector<double>(static_cast<std::size_t>(nt_), 0.0));
+    for (int d = 0; d < nt_; ++d) {
+      double run = 0.0;
+      for (int w = 1; w <= wmax_; ++w) {
+        run += diff_[idx(w, d)];
+        out[static_cast<std::size_t>(w - 1)][static_cast<std::size_t>(d)] =
+            run;
+      }
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(int w, int d) const {
+    return static_cast<std::size_t>(w) * nt_ + d;
+  }
+  int wmax_, nt_;
+  std::vector<double> diff_;
+};
+
+}  // namespace
+
+BandTuneResult tune_band_size(const RankMap& ranks, int wmax,
+                              double fluctuation_lo) {
+  const int nt = ranks.nt();
+  const int b = ranks.tile_size();
+  if (wmax <= 0) wmax = std::min(nt, 64);
+  PTLR_CHECK(fluctuation_lo > 0.0 && fluctuation_lo <= 1.0,
+             "fluctuation bound must be in (0, 1]");
+
+  // A tile already dense in the map (stray densification because its rank
+  // exceeded maxrank) stays dense for every candidate.
+  auto stray = [&](int i, int j) { return i != j && ranks.is_dense(i, j); };
+  // Candidate threshold: tile (i,j) is dense iff W > d (i.e. W >= d+1).
+  auto rank_of = [&](int i, int j) { return ranks.rank(i, j); };
+
+  WdAccumulator acc(wmax, nt);
+
+  for (int i = 0; i < nt; ++i) {
+    // POTRF on every diagonal tile, independent of W.
+    acc.add(1, wmax, 0, flops::model(Kernel::kPotrf1, b, 0));
+
+    for (int k = 0; k < i; ++k) {
+      // SYRK writing the diagonal tile (i,i), reading (i,k).
+      const int d = i - k;
+      if (stray(i, k) || d >= 1) {
+        const double dense_cost = flops::model(Kernel::kSyrk1, b, 0);
+        const double lr_cost =
+            flops::model(Kernel::kSyrk3, b, rank_of(i, k));
+        if (stray(i, k)) {
+          acc.add(1, wmax, 0, dense_cost);
+        } else {
+          acc.add(1, d, 0, lr_cost);         // W <= d: (i,k) still TLR
+          acc.add(d + 1, wmax, 0, dense_cost);
+        }
+      }
+    }
+  }
+
+  for (int i = 1; i < nt; ++i) {
+    for (int j = 0; j < i; ++j) {
+      const int dc = i - j;
+      // TRSM writing (i,j).
+      if (stray(i, j)) {
+        acc.add(1, wmax, dc, flops::model(Kernel::kTrsm1, b, 0));
+      } else {
+        acc.add(1, dc, dc, flops::model(Kernel::kTrsm4, b, rank_of(i, j)));
+        acc.add(dc + 1, wmax, dc, flops::model(Kernel::kTrsm1, b, 0));
+      }
+
+      // GEMMs writing (i,j) at steps k < j, reading (i,k) and (j,k).
+      for (int k = 0; k < j; ++k) {
+        const int da = i - k, db = j - k;
+        // Piecewise over W: each operand flips to dense at W = d+1.
+        // Breakpoints sorted ascending; evaluate one regime per range.
+        std::array<int, 3> ds{dc, da, db};
+        std::sort(ds.begin(), ds.end());
+        int lo = 1;
+        for (int r = 0; r <= 3; ++r) {
+          const int hi = r < 3 ? std::min(ds[static_cast<std::size_t>(r)],
+                                          wmax)
+                               : wmax;
+          if (lo > hi) {
+            if (r < 3) lo = ds[static_cast<std::size_t>(r)] + 1;
+            continue;
+          }
+          const int w = lo;  // any W in [lo, hi] has the same regime
+          const bool cd = stray(i, j) || dc < w;
+          const bool ad = stray(i, k) || da < w;
+          const bool bd = stray(j, k) || db < w;
+          int kk = 0;
+          if (!ad) kk = std::max(kk, rank_of(i, k));
+          if (!bd) kk = std::max(kk, rank_of(j, k));
+          if (!cd) kk = std::max(kk, rank_of(i, j));
+          const double cost =
+              hcore::gemm_model_flops(ad, bd, cd, b, std::max(kk, 1));
+          acc.add(lo, hi, dc, cost);
+          if (r < 3) lo = std::max(lo, ds[static_cast<std::size_t>(r)] + 1);
+        }
+      }
+    }
+  }
+
+  const auto cost = acc.resolve();  // cost[W-1][d]
+
+  BandTuneResult out;
+  out.fluctuation_lo = fluctuation_lo;
+  out.total_by_band.resize(static_cast<std::size_t>(wmax), 0.0);
+  for (int w = 1; w <= wmax; ++w) {
+    double total = 0.0;
+    for (int d = 0; d < nt; ++d)
+      total += cost[static_cast<std::size_t>(w - 1)]
+                   [static_cast<std::size_t>(d)];
+    out.total_by_band[static_cast<std::size_t>(w - 1)] = total;
+  }
+
+  // Marginal per-sub-diagonal comparison (Fig. 6c): sub-diagonal d in dense
+  // format under W = d+1 vs TLR format under W = d.
+  out.dense_subdiag.assign(static_cast<std::size_t>(nt), 0.0);
+  out.tlr_subdiag.assign(static_cast<std::size_t>(nt), 0.0);
+  for (int d = 1; d < nt; ++d) {
+    if (d + 1 <= wmax)
+      out.dense_subdiag[static_cast<std::size_t>(d)] =
+          cost[static_cast<std::size_t>(d)][static_cast<std::size_t>(d)];
+    if (d <= wmax)
+      out.tlr_subdiag[static_cast<std::size_t>(d)] =
+          cost[static_cast<std::size_t>(d - 1)][static_cast<std::size_t>(d)];
+  }
+
+  // Pick the smallest W inside the fluctuation box [F_min, F_min/0.67].
+  const double fmin =
+      *std::min_element(out.total_by_band.begin(), out.total_by_band.end());
+  for (int w = 1; w <= wmax; ++w) {
+    if (out.total_by_band[static_cast<std::size_t>(w - 1)] <=
+        fmin / fluctuation_lo) {
+      out.band_size = w;
+      break;
+    }
+  }
+  return out;
+}
+
+double cholesky_model_flops(const RankMap& ranks, int band_size) {
+  const int wmax = std::max(band_size, 1);
+  auto res = tune_band_size(ranks, wmax, 1.0);
+  return res.total_by_band[static_cast<std::size_t>(band_size - 1)];
+}
+
+}  // namespace ptlr::core

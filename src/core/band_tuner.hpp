@@ -1,0 +1,37 @@
+// BAND_SIZE auto-tuning via the flop-count performance model (Algorithm 1).
+//
+// Given the initial rank distribution (right after compression), the tuner
+// evaluates the total flops of the BAND-DENSE-TLR Cholesky for every
+// candidate band width W — tiles with i-j < W rolled back to dense — and
+// picks the smallest W whose total lies within the fluctuation box
+// [F_min, F_min/0.67] of the optimum (Section V-B, Fig. 6). Choosing the
+// box minimum (not the argmin) hedges against TRSM/SYRK flop growth near
+// the critical path and rank growth during the factorization.
+#pragma once
+
+#include "core/rank_map.hpp"
+
+namespace ptlr::core {
+
+/// Outcome of the auto-tuning pass, including the per-sub-diagonal marginal
+/// comparison of Fig. 6c and the total-flops curve of Fig. 6b.
+struct BandTuneResult {
+  int band_size = 1;                     ///< the tuned BAND_SIZE
+  std::vector<double> total_by_band;     ///< F(W) for W = 1..wmax (index W-1)
+  std::vector<double> dense_subdiag;     ///< marginal flops of sub-diagonal d
+                                         ///  when densified (index d, d >= 1)
+  std::vector<double> tlr_subdiag;       ///< same sub-diagonal kept TLR
+  double fluctuation_lo = 0.67;          ///< box lower bound used
+};
+
+/// Run Algorithm 1 on the initial rank map (band must still be 1, i.e. the
+/// state right after compression). `wmax` limits the candidate widths
+/// (0 → min(nt, 64)).
+BandTuneResult tune_band_size(const RankMap& ranks, int wmax = 0,
+                              double fluctuation_lo = 0.67);
+
+/// Total model flops of the factorization under a fixed band width
+/// (diagnostic; equals total_by_band[w-1] of tune_band_size).
+double cholesky_model_flops(const RankMap& ranks, int band_size);
+
+}  // namespace ptlr::core

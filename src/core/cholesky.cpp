@@ -1,0 +1,90 @@
+#include "core/cholesky.hpp"
+
+#include "common/timer.hpp"
+
+namespace ptlr::core {
+
+CholeskyResult factorize(tlr::TlrMatrix& a,
+                         const stars::CovarianceProblem* regen,
+                         const CholeskyConfig& cfg) {
+  CholeskyResult result;
+
+  // Step 1: BAND_SIZE — auto-tuned from the initial rank distribution
+  // (Algorithm 1) or forced by the caller.
+  if (cfg.band_size <= 0) {
+    WallTimer t;
+    const RankMap ranks = RankMap::from_matrix(a);
+    result.tuning = tune_band_size(ranks, 0, cfg.fluctuation_lo);
+    result.band_size = result.tuning.band_size;
+    result.tune_seconds = t.seconds();
+  } else {
+    result.band_size = cfg.band_size;
+  }
+
+  // Step 2: roll the band back to dense (regenerating exactly when the
+  // problem generator is available — the paper's regeneration step).
+  if (result.band_size > a.band_size()) {
+    WallTimer t;
+    a.densify_band(result.band_size, regen);
+    result.regen_seconds = t.seconds();
+  }
+
+  // Step 3: build and execute the dataflow graph.
+  GraphOptions opt;
+  opt.acc = cfg.acc;
+  opt.recursive_all = cfg.recursive_all;
+  opt.recursive_potrf = cfg.recursive_potrf;
+  opt.recursive_block = cfg.recursive_block;
+  rt::TaskGraph g = build_cholesky_graph(a, opt, &result.stats);
+  result.model_flops = result.stats.model_flops;
+
+  flops::Region flop_region;
+  result.exec = rt::execute(g, cfg.nthreads, cfg.record_trace);
+  result.factor_seconds = result.exec.seconds;
+  result.measured_flops = flop_region.flops();
+  return result;
+}
+
+SimCholeskyResult simulate_cholesky(const RankMap& ranks,
+                                    const VirtualClusterConfig& cfg) {
+  const auto [p, q] = rt::square_grid(cfg.nodes);
+  std::unique_ptr<rt::Distribution> dist;
+  if (cfg.band_distribution) {
+    const int width =
+        cfg.band_dist_width > 0 ? cfg.band_dist_width : ranks.band_size();
+    dist = std::make_unique<rt::BandDistribution>(p, q, width);
+  } else {
+    dist = std::make_unique<rt::TwoDBlockCyclic>(p, q);
+  }
+  const CostModel cost(cfg.rates);
+
+  GraphOptions opt;
+  opt.recursive_all = cfg.recursive_all;
+  opt.recursive_potrf = cfg.recursive_potrf;
+  opt.recursive_block = cfg.recursive_block;
+  opt.dist = dist.get();
+  opt.cost = &cost;
+
+  SimCholeskyResult result;
+  rt::TaskGraph g =
+      cfg.no_tlr_gemm
+          ? build_cholesky_graph_no_tlr_gemm(ranks, opt, &result.stats)
+          : build_cholesky_graph(ranks, opt, &result.stats);
+  result.edges = g.classify_edges();
+  if (cfg.accel_all_kernels) {
+    for (rt::TaskId t = 0; t < g.size(); ++t) g.info(t).device_class = 1;
+  }
+
+  rt::SimConfig sim;
+  sim.nproc = cfg.nodes;
+  sim.cores_per_proc = cfg.cores_per_node;
+  sim.comm = cfg.comm;
+  sim.record_trace = cfg.record_trace;
+  sim.accel_per_proc = cfg.accel_per_node;
+  sim.accel_speedup = cfg.accel_speedup;
+  sim.work_stealing = cfg.work_stealing;
+  result.sim = rt::simulate(g, sim);
+  return result;
+}
+
+}  // namespace ptlr::core

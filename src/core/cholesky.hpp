@@ -1,0 +1,94 @@
+// Top-level BAND-DENSE-TLR Cholesky drivers.
+//
+// factorize()          — shared-memory execution with real numerics
+//                        (auto-tunes BAND_SIZE, densifies the band,
+//                        builds the task graph, runs the worker pool).
+// simulate_cholesky()  — the same algorithm on the virtual cluster
+//                        (Section VIII's distributed experiments), driven
+//                        by rank information and the kernel cost model.
+#pragma once
+
+#include "core/band_tuner.hpp"
+#include "core/cholesky_graph.hpp"
+#include "core/cost_model.hpp"
+#include "core/rank_map.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/simulator.hpp"
+
+namespace ptlr::core {
+
+/// Configuration of a shared-memory factorization.
+struct CholeskyConfig {
+  compress::Accuracy acc{1e-8, 1 << 30};  ///< recompression accuracy
+  /// Dense band width; 0 runs the Algorithm 1 auto-tuner.
+  int band_size = 0;
+  double fluctuation_lo = 0.67;   ///< auto-tuner box bound (Section V-B)
+  bool recursive_all = true;      ///< PaRSEC-HiCMA-New recursion
+  bool recursive_potrf = false;   ///< PaRSEC-HiCMA-Prev recursion
+  int recursive_block = 0;        ///< 0 → tile_size/4
+  int nthreads = 2;
+  bool record_trace = false;
+};
+
+/// Outcome of a shared-memory factorization.
+struct CholeskyResult {
+  int band_size = 1;          ///< width used (tuned or forced)
+  double tune_seconds = 0.0;  ///< auto-tuning time (Fig. 6d)
+  double regen_seconds = 0.0; ///< band regeneration time (Fig. 6d)
+  double factor_seconds = 0.0;
+  double model_flops = 0.0;     ///< Table I model total
+  double measured_flops = 0.0;  ///< flops actually charged by kernels
+  GraphStats stats;
+  BandTuneResult tuning;      ///< populated when band_size was auto
+  rt::ExecResult exec;        ///< trace when record_trace
+};
+
+/// Factorize `a` in place (lower Cholesky). If `regen` is given, band tiles
+/// are regenerated exactly from the problem after tuning (the paper's
+/// regeneration step); otherwise low-rank band tiles are decompressed.
+/// Requires `a` built with band_size 1 when auto-tuning.
+CholeskyResult factorize(tlr::TlrMatrix& a,
+                         const stars::CovarianceProblem* regen,
+                         const CholeskyConfig& cfg);
+
+/// Virtual cluster configuration for simulated runs.
+struct VirtualClusterConfig {
+  int nodes = 16;
+  int cores_per_node = 16;
+  rt::CommModel comm;
+  KernelRates rates;
+  /// Hybrid band distribution width; 0 uses the rank map's band size.
+  /// Ignored when band_distribution is false (plain 2DBCDD).
+  bool band_distribution = true;
+  int band_dist_width = 0;
+  bool recursive_all = true;
+  bool recursive_potrf = true;
+  int recursive_block = 0;
+  bool record_trace = false;
+  bool no_tlr_gemm = false;  ///< Fig. 10 critical-path variant
+  /// Heterogeneous nodes (Section IX future work): accelerators per node
+  /// that run dense region-(1) kernels accel_speedup× faster.
+  int accel_per_node = 0;
+  double accel_speedup = 8.0;
+  /// Let accelerators run the low-rank kernels too (batched GPU TLR
+  /// kernels à la the paper's refs [2], [19], [20]), not only the dense
+  /// region-(1) set.
+  bool accel_all_kernels = false;
+  /// Dynamic inter-node load balancing (Section IX future work): idle
+  /// nodes steal ready tasks from loaded peers, paying the data shipping.
+  bool work_stealing = false;
+};
+
+/// Outcome of a simulated factorization.
+struct SimCholeskyResult {
+  rt::SimResult sim;
+  GraphStats stats;
+  rt::TaskGraph::EdgeStats edges;
+};
+
+/// Simulate the BAND-DENSE-TLR Cholesky described by `ranks` on the
+/// virtual cluster. The rank map's band size selects the dense band.
+SimCholeskyResult simulate_cholesky(const RankMap& ranks,
+                                    const VirtualClusterConfig& cfg);
+
+}  // namespace ptlr::core

@@ -1,0 +1,238 @@
+// The BAND-DENSE-TLR Cholesky expressed as a Parameterized Task Graph —
+// the JDF-style declarative description of the paper's Section III-C,
+// built on the rt::ptg front-end. Kernel selection, priorities, owners and
+// durations match the imperative generator exactly (asserted by tests).
+#include <memory>
+
+#include "core/cholesky_graph.hpp"
+#include "hcore/kernels.hpp"
+#include "runtime/ptg.hpp"
+
+namespace ptlr::core {
+
+namespace {
+
+using flops::Kernel;
+using rt::DataKey;
+using rt::make_key;
+using rt::TaskInfo;
+using rt::ptg::Params;
+
+// Format timeline of a possibly stray-dense rank map: a tile is dense from
+// step dense_from[t] onward (0 for initially dense tiles, the triggering
+// panel index for densify-on-demand, INT_MAX for always low-rank).
+struct FormatPlan {
+  int nt = 0;
+  std::vector<int> dense_from;  // packed lower triangle
+  std::vector<int> rank;
+
+  [[nodiscard]] std::size_t tri(int i, int j) const {
+    return static_cast<std::size_t>(i) * (i + 1) / 2 + j;
+  }
+  [[nodiscard]] bool dense_at(int i, int j, int step) const {
+    return dense_from[tri(i, j)] <= step;
+  }
+  [[nodiscard]] int rank_of(int i, int j) const { return rank[tri(i, j)]; }
+};
+
+FormatPlan make_plan(const RankMap& ranks) {
+  FormatPlan plan;
+  plan.nt = ranks.nt();
+  plan.dense_from.resize(static_cast<std::size_t>(plan.nt) *
+                         (plan.nt + 1) / 2);
+  plan.rank.resize(plan.dense_from.size());
+  constexpr int kNever = 1 << 30;
+  for (int i = 0; i < plan.nt; ++i)
+    for (int j = 0; j <= i; ++j) {
+      plan.dense_from[plan.tri(i, j)] = ranks.is_dense(i, j) ? 0 : kNever;
+      plan.rank[plan.tri(i, j)] = ranks.rank(i, j);
+    }
+  // Densify-on-demand sweep: a dense·dense product into a low-rank tile
+  // densifies it at that panel (same rule as the imperative builder).
+  for (int k = 0; k < plan.nt; ++k)
+    for (int i = k + 1; i < plan.nt; ++i)
+      for (int j = k + 1; j < i; ++j) {
+        if (!plan.dense_at(i, j, k) && plan.dense_at(i, k, k) &&
+            plan.dense_at(j, k, k)) {
+          plan.dense_from[plan.tri(i, j)] = k;
+          plan.rank[plan.tri(i, j)] =
+              std::min(ranks.tile_rows(i), ranks.tile_rows(j));
+        }
+      }
+  return plan;
+}
+
+}  // namespace
+
+rt::TaskGraph build_cholesky_graph_ptg(const RankMap& ranks,
+                                       const GraphOptions& opt,
+                                       GraphStats* stats) {
+  PTLR_CHECK(!opt.recursive_all && !opt.recursive_potrf,
+             "the PTG description covers the non-recursive kernel set");
+  const int nt = ranks.nt();
+  const int b = ranks.tile_size();
+  auto plan = std::make_shared<FormatPlan>(make_plan(ranks));
+  auto stats_acc = std::make_shared<GraphStats>();
+
+  auto tile_key = [](int i, int j) {
+    return make_key(0, static_cast<std::uint32_t>(i),
+                    static_cast<std::uint32_t>(j));
+  };
+  auto owner = [&opt](int i, int j) {
+    return opt.dist != nullptr ? opt.dist->owner(i, j) : 0;
+  };
+  auto rows_of = [&ranks](int i) { return ranks.tile_rows(i); };
+  auto dur = [&opt](Kernel kernel, int bb, int kk) {
+    return opt.cost != nullptr ? opt.cost->duration(kernel, bb, kk) : 0.0;
+  };
+  auto bytes = [plan, rows_of, b](int i, int j, int step) -> std::size_t {
+    if (plan->dense_at(i, j, step))
+      return static_cast<std::size_t>(rows_of(i)) * rows_of(j) * 8;
+    return 2 * static_cast<std::size_t>(b) *
+           static_cast<std::size_t>(std::max(plan->rank_of(i, j), 1)) * 8;
+  };
+  auto charge = [stats_acc](Kernel kernel, int bb, int kk) {
+    const double f = flops::model(kernel, bb, kk);
+    stats_acc->model_flops += f;
+    if (CostModel::is_dense_kernel(kernel))
+      stats_acc->model_flops_dense += f;
+    stats_acc->tasks++;
+  };
+  auto prio = [nt](int panel, double boost) {
+    return (nt - panel) * 16.0 + boost;
+  };
+
+  rt::ptg::Program program(nt);
+
+  // POTRF(k): RW A(k,k).
+  program.task_class("POTRF")
+      .instances([](int k) { return std::vector<Params>{{k, k, k}}; })
+      .writes([tile_key](const Params& p) {
+        return std::vector<DataKey>{tile_key(p.k, p.k)};
+      })
+      .build([=](const Params& p) {
+        TaskInfo t;
+        t.name = "potrf(" + std::to_string(p.k) + ")";
+        t.kind = static_cast<int>(Kernel::kPotrf1);
+        t.panel = p.k;
+        t.priority = prio(p.k, 12.0);
+        t.owner = owner(p.k, p.k);
+        t.duration = dur(Kernel::kPotrf1, rows_of(p.k), 0);
+        t.output_bytes = bytes(p.k, p.k, p.k);
+        charge(Kernel::kPotrf1, rows_of(p.k), 0);
+        stats_acc->tasks_band++;
+        return t;
+      });
+
+  // TRSM(k, i): READ A(k,k), RW A(i,k).
+  program.task_class("TRSM")
+      .instances([nt](int k) {
+        std::vector<Params> out;
+        for (int i = k + 1; i < nt; ++i) out.push_back({k, i, k});
+        return out;
+      })
+      .reads([tile_key](const Params& p) {
+        return std::vector<DataKey>{tile_key(p.k, p.k)};
+      })
+      .writes([tile_key](const Params& p) {
+        return std::vector<DataKey>{tile_key(p.i, p.k)};
+      })
+      .build([=](const Params& p) {
+        const bool dense_tile = plan->dense_at(p.i, p.k, p.k);
+        const Kernel kernel = dense_tile ? Kernel::kTrsm1 : Kernel::kTrsm4;
+        const int kk = dense_tile ? 0 : plan->rank_of(p.i, p.k);
+        TaskInfo t;
+        t.name = "trsm(" + std::to_string(p.i) + "," +
+                 std::to_string(p.k) + ")";
+        t.kind = static_cast<int>(kernel);
+        t.panel = p.k;
+        t.priority = prio(p.k, 8.0);
+        t.owner = owner(p.i, p.k);
+        t.duration = dur(kernel, rows_of(p.i), kk);
+        t.output_bytes = bytes(p.i, p.k, p.k);
+        charge(kernel, rows_of(p.i), kk);
+        if (dense_tile) stats_acc->tasks_band++;
+        return t;
+      });
+
+  // SYRK(k, i): READ A(i,k), RW A(i,i).
+  program.task_class("SYRK")
+      .instances([nt](int k) {
+        std::vector<Params> out;
+        for (int i = k + 1; i < nt; ++i) out.push_back({k, i, i});
+        return out;
+      })
+      .reads([tile_key](const Params& p) {
+        return std::vector<DataKey>{tile_key(p.i, p.k)};
+      })
+      .writes([tile_key](const Params& p) {
+        return std::vector<DataKey>{tile_key(p.i, p.i)};
+      })
+      .build([=](const Params& p) {
+        const bool dense_a = plan->dense_at(p.i, p.k, p.k);
+        const Kernel kernel = dense_a ? Kernel::kSyrk1 : Kernel::kSyrk3;
+        const int kk = dense_a ? 0 : plan->rank_of(p.i, p.k);
+        TaskInfo t;
+        t.name = "syrk(" + std::to_string(p.i) + "," +
+                 std::to_string(p.k) + ")";
+        t.kind = static_cast<int>(kernel);
+        t.panel = p.k;
+        t.priority = prio(p.k, 6.0);
+        t.owner = owner(p.i, p.i);
+        t.duration = dur(kernel, rows_of(p.i), kk);
+        t.output_bytes = bytes(p.i, p.i, p.k);
+        charge(kernel, rows_of(p.i), kk);
+        stats_acc->tasks_band++;
+        return t;
+      });
+
+  // GEMM(k, i, j): READ A(i,k), A(j,k); RW A(i,j).
+  program.task_class("GEMM")
+      .instances([nt](int k) {
+        std::vector<Params> out;
+        for (int i = k + 1; i < nt; ++i)
+          for (int j = k + 1; j < i; ++j) out.push_back({k, i, j});
+        return out;
+      })
+      .reads([tile_key](const Params& p) {
+        return std::vector<DataKey>{tile_key(p.i, p.k),
+                                    tile_key(p.j, p.k)};
+      })
+      .writes([tile_key](const Params& p) {
+        return std::vector<DataKey>{tile_key(p.i, p.j)};
+      })
+      .build([=](const Params& p) {
+        const bool ad = plan->dense_at(p.i, p.k, p.k);
+        const bool bd = plan->dense_at(p.j, p.k, p.k);
+        const bool cd = plan->dense_at(p.i, p.j, p.k);
+        int kk = 0;
+        if (!ad) kk = std::max(kk, plan->rank_of(p.i, p.k));
+        if (!bd) kk = std::max(kk, plan->rank_of(p.j, p.k));
+        if (!cd) kk = std::max(kk, plan->rank_of(p.i, p.j));
+        Kernel kernel;
+        if (cd) {
+          kernel = ad && bd ? Kernel::kGemm1
+                            : (ad || bd ? Kernel::kGemm2 : Kernel::kGemm3);
+        } else {
+          kernel = (ad || bd) ? Kernel::kGemm5 : Kernel::kGemm6;
+        }
+        TaskInfo t;
+        t.name = "gemm(" + std::to_string(p.i) + "," +
+                 std::to_string(p.j) + "," + std::to_string(p.k) + ")";
+        t.kind = static_cast<int>(kernel);
+        t.panel = p.k;
+        t.priority = prio(p.k, cd ? 4.0 : 0.0);
+        t.owner = owner(p.i, p.j);
+        t.duration = dur(kernel, b, std::max(kk, 1));
+        t.output_bytes = bytes(p.i, p.j, p.k);
+        charge(kernel, b, kk);
+        if (cd) stats_acc->tasks_band++;
+        return t;
+      });
+
+  rt::TaskGraph g = program.unfold();
+  if (stats != nullptr) *stats = *stats_acc;
+  return g;
+}
+
+}  // namespace ptlr::core

@@ -1,0 +1,187 @@
+#include "core/dist_cholesky.hpp"
+
+#include <exception>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "hcore/kernels.hpp"
+#include "tlr/io.hpp"
+
+namespace ptlr::core {
+
+namespace {
+
+using rt::dist::make_tag;
+
+// One rank's view of the factorization: its owned tiles, the communicator
+// and the problem geometry.
+class RankProgram {
+ public:
+  RankProgram(int rank, int nt, const rt::Distribution& dist,
+              rt::dist::Communicator& comm,
+              std::map<std::pair<int, int>, tlr::Tile>& store,
+              const compress::Accuracy& acc)
+      : rank_(rank), nt_(nt), dist_(dist), comm_(comm), store_(store),
+        acc_(acc) {}
+
+  void run() {
+    for (int k = 0; k < nt_; ++k) {
+      factor_panel(k);
+      update_trailing(k);
+    }
+  }
+
+ private:
+  [[nodiscard]] bool mine(int i, int j) const {
+    return dist_.owner(i, j) == rank_;
+  }
+  tlr::Tile& local(int i, int j) { return store_.at({i, j}); }
+
+  void broadcast(const tlr::Tile& t, std::uint64_t tag,
+                 const std::set<int>& dests) {
+    // One message per destination rank — the PTG collective semantics.
+    const std::vector<char> bytes = tlr::tile_to_bytes(t);
+    for (const int d : dests) {
+      if (d != rank_) comm_.send(rank_, d, tag, bytes);
+    }
+  }
+
+  void factor_panel(int k) {
+    const std::uint64_t diag_tag = make_tag(0, static_cast<std::uint32_t>(k),
+                                            k, k);
+    // POTRF on the diagonal owner, then broadcast down the panel.
+    if (mine(k, k)) {
+      hcore::potrf(local(k, k));
+      std::set<int> dests;
+      for (int i = k + 1; i < nt_; ++i) dests.insert(dist_.owner(i, k));
+      broadcast(local(k, k), diag_tag, dests);
+    }
+
+    // Ranks holding panel tiles need the factored diagonal.
+    bool need_diag = false;
+    for (int i = k + 1; i < nt_ && !need_diag; ++i)
+      need_diag = mine(i, k);
+    if (!need_diag) return;
+
+    tlr::Tile diag_copy;
+    const tlr::Tile* diag = nullptr;
+    if (mine(k, k)) {
+      diag = &local(k, k);
+    } else {
+      diag_copy = tlr::tile_from_bytes(comm_.recv(rank_, diag_tag));
+      diag = &diag_copy;
+    }
+
+    // TRSMs on owned panel tiles, then broadcast each result to every
+    // rank whose trailing updates read it.
+    for (int i = k + 1; i < nt_; ++i) {
+      if (!mine(i, k)) continue;
+      hcore::trsm(*diag, local(i, k));
+      std::set<int> dests;
+      dests.insert(dist_.owner(i, i));                    // SYRK
+      for (int j = k + 1; j < i; ++j)
+        dests.insert(dist_.owner(i, j));                  // GEMM row operand
+      for (int m = i + 1; m < nt_; ++m)
+        dests.insert(dist_.owner(m, i));                  // GEMM col operand
+      broadcast(local(i, k),
+                make_tag(1, static_cast<std::uint32_t>(k),
+                         static_cast<std::uint32_t>(i), k),
+                dests);
+    }
+  }
+
+  void update_trailing(int k) {
+    // Received panel tiles are cached for the whole step.
+    std::map<int, tlr::Tile> cache;
+    auto panel = [&](int i) -> const tlr::Tile& {
+      if (mine(i, k)) return local(i, k);
+      auto it = cache.find(i);
+      if (it == cache.end()) {
+        it = cache
+                 .emplace(i, tlr::tile_from_bytes(comm_.recv(
+                                 rank_,
+                                 make_tag(1, static_cast<std::uint32_t>(k),
+                                          static_cast<std::uint32_t>(i),
+                                          k))))
+                 .first;
+      }
+      return it->second;
+    };
+
+    for (int n = k + 1; n < nt_; ++n) {
+      for (int m = n; m < nt_; ++m) {
+        if (!mine(m, n)) continue;
+        if (m == n) {
+          hcore::syrk(panel(m), local(m, m));
+        } else {
+          hcore::gemm(panel(m), panel(n), local(m, n), acc_);
+        }
+      }
+    }
+  }
+
+  int rank_;
+  int nt_;
+  const rt::Distribution& dist_;
+  rt::dist::Communicator& comm_;
+  std::map<std::pair<int, int>, tlr::Tile>& store_;
+  compress::Accuracy acc_;
+};
+
+}  // namespace
+
+DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
+                                         const rt::Distribution& dist,
+                                         const compress::Accuracy& acc) {
+  const int nt = a.nt();
+  const int nranks = dist.nproc();
+
+  // Scatter: move the tiles into per-rank stores.
+  std::vector<std::map<std::pair<int, int>, tlr::Tile>> stores(
+      static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nt; ++i)
+    for (int j = 0; j <= i; ++j) {
+      stores[static_cast<std::size_t>(dist.owner(i, j))][{i, j}] =
+          std::move(a.at(i, j));
+    }
+
+  rt::dist::Communicator comm(nranks);
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(nranks));
+  WallTimer timer;
+  {
+    std::vector<std::thread> ranks;
+    ranks.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      ranks.emplace_back([&, r] {
+        try {
+          RankProgram prog(r, nt, dist, comm,
+                           stores[static_cast<std::size_t>(r)], acc);
+          prog.run();
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          comm.abort();  // wake peers blocked on recv
+        }
+      });
+    }
+    for (auto& th : ranks) th.join();
+  }
+  DistCholeskyResult result;
+  result.seconds = timer.seconds();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Gather the factored tiles back.
+  for (int i = 0; i < nt; ++i)
+    for (int j = 0; j <= i; ++j) {
+      a.at(i, j) = std::move(
+          stores[static_cast<std::size_t>(dist.owner(i, j))].at({i, j}));
+    }
+  result.comm = comm.stats();
+  return result;
+}
+
+}  // namespace ptlr::core

@@ -1,0 +1,38 @@
+// Distributed-memory BAND-DENSE-TLR Cholesky over the in-process
+// communicator: N ranks with private tile storage run the right-looking
+// factorization owner-computes, exchanging factored tiles as serialized
+// messages (the REMOTE dataflow of Section VII-A made concrete):
+//
+//   POTRF(k)   on owner(k,k), then L(k,k)  → ranks owning panel k tiles;
+//   TRSM(i,k)  on owner(i,k), then A(i,k)  → ranks owning the trailing
+//              tiles it updates (one message per destination rank, the
+//              PTG collective semantics);
+//   SYRK/GEMM  on the owner of the updated tile, reading received copies.
+//
+// Numerically identical to the shared-memory factorization (same kernel
+// sequence per tile), which the tests assert tile-by-tile. This layer is
+// the execution-fidelity counterpart of the timing-fidelity simulator.
+#pragma once
+
+#include "compress/compress.hpp"
+#include "runtime/distribution.hpp"
+#include "runtime/mailbox.hpp"
+#include "tlr/tlr_matrix.hpp"
+
+namespace ptlr::core {
+
+/// Outcome of a distributed factorization.
+struct DistCholeskyResult {
+  double seconds = 0.0;
+  rt::dist::Communicator::Stats comm;  ///< real messages/bytes exchanged
+};
+
+/// Factorize `a` in place with `nranks` ranks (one thread each) owning
+/// tiles per `dist`. The matrix is scattered to per-rank stores before and
+/// gathered back after. Kernels are the non-recursive hcore set; `acc`
+/// controls low-rank recompression as in the shared-memory path.
+DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
+                                         const rt::Distribution& dist,
+                                         const compress::Accuracy& acc);
+
+}  // namespace ptlr::core

@@ -1,0 +1,36 @@
+#include "core/kriging.hpp"
+
+namespace ptlr::core {
+
+std::vector<double> kriging_mean(const tlr::TlrMatrix& chol,
+                                 const tlr::TlrGeneralMatrix& cross,
+                                 const std::vector<double>& z) {
+  PTLR_CHECK(cross.n() == chol.n(),
+             "cross-covariance column count must match the observations");
+  // E[Z*] = Σ* (Σ⁻¹ z).
+  return cross.apply(solve(chol, z));
+}
+
+std::vector<double> kriging_variance(const tlr::TlrMatrix& chol,
+                                     const tlr::TlrGeneralMatrix& cross,
+                                     double prior_variance,
+                                     const std::vector<int>& targets) {
+  PTLR_CHECK(cross.n() == chol.n(),
+             "cross-covariance column count must match the observations");
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (const int t : targets) {
+    PTLR_CHECK(t >= 0 && t < cross.m(), "target index out of range");
+    // σ*_t = row t of Σ*, extracted as Σ*ᵀ e_t.
+    std::vector<double> e(static_cast<std::size_t>(cross.m()), 0.0);
+    e[static_cast<std::size_t>(t)] = 1.0;
+    const auto sigma_star = cross.apply_transpose(e);
+    const auto w = solve(chol, sigma_star);
+    double quad = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) quad += sigma_star[i] * w[i];
+    out.push_back(prior_variance - quad);
+  }
+  return out;
+}
+
+}  // namespace ptlr::core

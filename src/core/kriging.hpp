@@ -1,0 +1,28 @@
+// Geostatistical prediction (kriging) through the TLR pipeline — the
+// downstream consumer of the paper's MLE: once θ̂ is estimated, climate /
+// weather values at unobserved locations are predicted as
+//   E[Z*] = Σ* Σ⁻¹ Z,     Var[Z*ᵢ] = C(0) − σ*ᵢᵀ Σ⁻¹ σ*ᵢ,
+// with Σ factored by the BAND-DENSE-TLR Cholesky and Σ* (targets ×
+// observations) compressed as a rectangular TLR matrix.
+#pragma once
+
+#include "core/solve.hpp"
+#include "tlr/general_matrix.hpp"
+
+namespace ptlr::core {
+
+/// Kriging mean at every target location of `cross` (rows = targets),
+/// given the factored observation covariance `chol` and measurements `z`.
+std::vector<double> kriging_mean(const tlr::TlrMatrix& chol,
+                                 const tlr::TlrGeneralMatrix& cross,
+                                 const std::vector<double>& z);
+
+/// Prediction variance at selected target indices (each costs one solve
+/// against Σ, so pick the targets you care about).
+/// `prior_variance` is C(0) of the kernel (θ₁ for Matérn).
+std::vector<double> kriging_variance(const tlr::TlrMatrix& chol,
+                                     const tlr::TlrGeneralMatrix& cross,
+                                     double prior_variance,
+                                     const std::vector<int>& targets);
+
+}  // namespace ptlr::core

@@ -1,0 +1,127 @@
+#include "core/matvec.hpp"
+
+#include <cmath>
+
+#include "dense/blas.hpp"
+
+namespace ptlr::core {
+
+namespace {
+
+using dense::Trans;
+
+// y += tril(D) x + strict_tril(D)^T x for a dense diagonal tile whose
+// upper triangle may be stale (e.g. after SYRK updates touched only the
+// lower half).
+void symv_lower(const dense::Matrix& d, const double* x, double* y) {
+  const int n = d.rows();
+  for (int j = 0; j < n; ++j) {
+    const double* col = d.data() + static_cast<std::size_t>(j) * n;
+    y[j] += col[j] * x[j];
+    for (int i = j + 1; i < n; ++i) {
+      y[i] += col[i] * x[j];
+      y[j] += col[i] * x[i];
+    }
+  }
+}
+
+// y += T x (no transpose) for an off-diagonal tile.
+void apply(const tlr::Tile& t, const double* x, double* y) {
+  if (t.is_dense()) {
+    dense::gemv(Trans::N, 1.0, t.dense_data().view(), x, 1.0, y);
+    return;
+  }
+  const auto& f = t.lr();
+  if (f.rank() == 0) return;
+  std::vector<double> w(static_cast<std::size_t>(f.rank()));
+  dense::gemv(Trans::T, 1.0, f.v.view(), x, 0.0, w.data());
+  dense::gemv(Trans::N, 1.0, f.u.view(), w.data(), 1.0, y);
+}
+
+// y += T^T x.
+void apply_transpose(const tlr::Tile& t, const double* x, double* y) {
+  if (t.is_dense()) {
+    dense::gemv(Trans::T, 1.0, t.dense_data().view(), x, 1.0, y);
+    return;
+  }
+  const auto& f = t.lr();
+  if (f.rank() == 0) return;
+  std::vector<double> w(static_cast<std::size_t>(f.rank()));
+  dense::gemv(Trans::T, 1.0, f.u.view(), x, 0.0, w.data());
+  dense::gemv(Trans::N, 1.0, f.v.view(), w.data(), 1.0, y);
+}
+
+}  // namespace
+
+std::vector<double> matvec(const tlr::TlrMatrix& a,
+                           const std::vector<double>& x) {
+  PTLR_CHECK(static_cast<int>(x.size()) == a.n(), "matvec size mismatch");
+  std::vector<double> y(x.size(), 0.0);
+  for (int i = 0; i < a.nt(); ++i) {
+    symv_lower(a.at(i, i).dense_data(), x.data() + a.row_offset(i),
+               y.data() + a.row_offset(i));
+    for (int j = 0; j < i; ++j) {
+      const tlr::Tile& t = a.at(i, j);
+      apply(t, x.data() + a.row_offset(j), y.data() + a.row_offset(i));
+      apply_transpose(t, x.data() + a.row_offset(i),
+                      y.data() + a.row_offset(j));
+    }
+  }
+  return y;
+}
+
+CgResult cg_solve(const tlr::TlrMatrix& a, const std::vector<double>& b,
+                  double rel_tol, int max_iters,
+                  bool jacobi_preconditioner) {
+  const int n = a.n();
+  PTLR_CHECK(static_cast<int>(b.size()) == n, "cg size mismatch");
+  CgResult out;
+  out.x.assign(b.size(), 0.0);
+
+  // Jacobi preconditioner: the diagonal of Σ.
+  std::vector<double> inv_diag(b.size(), 1.0);
+  if (jacobi_preconditioner) {
+    for (int i = 0; i < a.nt(); ++i) {
+      const auto& d = a.at(i, i).dense_data();
+      for (int r = 0; r < d.rows(); ++r) {
+        const double v = d(r, r);
+        inv_diag[static_cast<std::size_t>(a.row_offset(i) + r)] =
+            v != 0.0 ? 1.0 / v : 1.0;
+      }
+    }
+  }
+
+  std::vector<double> r = b;         // residual (x0 = 0)
+  std::vector<double> z(b.size());   // preconditioned residual
+  for (std::size_t i = 0; i < z.size(); ++i) z[i] = r[i] * inv_diag[i];
+  std::vector<double> p = z;
+  double rz = dense::dot(n, r.data(), z.data());
+  const double bnorm = dense::nrm2(n, b.data());
+  if (bnorm == 0.0) {
+    out.converged = true;
+    return out;
+  }
+
+  for (out.iterations = 0; out.iterations < max_iters; ++out.iterations) {
+    const std::vector<double> ap = matvec(a, p);
+    const double pap = dense::dot(n, p.data(), ap.data());
+    PTLR_CHECK(pap > 0.0, "cg: operator is not positive definite");
+    const double alpha = rz / pap;
+    dense::axpy(n, alpha, p.data(), out.x.data());
+    dense::axpy(n, -alpha, ap.data(), r.data());
+    out.relative_residual = dense::nrm2(n, r.data()) / bnorm;
+    if (out.relative_residual <= rel_tol) {
+      out.converged = true;
+      ++out.iterations;
+      break;
+    }
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] = r[i] * inv_diag[i];
+    const double rz_new = dense::dot(n, r.data(), z.data());
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = z[i] + beta * p[i];
+  }
+  return out;
+}
+
+}  // namespace ptlr::core

@@ -1,0 +1,36 @@
+// Symmetric TLR matrix-vector products and a conjugate-gradient solver.
+//
+// The MLE pipeline uses the direct (Cholesky) solve, but a library user
+// often wants the operator itself: y = Σx applied tile-by-tile (low-rank
+// tiles as U·(Vᵀx) and their transposes), and an iterative solve to check
+// the direct one against. CG on the compressed operator is also the
+// standard accuracy probe for TLR approximations.
+#pragma once
+
+#include <vector>
+
+#include "tlr/tlr_matrix.hpp"
+
+namespace ptlr::core {
+
+/// y = A·x for the *unfactored* symmetric TLR matrix (lower storage).
+/// Diagonal tiles are applied through their lower triangle, so the result
+/// is exactly symmetric even if upper halves are stale.
+std::vector<double> matvec(const tlr::TlrMatrix& a,
+                           const std::vector<double>& x);
+
+/// Result of an iterative solve.
+struct CgResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Conjugate gradients on the TLR operator with optional Jacobi
+/// (diagonal) preconditioning. Stops at ‖r‖/‖b‖ <= rel_tol.
+CgResult cg_solve(const tlr::TlrMatrix& a, const std::vector<double>& b,
+                  double rel_tol = 1e-8, int max_iters = 500,
+                  bool jacobi_preconditioner = true);
+
+}  // namespace ptlr::core

@@ -1,0 +1,74 @@
+#include "core/memory_model.hpp"
+
+#include <algorithm>
+
+#include "runtime/simulator.hpp"
+
+namespace ptlr::core {
+
+FootprintReport per_process_footprint(const RankMap& ranks,
+                                      const rt::Distribution& dist,
+                                      AllocPolicy policy,
+                                      int static_maxrank) {
+  const int nt = ranks.nt();
+  const int b = ranks.tile_size();
+  if (static_maxrank <= 0) static_maxrank = b / 2;
+  std::vector<double> bytes(static_cast<std::size_t>(dist.nproc()), 0.0);
+
+  for (int i = 0; i < nt; ++i)
+    for (int j = 0; j <= i; ++j) {
+      double elems;
+      if (ranks.is_dense(i, j)) {
+        elems = static_cast<double>(ranks.tile_rows(i)) * ranks.tile_rows(j);
+      } else if (policy == AllocPolicy::kStaticMaxrank) {
+        elems = 2.0 * b * static_maxrank;
+      } else {
+        elems = 2.0 * b * std::max(ranks.rank(i, j), 1);
+      }
+      bytes[static_cast<std::size_t>(dist.owner(i, j))] += elems * 8.0;
+    }
+
+  FootprintReport out;
+  out.min_bytes = bytes.empty() ? 0.0 : bytes[0];
+  for (std::size_t p = 0; p < bytes.size(); ++p) {
+    out.total_bytes += bytes[p];
+    if (bytes[p] > out.max_bytes) {
+      out.max_bytes = bytes[p];
+      out.argmax_proc = static_cast<int>(p);
+    }
+    out.min_bytes = std::min(out.min_bytes, bytes[p]);
+  }
+  return out;
+}
+
+int max_nt_within_capacity(const RankDecayModel& decay, int tile_size,
+                           int band_size, int nodes, double capacity_bytes,
+                           AllocPolicy policy, int static_maxrank,
+                           int nt_limit) {
+  const auto [p, q] = rt::square_grid(nodes);
+  auto fits = [&](int nt) {
+    if (nt < 1) return true;
+    auto map = RankMap::synthetic(nt, tile_size, decay, band_size);
+    rt::BandDistribution dist(p, q, band_size);
+    const auto rep =
+        per_process_footprint(map, dist, policy, static_maxrank);
+    return rep.max_bytes <= capacity_bytes;
+  };
+  // Exponential bracket, then binary search.
+  int lo = 1, hi = 1;
+  while (hi < nt_limit && fits(hi)) {
+    lo = hi;
+    hi = std::min(nt_limit, hi * 2);
+  }
+  if (hi == nt_limit && fits(nt_limit)) return nt_limit;
+  while (lo + 1 < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (fits(mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return fits(1) ? lo : 0;
+}
+
+}  // namespace ptlr::core

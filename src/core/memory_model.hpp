@@ -1,0 +1,47 @@
+// Per-process memory footprint accounting on the virtual cluster.
+//
+// Section VIII-E: PaRSEC-HiCMA-Prev could not factorize beyond N = 3.24M
+// on 512 nodes because its static maxrank descriptor exhausts the 128 GB
+// per node, while the exact-rank allocation of -New leaves a wide margin
+// (9–12 GB at N = 8.64M, Section VIII-F). This model computes the bytes
+// each virtual process must hold for a given rank map and distribution,
+// under either allocation policy, so capacity limits can be reproduced.
+#pragma once
+
+#include "core/rank_map.hpp"
+#include "runtime/distribution.hpp"
+
+namespace ptlr::core {
+
+/// Allocation policy for off-band tiles.
+enum class AllocPolicy {
+  kStaticMaxrank,  ///< Prev: 2·b·maxrank elements per compressed tile
+  kExactRank,      ///< New: 2·b·k elements per compressed tile
+};
+
+/// Footprint summary over the virtual processes.
+struct FootprintReport {
+  double max_bytes = 0.0;   ///< most loaded process
+  double min_bytes = 0.0;
+  double total_bytes = 0.0;
+  int argmax_proc = 0;
+};
+
+/// Bytes each process owns for the tiles `dist` assigns to it.
+/// `static_maxrank` is the descriptor constant for kStaticMaxrank
+/// (0 → tile_size/2, the paper's default cap).
+FootprintReport per_process_footprint(const RankMap& ranks,
+                                      const rt::Distribution& dist,
+                                      AllocPolicy policy,
+                                      int static_maxrank = 0);
+
+/// Largest NT that fits `capacity_bytes` per process on `nodes` processes
+/// under the given policy, extrapolating the rank profile with `decay`
+/// (binary search over synthetic maps; the Fig. 8 / Section VIII-E
+/// capacity question).
+int max_nt_within_capacity(const RankDecayModel& decay, int tile_size,
+                           int band_size, int nodes, double capacity_bytes,
+                           AllocPolicy policy, int static_maxrank = 0,
+                           int nt_limit = 4096);
+
+}  // namespace ptlr::core

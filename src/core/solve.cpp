@@ -1,0 +1,163 @@
+#include "core/solve.hpp"
+
+#include <cmath>
+
+#include "dense/blas.hpp"
+
+namespace ptlr::core {
+
+namespace {
+
+using dense::ConstMatrixView;
+using dense::MatrixView;
+using dense::Trans;
+
+// y_seg -= A(i,j) * x_seg for a tile in either format.
+void apply_tile(const tlr::Tile& t, const double* x, double* y) {
+  if (t.is_dense()) {
+    dense::gemv(Trans::N, -1.0, t.dense_data().view(), x, 1.0, y);
+    return;
+  }
+  const auto& f = t.lr();
+  if (f.rank() == 0) return;
+  std::vector<double> w(static_cast<std::size_t>(f.rank()));
+  dense::gemv(Trans::T, 1.0, f.v.view(), x, 0.0, w.data());
+  dense::gemv(Trans::N, -1.0, f.u.view(), w.data(), 1.0, y);
+}
+
+// y_seg -= A(i,j)^T * x_seg.
+void apply_tile_transpose(const tlr::Tile& t, const double* x, double* y) {
+  if (t.is_dense()) {
+    dense::gemv(Trans::T, -1.0, t.dense_data().view(), x, 1.0, y);
+    return;
+  }
+  const auto& f = t.lr();
+  if (f.rank() == 0) return;
+  std::vector<double> w(static_cast<std::size_t>(f.rank()));
+  dense::gemv(Trans::T, 1.0, f.u.view(), x, 0.0, w.data());
+  dense::gemv(Trans::N, -1.0, f.v.view(), w.data(), 1.0, y);
+}
+
+}  // namespace
+
+std::vector<double> solve_lower(const tlr::TlrMatrix& l,
+                                std::vector<double> z) {
+  PTLR_CHECK(static_cast<int>(z.size()) == l.n(), "rhs dimension mismatch");
+  for (int i = 0; i < l.nt(); ++i) {
+    double* yi = z.data() + l.row_offset(i);
+    for (int j = 0; j < i; ++j) {
+      apply_tile(l.at(i, j), z.data() + l.row_offset(j), yi);
+    }
+    const auto& diag = l.at(i, i).dense_data();
+    MatrixView rhs(yi, l.tile_rows(i), 1, l.tile_rows(i));
+    dense::trsm(dense::Side::Left, dense::Uplo::Lower, Trans::N,
+                dense::Diag::NonUnit, 1.0, diag.view(), rhs);
+  }
+  return z;
+}
+
+std::vector<double> solve_lower_transpose(const tlr::TlrMatrix& l,
+                                          std::vector<double> y) {
+  PTLR_CHECK(static_cast<int>(y.size()) == l.n(), "rhs dimension mismatch");
+  for (int i = l.nt() - 1; i >= 0; --i) {
+    double* xi = y.data() + l.row_offset(i);
+    for (int j = i + 1; j < l.nt(); ++j) {
+      // Contribution of L(j,i)^T from below the diagonal.
+      apply_tile_transpose(l.at(j, i), y.data() + l.row_offset(j), xi);
+    }
+    const auto& diag = l.at(i, i).dense_data();
+    MatrixView rhs(xi, l.tile_rows(i), 1, l.tile_rows(i));
+    dense::trsm(dense::Side::Left, dense::Uplo::Lower, Trans::T,
+                dense::Diag::NonUnit, 1.0, diag.view(), rhs);
+  }
+  return y;
+}
+
+std::vector<double> solve(const tlr::TlrMatrix& l, std::vector<double> z) {
+  return solve_lower_transpose(l, solve_lower(l, std::move(z)));
+}
+
+namespace {
+
+// Z_i -= A(i,j) * Z_j (block-row segments of the multi-RHS matrix).
+void apply_tile_block(const tlr::Tile& t, dense::ConstMatrixView zj,
+                      dense::MatrixView zi) {
+  if (t.is_dense()) {
+    dense::gemm(Trans::N, Trans::N, -1.0, t.dense_data().view(), zj, 1.0,
+                zi);
+    return;
+  }
+  const auto& f = t.lr();
+  if (f.rank() == 0) return;
+  dense::Matrix w(f.rank(), zj.cols());
+  dense::gemm(Trans::T, Trans::N, 1.0, f.v.view(), zj, 0.0, w.view());
+  dense::gemm(Trans::N, Trans::N, -1.0, f.u.view(), w.view(), 1.0, zi);
+}
+
+// Z_i -= A(j,i)^T * Z_j.
+void apply_tile_block_transpose(const tlr::Tile& t,
+                                dense::ConstMatrixView zj,
+                                dense::MatrixView zi) {
+  if (t.is_dense()) {
+    dense::gemm(Trans::T, Trans::N, -1.0, t.dense_data().view(), zj, 1.0,
+                zi);
+    return;
+  }
+  const auto& f = t.lr();
+  if (f.rank() == 0) return;
+  dense::Matrix w(f.rank(), zj.cols());
+  dense::gemm(Trans::T, Trans::N, 1.0, f.u.view(), zj, 0.0, w.view());
+  dense::gemm(Trans::N, Trans::N, -1.0, f.v.view(), w.view(), 1.0, zi);
+}
+
+}  // namespace
+
+void solve_lower_inplace(const tlr::TlrMatrix& l, dense::MatrixView z) {
+  PTLR_CHECK(z.rows() == l.n(), "rhs dimension mismatch");
+  for (int i = 0; i < l.nt(); ++i) {
+    auto zi = z.block(l.row_offset(i), 0, l.tile_rows(i), z.cols());
+    for (int j = 0; j < i; ++j) {
+      apply_tile_block(l.at(i, j),
+                       z.block(l.row_offset(j), 0, l.tile_rows(j), z.cols()),
+                       zi);
+    }
+    dense::trsm(dense::Side::Left, dense::Uplo::Lower, Trans::N,
+                dense::Diag::NonUnit, 1.0, l.at(i, i).dense_data().view(),
+                zi);
+  }
+}
+
+void solve_lower_transpose_inplace(const tlr::TlrMatrix& l,
+                                   dense::MatrixView z) {
+  PTLR_CHECK(z.rows() == l.n(), "rhs dimension mismatch");
+  for (int i = l.nt() - 1; i >= 0; --i) {
+    auto zi = z.block(l.row_offset(i), 0, l.tile_rows(i), z.cols());
+    for (int j = i + 1; j < l.nt(); ++j) {
+      apply_tile_block_transpose(
+          l.at(j, i),
+          z.block(l.row_offset(j), 0, l.tile_rows(j), z.cols()), zi);
+    }
+    dense::trsm(dense::Side::Left, dense::Uplo::Lower, Trans::T,
+                dense::Diag::NonUnit, 1.0, l.at(i, i).dense_data().view(),
+                zi);
+  }
+}
+
+void solve_inplace(const tlr::TlrMatrix& l, dense::MatrixView z) {
+  solve_lower_inplace(l, z);
+  solve_lower_transpose_inplace(l, z);
+}
+
+double log_det(const tlr::TlrMatrix& l) {
+  double s = 0.0;
+  for (int i = 0; i < l.nt(); ++i) {
+    const auto& diag = l.at(i, i).dense_data();
+    for (int r = 0; r < diag.rows(); ++r) {
+      PTLR_CHECK(diag(r, r) > 0.0, "factor has a non-positive pivot");
+      s += std::log(diag(r, r));
+    }
+  }
+  return 2.0 * s;
+}
+
+}  // namespace ptlr::core

@@ -1,0 +1,33 @@
+// Triangular solves and log-determinant on a factored TLR matrix — the
+// pieces the MLE objective (Eq. 1) needs besides the factorization itself.
+#pragma once
+
+#include <vector>
+
+#include "tlr/tlr_matrix.hpp"
+
+namespace ptlr::core {
+
+/// y = L⁻¹ z, where `l` holds the (BAND-DENSE-)TLR Cholesky factor in its
+/// lower triangle. Off-diagonal low-rank tiles apply as U·(Vᵀ·x).
+std::vector<double> solve_lower(const tlr::TlrMatrix& l,
+                                std::vector<double> z);
+
+/// x = L⁻ᵀ y (backward substitution).
+std::vector<double> solve_lower_transpose(const tlr::TlrMatrix& l,
+                                          std::vector<double> y);
+
+/// x = (L·Lᵀ)⁻¹ z — a full SPD solve through the factor.
+std::vector<double> solve(const tlr::TlrMatrix& l, std::vector<double> z);
+
+/// log det(Σ) = 2·Σᵢ log Lᵢᵢ from the factored diagonal tiles.
+double log_det(const tlr::TlrMatrix& l);
+
+/// Multi-right-hand-side variants: Z is n×nrhs, solved in place with
+/// Level-3 tile kernels (the solve path of a multi-realization MLE).
+void solve_lower_inplace(const tlr::TlrMatrix& l, dense::MatrixView z);
+void solve_lower_transpose_inplace(const tlr::TlrMatrix& l,
+                                   dense::MatrixView z);
+void solve_inplace(const tlr::TlrMatrix& l, dense::MatrixView z);
+
+}  // namespace ptlr::core

@@ -1,0 +1,269 @@
+#include "dense/blas.hpp"
+
+#include <cmath>
+
+#include "common/flops.hpp"
+
+namespace ptlr::dense {
+
+namespace {
+
+// Dimension of op(X) given the trans flag.
+int op_rows(Trans t, ConstMatrixView x) { return t == Trans::N ? x.rows() : x.cols(); }
+int op_cols(Trans t, ConstMatrixView x) { return t == Trans::N ? x.cols() : x.rows(); }
+
+void scale_matrix(MatrixView c, double beta) {
+  if (beta == 1.0) return;
+  for (int j = 0; j < c.cols(); ++j) {
+    double* cj = c.col(j);
+    if (beta == 0.0) {
+      for (int i = 0; i < c.rows(); ++i) cj[i] = 0.0;
+    } else {
+      for (int i = 0; i < c.rows(); ++i) cj[i] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+double dot(int n, const double* x, const double* y) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy(int n, double alpha, const double* x, double* y) {
+  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal(int n, double alpha, double* x) {
+  for (int i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double nrm2(int n, const double* x) {
+  // Scaled accumulation to avoid overflow/underflow for extreme inputs.
+  double scale = 0.0, ssq = 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = std::abs(x[i]);
+    if (v == 0.0) continue;
+    if (scale < v) {
+      ssq = 1.0 + ssq * (scale / v) * (scale / v);
+      scale = v;
+    } else {
+      ssq += (v / scale) * (v / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const int m = c.rows(), n = c.cols(), k = op_cols(ta, a);
+  PTLR_CHECK(op_rows(ta, a) == m && op_rows(tb, b) == k &&
+                 op_cols(tb, b) == n,
+             "gemm dimension mismatch");
+  scale_matrix(c, beta);
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+  flops::Counter::add(flops::gemm(m, n, k));
+
+  if (ta == Trans::N && tb == Trans::N) {
+    // Gaxpy form: C(:,j) += alpha * A(:,p) * B(p,j); unit-stride inner loop.
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      const double* bj = b.col(j);
+      for (int p = 0; p < k; ++p) {
+        const double w = alpha * bj[p];
+        if (w == 0.0) continue;
+        const double* ap = a.col(p);
+        for (int i = 0; i < m; ++i) cj[i] += w * ap[i];
+      }
+    }
+  } else if (ta == Trans::N && tb == Trans::T) {
+    // C(:,j) += alpha * A(:,p) * B(j,p).
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      for (int p = 0; p < k; ++p) {
+        const double w = alpha * b(j, p);
+        if (w == 0.0) continue;
+        const double* ap = a.col(p);
+        for (int i = 0; i < m; ++i) cj[i] += w * ap[i];
+      }
+    }
+  } else if (ta == Trans::T && tb == Trans::N) {
+    // C(i,j) += alpha * dot(A(:,i), B(:,j)); both unit stride.
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      const double* bj = b.col(j);
+      for (int i = 0; i < m; ++i) {
+        cj[i] += alpha * dot(k, a.col(i), bj);
+      }
+    }
+  } else {  // T, T
+    // C(i,j) += alpha * sum_p A(p,i) * B(j,p).
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      for (int i = 0; i < m; ++i) {
+        const double* ai = a.col(i);
+        double s = 0.0;
+        for (int p = 0; p < k; ++p) s += ai[p] * b(j, p);
+        cj[i] += alpha * s;
+      }
+    }
+  }
+}
+
+void syrk(Uplo uplo, Trans ta, double alpha, ConstMatrixView a, double beta,
+          MatrixView c) {
+  const int n = c.rows(), k = op_cols(ta, a);
+  PTLR_CHECK(c.cols() == n && op_rows(ta, a) == n, "syrk dimension mismatch");
+  // Scale the referenced triangle only.
+  for (int j = 0; j < n; ++j) {
+    const int lo = uplo == Uplo::Lower ? j : 0;
+    const int hi = uplo == Uplo::Lower ? n : j + 1;
+    double* cj = c.col(j);
+    if (beta == 0.0) {
+      for (int i = lo; i < hi; ++i) cj[i] = 0.0;
+    } else if (beta != 1.0) {
+      for (int i = lo; i < hi; ++i) cj[i] *= beta;
+    }
+  }
+  if (alpha == 0.0 || n == 0 || k == 0) return;
+  flops::Counter::add(flops::syrk(n, k));
+
+  if (ta == Trans::N) {
+    // C(i,j) += alpha * sum_p A(i,p) * A(j,p), triangle-restricted gaxpy.
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      for (int p = 0; p < k; ++p) {
+        const double w = alpha * a(j, p);
+        if (w == 0.0) continue;
+        const double* ap = a.col(p);
+        if (uplo == Uplo::Lower) {
+          for (int i = j; i < n; ++i) cj[i] += w * ap[i];
+        } else {
+          for (int i = 0; i <= j; ++i) cj[i] += w * ap[i];
+        }
+      }
+    }
+  } else {
+    // C(i,j) += alpha * dot(A(:,i), A(:,j)).
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      const double* aj = a.col(j);
+      const int lo = uplo == Uplo::Lower ? j : 0;
+      const int hi = uplo == Uplo::Lower ? n : j + 1;
+      for (int i = lo; i < hi; ++i) cj[i] += alpha * dot(k, a.col(i), aj);
+    }
+  }
+}
+
+void trsm(Side side, Uplo uplo, Trans ta, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  const int m = b.rows(), n = b.cols();
+  const int na = side == Side::Left ? m : n;
+  PTLR_CHECK(a.rows() == na && a.cols() == na, "trsm dimension mismatch");
+  if (alpha != 1.0) scale_matrix(b, alpha);
+  if (m == 0 || n == 0) return;
+  const bool unit = diag == Diag::Unit;
+  flops::Counter::add(side == Side::Left ? flops::trsm(m, n)
+                                         : flops::trsm(n, m));
+
+  if (side == Side::Left) {
+    for (int j = 0; j < n; ++j) {
+      double* bj = b.col(j);
+      if (uplo == Uplo::Lower && ta == Trans::N) {
+        // Forward substitution, axpy form.
+        for (int p = 0; p < m; ++p) {
+          if (!unit) bj[p] /= a(p, p);
+          const double w = bj[p];
+          const double* ap = a.col(p);
+          for (int i = p + 1; i < m; ++i) bj[i] -= w * ap[i];
+        }
+      } else if (uplo == Uplo::Lower && ta == Trans::T) {
+        // Backward substitution, dot form (column of A is contiguous).
+        for (int p = m - 1; p >= 0; --p) {
+          double s = bj[p] - dot(m - p - 1, a.col(p) + p + 1, bj + p + 1);
+          bj[p] = unit ? s : s / a(p, p);
+        }
+      } else if (uplo == Uplo::Upper && ta == Trans::N) {
+        // Backward substitution, axpy form.
+        for (int p = m - 1; p >= 0; --p) {
+          if (!unit) bj[p] /= a(p, p);
+          const double w = bj[p];
+          const double* ap = a.col(p);
+          for (int i = 0; i < p; ++i) bj[i] -= w * ap[i];
+        }
+      } else {  // Upper, T: forward substitution, dot form.
+        for (int p = 0; p < m; ++p) {
+          double s = bj[p] - dot(p, a.col(p), bj);
+          bj[p] = unit ? s : s / a(p, p);
+        }
+      }
+    }
+  } else {  // Side::Right — X * op(A) = B, column-block recurrences.
+    if (uplo == Uplo::Lower && ta == Trans::T) {
+      // Forward over columns: X(:,j) = (B(:,j) - sum_{p<j} X(:,p)A(j,p))/A(j,j).
+      for (int j = 0; j < n; ++j) {
+        double* bj = b.col(j);
+        for (int p = 0; p < j; ++p) {
+          const double w = a(j, p);
+          if (w == 0.0) continue;
+          axpy(m, -w, b.col(p), bj);
+        }
+        if (!unit) scal(m, 1.0 / a(j, j), bj);
+      }
+    } else if (uplo == Uplo::Lower && ta == Trans::N) {
+      // Backward: X(:,j) = (B(:,j) - sum_{p>j} X(:,p)A(p,j))/A(j,j).
+      for (int j = n - 1; j >= 0; --j) {
+        double* bj = b.col(j);
+        for (int p = j + 1; p < n; ++p) {
+          const double w = a(p, j);
+          if (w == 0.0) continue;
+          axpy(m, -w, b.col(p), bj);
+        }
+        if (!unit) scal(m, 1.0 / a(j, j), bj);
+      }
+    } else if (uplo == Uplo::Upper && ta == Trans::N) {
+      // Forward: X(:,j) = (B(:,j) - sum_{p<j} X(:,p)A(p,j))/A(j,j).
+      for (int j = 0; j < n; ++j) {
+        double* bj = b.col(j);
+        for (int p = 0; p < j; ++p) {
+          const double w = a(p, j);
+          if (w == 0.0) continue;
+          axpy(m, -w, b.col(p), bj);
+        }
+        if (!unit) scal(m, 1.0 / a(j, j), bj);
+      }
+    } else {  // Upper, T — backward.
+      for (int j = n - 1; j >= 0; --j) {
+        double* bj = b.col(j);
+        for (int p = j + 1; p < n; ++p) {
+          const double w = a(j, p);
+          if (w == 0.0) continue;
+          axpy(m, -w, b.col(p), bj);
+        }
+        if (!unit) scal(m, 1.0 / a(j, j), bj);
+      }
+    }
+  }
+}
+
+void gemv(Trans ta, double alpha, ConstMatrixView a, const double* x,
+          double beta, double* y) {
+  const int m = a.rows(), n = a.cols();
+  const int ny = ta == Trans::N ? m : n;
+  if (beta == 0.0) {
+    for (int i = 0; i < ny; ++i) y[i] = 0.0;
+  } else if (beta != 1.0) {
+    scal(ny, beta, y);
+  }
+  if (alpha == 0.0) return;
+  flops::Counter::add(2.0 * m * n);
+  if (ta == Trans::N) {
+    for (int j = 0; j < n; ++j) axpy(m, alpha * x[j], a.col(j), y);
+  } else {
+    for (int j = 0; j < n; ++j) y[j] += alpha * dot(m, a.col(j), x);
+  }
+}
+
+}  // namespace ptlr::dense

@@ -1,0 +1,153 @@
+// Column-major dense matrix storage and non-owning views.
+//
+// This is the storage substrate under every tile in PTLR. Layout is
+// column-major with an explicit leading dimension, matching the
+// BLAS/LAPACK convention of the kernels the paper builds on (MKL on
+// Shaheen II); that makes sub-matrix views (used heavily by the recursive
+// kernels of Section VII-D) zero-copy.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ptlr::dense {
+
+/// Mutable non-owning view of a column-major matrix block.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, int rows, int cols, int ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    PTLR_ASSERT(rows >= 0 && cols >= 0 && ld >= rows, "bad view geometry");
+  }
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int ld() const noexcept { return ld_; }
+  [[nodiscard]] double* data() const noexcept { return data_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(int i, int j) const noexcept {
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  /// Zero-copy sub-block view of `r` rows by `c` cols starting at (i, j).
+  [[nodiscard]] MatrixView block(int i, int j, int r, int c) const {
+    PTLR_ASSERT(i >= 0 && j >= 0 && i + r <= rows_ && j + c <= cols_,
+                "block out of range");
+    return {data_ + static_cast<std::size_t>(j) * ld_ + i, r, c, ld_};
+  }
+
+  /// View of column j.
+  [[nodiscard]] double* col(int j) const noexcept {
+    return data_ + static_cast<std::size_t>(j) * ld_;
+  }
+
+ private:
+  double* data_ = nullptr;
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+};
+
+/// Immutable non-owning view.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, int rows, int cols, int ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    PTLR_ASSERT(rows >= 0 && cols >= 0 && ld >= rows, "bad view geometry");
+  }
+  // Implicit widening from a mutable view is safe and convenient.
+  ConstMatrixView(const MatrixView& v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int ld() const noexcept { return ld_; }
+  [[nodiscard]] const double* data() const noexcept { return data_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  const double& operator()(int i, int j) const noexcept {
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  [[nodiscard]] ConstMatrixView block(int i, int j, int r, int c) const {
+    PTLR_ASSERT(i >= 0 && j >= 0 && i + r <= rows_ && j + c <= cols_,
+                "block out of range");
+    return {data_ + static_cast<std::size_t>(j) * ld_ + i, r, c, ld_};
+  }
+
+  [[nodiscard]] const double* col(int j) const noexcept {
+    return data_ + static_cast<std::size_t>(j) * ld_;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+};
+
+/// Owning column-major matrix (ld == rows). Movable, deep-copyable.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, 0.0) {
+    PTLR_CHECK(rows >= 0 && cols >= 0, "negative matrix dimensions");
+  }
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int ld() const noexcept { return rows_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  double& operator()(int i, int j) noexcept {
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  const double& operator()(int i, int j) const noexcept {
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  /// Whole-matrix views.
+  [[nodiscard]] MatrixView view() noexcept {
+    return {data_.data(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] ConstMatrixView view() const noexcept {
+    return {data_.data(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] ConstMatrixView cview() const noexcept { return view(); }
+
+  /// Sub-block views.
+  [[nodiscard]] MatrixView block(int i, int j, int r, int c) {
+    return view().block(i, j, r, c);
+  }
+  [[nodiscard]] ConstMatrixView block(int i, int j, int r, int c) const {
+    return view().block(i, j, r, c);
+  }
+
+  /// Set every entry to v.
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Deep copy of a view into an owning matrix.
+Matrix to_matrix(ConstMatrixView v);
+
+/// Copy src into dst (dimensions must match).
+void copy(ConstMatrixView src, MatrixView dst);
+
+}  // namespace ptlr::dense

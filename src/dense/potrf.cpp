@@ -1,0 +1,83 @@
+#include <cmath>
+
+#include "common/flops.hpp"
+#include "dense/lapack.hpp"
+
+namespace ptlr::dense {
+
+namespace {
+
+// Unblocked Cholesky on the diagonal block (reference DPOTF2).
+void potf2(Uplo uplo, MatrixView a) {
+  const int n = a.rows();
+  if (uplo == Uplo::Lower) {
+    for (int j = 0; j < n; ++j) {
+      double d = a(j, j);
+      for (int p = 0; p < j; ++p) d -= a(j, p) * a(j, p);
+      if (d <= 0.0 || !std::isfinite(d)) {
+        throw NumericalError("potrf: matrix is not positive definite", j + 1);
+      }
+      const double ljj = std::sqrt(d);
+      a(j, j) = ljj;
+      for (int i = j + 1; i < n; ++i) {
+        double s = a(i, j);
+        for (int p = 0; p < j; ++p) s -= a(i, p) * a(j, p);
+        a(i, j) = s / ljj;
+      }
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      double d = a(j, j);
+      for (int p = 0; p < j; ++p) d -= a(p, j) * a(p, j);
+      if (d <= 0.0 || !std::isfinite(d)) {
+        throw NumericalError("potrf: matrix is not positive definite", j + 1);
+      }
+      const double ujj = std::sqrt(d);
+      a(j, j) = ujj;
+      for (int i = j + 1; i < n; ++i) {
+        double s = a(j, i);
+        for (int p = 0; p < j; ++p) s -= a(p, j) * a(p, i);
+        a(j, i) = s / ujj;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void potrf(Uplo uplo, MatrixView a) {
+  PTLR_CHECK(a.rows() == a.cols(), "potrf needs a square matrix");
+  const int n = a.rows();
+  constexpr int nb = 64;
+  flops::Counter::add(flops::potrf(n));
+  if (n <= nb) {
+    potf2(uplo, a);
+    return;
+  }
+  // Right-looking blocked factorization; BLAS-3 updates do their own flop
+  // accounting, so subtract their model here to avoid double counting.
+  for (int j = 0; j < n; j += nb) {
+    const int jb = std::min(nb, n - j);
+    auto ajj = a.block(j, j, jb, jb);
+    potf2(uplo, ajj);
+    const int rest = n - j - jb;
+    if (rest == 0) continue;
+    if (uplo == Uplo::Lower) {
+      auto panel = a.block(j + jb, j, rest, jb);
+      flops::Counter::add(-flops::trsm(jb, rest));
+      trsm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0, ajj, panel);
+      auto trail = a.block(j + jb, j + jb, rest, rest);
+      flops::Counter::add(-flops::syrk(rest, jb));
+      syrk(Uplo::Lower, Trans::N, -1.0, panel, 1.0, trail);
+    } else {
+      auto panel = a.block(j, j + jb, jb, rest);
+      flops::Counter::add(-flops::trsm(jb, rest));
+      trsm(Side::Left, Uplo::Upper, Trans::T, Diag::NonUnit, 1.0, ajj, panel);
+      auto trail = a.block(j + jb, j + jb, rest, rest);
+      flops::Counter::add(-flops::syrk(rest, jb));
+      syrk(Uplo::Upper, Trans::T, -1.0, panel, 1.0, trail);
+    }
+  }
+}
+
+}  // namespace ptlr::dense

@@ -1,0 +1,103 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/flops.hpp"
+#include "dense/lapack.hpp"
+
+namespace ptlr::dense {
+
+// One-sided Jacobi SVD (Hestenes). Rotations are applied to column pairs of
+// a working copy of A until all pairs are numerically orthogonal; singular
+// values are the resulting column norms. Robust and accurate for the small
+// (k-by-k to b-by-b) factors PTLR decomposes; asymptotically slower than
+// bidiagonalization but that is irrelevant at tile scale.
+Svd jacobi_svd(ConstMatrixView a) {
+  PTLR_CHECK(a.rows() >= a.cols(),
+             "jacobi_svd requires rows >= cols; transpose the input");
+  const int m = a.rows(), n = a.cols();
+  Svd out;
+  out.u = to_matrix(a);
+  out.v = Matrix(n, n);
+  for (int j = 0; j < n; ++j) out.v(j, j) = 1.0;
+  out.s.assign(n, 0.0);
+  if (n == 0) return out;
+
+  Matrix& w = out.u;
+  constexpr int kMaxSweeps = 42;
+  const double eps = 1e-15;
+  flops::Counter::add(8.0 * static_cast<double>(m) * n * n);  // ~few sweeps
+
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool rotated = false;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double* wp = w.data() + static_cast<std::size_t>(p) * m;
+        double* wq = w.data() + static_cast<std::size_t>(q) * m;
+        const double app = dot(m, wp, wp);
+        const double aqq = dot(m, wq, wq);
+        const double apq = dot(m, wp, wq);
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq)) continue;
+        rotated = true;
+        // Two-sided rotation parameters that annihilate apq.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t =
+            std::copysign(1.0, zeta) /
+            (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (int i = 0; i < m; ++i) {
+          const double x = wp[i], y = wq[i];
+          wp[i] = cs * x - sn * y;
+          wq[i] = sn * x + cs * y;
+        }
+        double* vp = out.v.data() + static_cast<std::size_t>(p) * n;
+        double* vq = out.v.data() + static_cast<std::size_t>(q) * n;
+        for (int i = 0; i < n; ++i) {
+          const double x = vp[i], y = vq[i];
+          vp[i] = cs * x - sn * y;
+          vq[i] = sn * x + cs * y;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Column norms are the singular values; normalize U's columns.
+  for (int j = 0; j < n; ++j) {
+    double* wj = w.data() + static_cast<std::size_t>(j) * m;
+    const double sj = nrm2(m, wj);
+    out.s[j] = sj;
+    if (sj > 0.0) scal(m, 1.0 / sj, wj);
+  }
+
+  // Sort descending, permuting U and V consistently.
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](int x, int y) { return out.s[x] > out.s[y]; });
+  Matrix us(m, n), vs(n, n);
+  std::vector<double> ss(n);
+  for (int j = 0; j < n; ++j) {
+    ss[j] = out.s[perm[j]];
+    std::copy_n(w.data() + static_cast<std::size_t>(perm[j]) * m, m,
+                us.data() + static_cast<std::size_t>(j) * m);
+    std::copy_n(out.v.data() + static_cast<std::size_t>(perm[j]) * n, n,
+                vs.data() + static_cast<std::size_t>(j) * n);
+  }
+  out.u = std::move(us);
+  out.v = std::move(vs);
+  out.s = std::move(ss);
+  return out;
+}
+
+std::vector<double> singular_values(ConstMatrixView a) {
+  if (a.rows() >= a.cols()) return jacobi_svd(a).s;
+  // Transpose into owning storage and decompose that instead.
+  Matrix at(a.cols(), a.rows());
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) at(j, i) = a(i, j);
+  return jacobi_svd(at.view()).s;
+}
+
+}  // namespace ptlr::dense

@@ -1,0 +1,44 @@
+// Dense matrix utilities: norms, comparisons, random generators.
+#pragma once
+
+#include "common/rng.hpp"
+#include "dense/blas.hpp"
+#include "dense/matrix.hpp"
+
+namespace ptlr::dense {
+
+/// Frobenius norm.
+double frob_norm(ConstMatrixView a);
+
+/// Largest absolute entry.
+double max_abs(ConstMatrixView a);
+
+/// ||A - B||_F.
+double frob_diff(ConstMatrixView a, ConstMatrixView b);
+
+/// Deep copy helpers declared in matrix.hpp.
+// (to_matrix / copy are defined in util.cpp.)
+
+/// Fill with i.i.d. uniform entries in [lo, hi).
+void fill_uniform(MatrixView a, Rng& rng, double lo = -1.0, double hi = 1.0);
+
+/// Fill with i.i.d. standard normal entries.
+void fill_gaussian(MatrixView a, Rng& rng);
+
+/// n-by-n identity.
+Matrix identity(int n);
+
+/// Random symmetric positive-definite matrix: G*G^T + n*I.
+Matrix random_spd(int n, Rng& rng);
+
+/// Random m-by-n matrix of exact rank r with singular values decaying
+/// geometrically from 1 to `smin` (for compression tests).
+Matrix random_lowrank(int m, int n, int r, double smin, Rng& rng);
+
+/// Mirror the `uplo` triangle onto the other to make `a` fully symmetric.
+void symmetrize(Uplo stored, MatrixView a);
+
+/// Zero the strictly-upper (stored==Lower) or strictly-lower triangle.
+void zero_opposite_triangle(Uplo stored, MatrixView a);
+
+}  // namespace ptlr::dense

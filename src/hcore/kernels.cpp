@@ -1,0 +1,231 @@
+#include "hcore/kernels.hpp"
+
+#include <algorithm>
+
+#include "dense/blas.hpp"
+#include "dense/lapack.hpp"
+#include "tlr/allocator.hpp"
+
+namespace ptlr::hcore {
+
+using dense::ConstMatrixView;
+using dense::Matrix;
+using dense::MatrixView;
+using dense::Trans;
+using flops::Kernel;
+
+flops::Kernel potrf(Tile& akk) {
+  PTLR_CHECK(akk.is_dense(), "(1)-POTRF needs a dense diagonal tile");
+  dense::potrf(dense::Uplo::Lower, akk.dense_data().view());
+  return Kernel::kPotrf1;
+}
+
+flops::Kernel trsm(const Tile& akk, Tile& amk) {
+  PTLR_CHECK(akk.is_dense(), "TRSM needs a dense factored diagonal tile");
+  const ConstMatrixView l = akk.dense_data().view();
+  if (amk.is_dense()) {
+    // (1)-TRSM: X · L^T = A, i.e. right-solve against the lower factor.
+    dense::trsm(dense::Side::Right, dense::Uplo::Lower, Trans::T,
+                dense::Diag::NonUnit, 1.0, l, amk.dense_data().view());
+    return Kernel::kTrsm1;
+  }
+  // (4)-TRSM: (U V^T) L^-T = U (L^-1 V)^T — solve L X = V in place.
+  compress::LowRankFactor& f = amk.lr();
+  if (f.rank() > 0) {
+    dense::trsm(dense::Side::Left, dense::Uplo::Lower, Trans::N,
+                dense::Diag::NonUnit, 1.0, l, f.v.view());
+  }
+  return Kernel::kTrsm4;
+}
+
+flops::Kernel syrk(const Tile& amk, Tile& amm) {
+  PTLR_CHECK(amm.is_dense(), "SYRK output (diagonal tile) must be dense");
+  MatrixView c = amm.dense_data().view();
+  if (amk.is_dense()) {
+    // (1)-SYRK.
+    dense::syrk(dense::Uplo::Lower, Trans::N, -1.0,
+                amk.dense_data().view(), 1.0, c);
+    return Kernel::kSyrk1;
+  }
+  // (3)-SYRK: C -= U (V^T V) U^T.
+  const compress::LowRankFactor& f = amk.lr();
+  const int k = f.rank();
+  if (k > 0) {
+    const int b = f.rows();
+    auto& pool = tlr::MemoryPool::global();
+    auto wbuf = pool.acquire(static_cast<std::size_t>(k) * k +
+                             static_cast<std::size_t>(b) * k);
+    MatrixView w(wbuf.data(), k, k, k);
+    MatrixView t1(wbuf.data() + static_cast<std::size_t>(k) * k, b, k, b);
+    dense::gemm(Trans::T, Trans::N, 1.0, f.v.view(), f.v.view(), 0.0, w);
+    dense::gemm(Trans::N, Trans::N, 1.0, f.u.view(), w, 0.0, t1);
+    // Only the lower triangle of the diagonal tile is referenced later,
+    // but the tile is stored dense; update it fully for simplicity.
+    dense::gemm(Trans::N, Trans::T, -1.0, t1, f.u.view(), 1.0, c);
+  }
+  return Kernel::kSyrk3;
+}
+
+namespace {
+
+// Append the rank-kp product P = Up·Vp^T (to be subtracted) to the low-rank
+// tile C, then recompress: the two-stage LR GEMM of Section VII-B. Stage
+// one concatenates into freshly designated exact-size factors; stage two
+// rounds the rank back down (reallocating again if the rank changed).
+void append_and_recompress(Tile& cmn, ConstMatrixView up, ConstMatrixView vp,
+                           const Accuracy& acc) {
+  compress::LowRankFactor& c = cmn.lr();
+  const int m = c.rows(), n = c.cols();
+  const int kc = c.rank(), kp = up.cols();
+  Matrix u2(m, kc + kp), v2(n, kc + kp);
+  if (kc > 0) {
+    dense::copy(c.u.view(), u2.block(0, 0, m, kc));
+    dense::copy(c.v.view(), v2.block(0, 0, n, kc));
+  }
+  dense::copy(up, u2.block(0, kc, m, kp));
+  // Negate the V side: the update is C - P.
+  for (int j = 0; j < kp; ++j)
+    for (int i = 0; i < n; ++i) v2(i, kc + j) = -vp(i, j);
+  c.u = std::move(u2);
+  c.v = std::move(v2);
+  const int knew = compress::recompress(c, acc);
+  // Adaptive on-demand densification (Section IX future work): if the
+  // recompressed rank crossed the admissible ratio, low-rank arithmetic on
+  // this tile has stopped paying off — roll it back to dense now. Later
+  // kernels dispatch on the new format automatically.
+  if (acc.densify_ratio > 0.0 &&
+      knew > acc.densify_ratio * std::min(m, n)) {
+    cmn.densify();
+  }
+}
+
+}  // namespace
+
+flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
+                   const Accuracy& acc) {
+  const bool a_d = amk.is_dense(), b_d = ank.is_dense(),
+             c_d = amn.is_dense();
+  if (c_d) {
+    MatrixView c = amn.dense_data().view();
+    if (a_d && b_d) {
+      // (1)-GEMM.
+      dense::gemm(Trans::N, Trans::T, -1.0, amk.dense_data().view(),
+                  ank.dense_data().view(), 1.0, c);
+      return Kernel::kGemm1;
+    }
+    if (a_d) {
+      // C -= A (U_B V_B^T)^T = A V_B U_B^T. Cannot arise in a pure band
+      // structure (a dense A[m][k] forces a dense A[n][k]) but occurs with
+      // stray dense tiles kept when compression exceeded maxrank.
+      const compress::LowRankFactor& b = ank.lr();
+      if (b.rank() > 0) {
+        const int bm = amk.dense_data().rows();
+        Matrix t(bm, b.rank());
+        dense::gemm(Trans::N, Trans::N, 1.0, amk.dense_data().view(),
+                    b.v.view(), 0.0, t.view());
+        dense::gemm(Trans::N, Trans::T, -1.0, t.view(), b.u.view(), 1.0, c);
+      }
+      return Kernel::kGemm2;
+    }
+    const compress::LowRankFactor& a = amk.lr();
+    const int ka = a.rank();
+    if (b_d) {
+      // (2)-GEMM: C -= U_A (B V_A)^T.
+      if (ka > 0) {
+        const int bn = ank.dense_data().rows();
+        auto buf = tlr::MemoryPool::global().acquire(
+            static_cast<std::size_t>(bn) * ka);
+        MatrixView t(buf.data(), bn, ka, bn);
+        dense::gemm(Trans::N, Trans::N, 1.0, ank.dense_data().view(),
+                    a.v.view(), 0.0, t);
+        dense::gemm(Trans::N, Trans::T, -1.0, a.u.view(), t, 1.0, c);
+      }
+      return Kernel::kGemm2;
+    }
+    // (3)-GEMM: C -= U_A (V_A^T V_B) U_B^T.
+    const compress::LowRankFactor& b = ank.lr();
+    const int kb = b.rank();
+    if (ka > 0 && kb > 0) {
+      const int bm = a.rows();
+      auto buf = tlr::MemoryPool::global().acquire(
+          static_cast<std::size_t>(ka) * kb +
+          static_cast<std::size_t>(bm) * kb);
+      MatrixView w(buf.data(), ka, kb, ka);
+      MatrixView t(buf.data() + static_cast<std::size_t>(ka) * kb, bm, kb,
+                   bm);
+      dense::gemm(Trans::T, Trans::N, 1.0, a.v.view(), b.v.view(), 0.0, w);
+      dense::gemm(Trans::N, Trans::N, 1.0, a.u.view(), w, 0.0, t);
+      dense::gemm(Trans::N, Trans::T, -1.0, t, b.u.view(), 1.0, c);
+    }
+    return Kernel::kGemm3;
+  }
+
+  // Low-rank output. In a pure band structure A[m][k] is always low-rank
+  // here; stray dense operands are handled by densification-on-demand
+  // (the tile-based extension of the paper's future work).
+  if (a_d && b_d) {
+    // Dense·dense product has no low-rank form: densify C, then (1)-GEMM.
+    amn.densify();
+    dense::gemm(Trans::N, Trans::T, -1.0, amk.dense_data().view(),
+                ank.dense_data().view(), 1.0, amn.dense_data().view());
+    return Kernel::kGemm1;
+  }
+  if (a_d) {
+    // P = A V_B U_B^T: rank-k_B update of the low-rank C.
+    const compress::LowRankFactor& b = ank.lr();
+    if (b.rank() > 0) {
+      Matrix up(amk.dense_data().rows(), b.rank());
+      dense::gemm(Trans::N, Trans::N, 1.0, amk.dense_data().view(),
+                  b.v.view(), 0.0, up.view());
+      append_and_recompress(amn, up.view(), b.u.view(), acc);
+    }
+    return Kernel::kGemm5;
+  }
+  const compress::LowRankFactor& a = amk.lr();
+  const int ka = a.rank();
+  if (b_d) {
+    // (5)-GEMM: P = U_A (B V_A)^T, rank ka.
+    if (ka > 0) {
+      const int bn = ank.dense_data().rows();
+      Matrix vp(bn, ka);
+      dense::gemm(Trans::N, Trans::N, 1.0, ank.dense_data().view(),
+                  a.v.view(), 0.0, vp.view());
+      append_and_recompress(amn, a.u.view(), vp.view(), acc);
+    }
+    return Kernel::kGemm5;
+  }
+  // (6)-GEMM (HCORE_DGEMM): P = U_A (V_A^T V_B) U_B^T, represented on the
+  // smaller rank side.
+  const compress::LowRankFactor& b = ank.lr();
+  const int kb = b.rank();
+  if (ka > 0 && kb > 0) {
+    Matrix w(ka, kb);
+    dense::gemm(Trans::T, Trans::N, 1.0, a.v.view(), b.v.view(), 0.0,
+                w.view());
+    if (kb <= ka) {
+      Matrix up(a.rows(), kb);
+      dense::gemm(Trans::N, Trans::N, 1.0, a.u.view(), w.view(), 0.0,
+                  up.view());
+      append_and_recompress(amn, up.view(), b.u.view(), acc);
+    } else {
+      Matrix vp(b.rows(), ka);
+      dense::gemm(Trans::N, Trans::T, 1.0, b.u.view(), w.view(), 0.0,
+                  vp.view());
+      append_and_recompress(amn, a.u.view(), vp.view(), acc);
+    }
+  }
+  return Kernel::kGemm6;
+}
+
+double gemm_model_flops(bool a_dense, bool b_dense, bool c_dense,
+                        std::int64_t b, std::int64_t k) {
+  if (c_dense) {
+    if (a_dense) return flops::model(Kernel::kGemm1, b, k);
+    if (b_dense) return flops::model(Kernel::kGemm2, b, k);
+    return flops::model(Kernel::kGemm3, b, k);
+  }
+  if (b_dense) return flops::model(Kernel::kGemm5, b, k);
+  return flops::model(Kernel::kGemm6, b, k);
+}
+
+}  // namespace ptlr::hcore

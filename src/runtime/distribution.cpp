@@ -1,0 +1,49 @@
+#include "runtime/distribution.hpp"
+
+#include "common/error.hpp"
+
+namespace ptlr::rt {
+
+TwoDBlockCyclic::TwoDBlockCyclic(int p, int q) : p_(p), q_(q) {
+  PTLR_CHECK(p > 0 && q > 0, "process grid must be positive");
+}
+
+int TwoDBlockCyclic::owner(int i, int j) const {
+  PTLR_ASSERT(i >= 0 && j >= 0, "negative tile index");
+  return (i % p_) * q_ + (j % q_);
+}
+
+OneDBlockCyclic::OneDBlockCyclic(int nproc) : nproc_(nproc) {
+  PTLR_CHECK(nproc > 0, "need at least one process");
+}
+
+int OneDBlockCyclic::owner(int /*i*/, int j) const { return j % nproc_; }
+
+BandDistribution::BandDistribution(int p, int q, int band_size,
+                                   BandOrientation orientation)
+    : p_(p), q_(q), band_(band_size), orient_(orientation) {
+  PTLR_CHECK(p > 0 && q > 0, "process grid must be positive");
+  PTLR_CHECK(band_size >= 1, "band must include the diagonal");
+}
+
+int BandDistribution::owner(int i, int j) const {
+  const int d = i >= j ? i - j : j - i;
+  if (d < band_) {
+    // Modified 1DBCDD over all processes: the dense TRSMs of a panel land
+    // on different processes (parallel panel) and the row-sequential
+    // (lower) / column-sequential (upper) kernels stay local
+    // (Section VII-C, Fig. 5 b/c).
+    return (orient_ == BandOrientation::kRowBased ? i : j) % (p_ * q_);
+  }
+  return (i % p_) * q_ + (j % q_);
+}
+
+std::pair<int, int> square_grid(int nproc) {
+  PTLR_CHECK(nproc > 0, "need at least one process");
+  int p = 1;
+  for (int d = 1; d * d <= nproc; ++d)
+    if (nproc % d == 0) p = d;
+  return {p, nproc / p};
+}
+
+}  // namespace ptlr::rt

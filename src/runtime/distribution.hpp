@@ -1,0 +1,79 @@
+// Tile-to-process data distributions (Section VII-C).
+//
+// PaRSEC decouples where a tile lives from how tasks are expressed. PTLR
+// provides the three policies the paper discusses:
+//   * TwoDBlockCyclic  — the ScaLAPACK 2DBCDD baseline on a P×Q grid,
+//   * OneDBlockCyclic  — the "artificial" 1DBCDD the BAND_SIZE auto-tuner
+//                        uses to spread each sub-diagonal over everyone,
+//   * BandDistribution — the paper's hybrid: on-band tiles spread row-based
+//                        (lower triangular) or column-based (upper) over
+//                        all processes, off-band tiles in 2DBCDD.
+#pragma once
+
+#include <memory>
+
+namespace ptlr::rt {
+
+/// Maps tile coordinates (i, j), i >= j, to an owning process.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Owner process of tile (i, j) in [0, nproc()).
+  [[nodiscard]] virtual int owner(int i, int j) const = 0;
+  [[nodiscard]] virtual int nproc() const = 0;
+};
+
+/// ScaLAPACK-style two-dimensional block-cyclic distribution on P×Q.
+class TwoDBlockCyclic final : public Distribution {
+ public:
+  TwoDBlockCyclic(int p, int q);
+  [[nodiscard]] int owner(int i, int j) const override;
+  [[nodiscard]] int nproc() const override { return p_ * q_; }
+  [[nodiscard]] int p() const { return p_; }
+  [[nodiscard]] int q() const { return q_; }
+
+ private:
+  int p_, q_;
+};
+
+/// One-dimensional block-cyclic by sub-diagonal position: tile (i, j) goes
+/// to process (j mod nproc), so every process holds an even share of each
+/// sub-diagonal (used by the auto-tuner, Algorithm 1).
+class OneDBlockCyclic final : public Distribution {
+ public:
+  explicit OneDBlockCyclic(int nproc);
+  [[nodiscard]] int owner(int i, int j) const override;
+  [[nodiscard]] int nproc() const override { return nproc_; }
+
+ private:
+  int nproc_;
+};
+
+/// On-band mapping flavor of the hybrid distribution (Fig. 5 b/c): row-
+/// based for lower-triangular operators (on-band tiles of a row share a
+/// process) and column-based for upper-triangular ones.
+enum class BandOrientation { kRowBased, kColumnBased };
+
+/// The paper's hybrid "band distribution": tiles with |i-j| < band_size
+/// are distributed row-based (owner = i mod nproc) or column-based
+/// (owner = j mod nproc) over *all* processes; the off-band tiles follow
+/// 2DBCDD on the P×Q grid.
+class BandDistribution final : public Distribution {
+ public:
+  BandDistribution(int p, int q, int band_size,
+                   BandOrientation orientation = BandOrientation::kRowBased);
+  [[nodiscard]] int owner(int i, int j) const override;
+  [[nodiscard]] int nproc() const override { return p_ * q_; }
+  [[nodiscard]] int band_size() const { return band_; }
+  [[nodiscard]] BandOrientation orientation() const { return orient_; }
+
+ private:
+  int p_, q_, band_;
+  BandOrientation orient_;
+};
+
+/// Pick the most-square process grid P×Q = nproc with P <= Q, as the paper
+/// configures its experiments (Section VIII-A).
+std::pair<int, int> square_grid(int nproc);
+
+}  // namespace ptlr::rt

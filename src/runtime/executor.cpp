@@ -1,0 +1,144 @@
+#include "runtime/executor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace ptlr::rt {
+
+namespace {
+
+// Ready-queue ordering: priority first, insertion order as tie-break so the
+// schedule is deterministic for equal priorities.
+struct ReadyTask {
+  double priority;
+  TaskId id;
+};
+struct ReadyOrder {
+  bool operator()(const ReadyTask& a, const ReadyTask& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace
+
+ExecResult execute(TaskGraph& g, int nthreads, bool record_trace) {
+  PTLR_CHECK(nthreads >= 1, "need at least one worker");
+  const int n = g.size();
+  ExecResult result;
+  if (n == 0) return result;
+
+  std::vector<std::atomic<int>> pending(static_cast<std::size_t>(n));
+  std::priority_queue<ReadyTask, std::vector<ReadyTask>, ReadyOrder> ready;
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = n;
+  std::exception_ptr first_error;
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (TaskId t = 0; t < n; ++t) {
+      pending[static_cast<std::size_t>(t)].store(g.num_predecessors(t),
+                                                 std::memory_order_relaxed);
+      if (g.num_predecessors(t) == 0)
+        ready.push({g.info(t).priority, t});
+    }
+  }
+
+  std::vector<TraceEvent> trace;
+  if (record_trace) trace.resize(static_cast<std::size_t>(n));
+
+  WallTimer timer;
+  auto worker = [&](int wid) {
+    for (;;) {
+      TaskId task = -1;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return !ready.empty() || remaining == 0 || first_error != nullptr;
+        });
+        if (remaining == 0 || first_error != nullptr) return;
+        if (ready.empty()) continue;
+        task = ready.top().id;
+        ready.pop();
+      }
+
+      const double t0 = timer.seconds();
+      try {
+        if (g.info(task).fn) g.info(task).fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        cv.notify_all();
+        return;
+      }
+      const double t1 = timer.seconds();
+      if (record_trace) {
+        auto& ev = trace[static_cast<std::size_t>(task)];
+        ev.task = task;
+        ev.kind = g.info(task).kind;
+        ev.panel = g.info(task).panel;
+        ev.worker = wid;
+        ev.start = t0;
+        ev.end = t1;
+      }
+
+      // Release successors; collect newly-ready tasks under the lock.
+      bool notify = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        for (const TaskId s : g.successors(task)) {
+          if (pending[static_cast<std::size_t>(s)].fetch_sub(
+                  1, std::memory_order_acq_rel) == 1) {
+            ready.push({g.info(s).priority, s});
+            notify = true;
+          }
+        }
+        if (--remaining == 0) notify = true;
+      }
+      if (notify) cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nthreads));
+  for (int w = 0; w < nthreads; ++w) pool.emplace_back(worker, w);
+  for (auto& th : pool) th.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  result.seconds = timer.seconds();
+  result.trace = std::move(trace);
+  return result;
+}
+
+std::vector<double> panel_release_times(
+    const std::vector<TraceEvent>& trace) {
+  int max_panel = -1;
+  for (const auto& ev : trace) max_panel = std::max(max_panel, ev.panel);
+  std::vector<double> out(static_cast<std::size_t>(max_panel + 1), 0.0);
+  for (const auto& ev : trace) {
+    if (ev.panel >= 0)
+      out[static_cast<std::size_t>(ev.panel)] =
+          std::max(out[static_cast<std::size_t>(ev.panel)], ev.end);
+  }
+  return out;
+}
+
+std::vector<double> busy_per_process(const std::vector<TraceEvent>& trace,
+                                     int nproc) {
+  std::vector<double> busy(static_cast<std::size_t>(nproc), 0.0);
+  for (const auto& ev : trace) {
+    if (ev.proc >= 0 && ev.proc < nproc)
+      busy[static_cast<std::size_t>(ev.proc)] += ev.end - ev.start;
+  }
+  return busy;
+}
+
+}  // namespace ptlr::rt

@@ -1,0 +1,24 @@
+// Shared-memory task executor: a priority-scheduled worker pool that runs a
+// TaskGraph's bodies for real. This is the mode every numerical result in
+// PTLR is computed in; the virtual-cluster simulator reuses the same graphs
+// for distributed-scale studies.
+#pragma once
+
+#include "runtime/taskgraph.hpp"
+#include "runtime/trace.hpp"
+
+namespace ptlr::rt {
+
+/// Result of a shared-memory run.
+struct ExecResult {
+  double seconds = 0.0;              ///< wall-clock makespan
+  std::vector<TraceEvent> trace;     ///< one event per executed task
+};
+
+/// Execute every task in `g` respecting its dependencies, using `nthreads`
+/// worker threads. Among ready tasks, higher TaskInfo::priority runs first.
+/// Exceptions thrown by task bodies are captured and rethrown on the
+/// calling thread after the pool drains.
+ExecResult execute(TaskGraph& g, int nthreads, bool record_trace = false);
+
+}  // namespace ptlr::rt

@@ -1,0 +1,56 @@
+#include "runtime/mailbox.hpp"
+
+#include "common/error.hpp"
+
+namespace ptlr::rt::dist {
+
+Communicator::Communicator(int nranks)
+    : nranks_(nranks), boxes_(static_cast<std::size_t>(nranks)) {
+  PTLR_CHECK(nranks >= 1, "need at least one rank");
+}
+
+void Communicator::send(int from, int to, std::uint64_t tag,
+                        std::vector<char> payload) {
+  PTLR_CHECK(to >= 0 && to < nranks_, "send to invalid rank");
+  if (from != to) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.messages++;
+    stats_.bytes += static_cast<long long>(payload.size());
+  }
+  Box& box = boxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.slots[tag].push(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<char> Communicator::recv(int rank, std::uint64_t tag) {
+  PTLR_CHECK(rank >= 0 && rank < nranks_, "recv on invalid rank");
+  Box& box = boxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait(lock, [&] {
+    if (aborted_.load(std::memory_order_acquire)) return true;
+    const auto it = box.slots.find(tag);
+    return it != box.slots.end() && !it->second.empty();
+  });
+  const auto it = box.slots.find(tag);
+  if (it == box.slots.end() || it->second.empty()) {
+    throw Error("communicator aborted while waiting for a message");
+  }
+  std::vector<char> out = std::move(it->second.front());
+  it->second.pop();
+  return out;
+}
+
+void Communicator::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) box.cv.notify_all();
+}
+
+Communicator::Stats Communicator::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace ptlr::rt::dist

@@ -1,0 +1,31 @@
+#include "runtime/ptg.hpp"
+
+#include "common/error.hpp"
+
+namespace ptlr::rt::ptg {
+
+TaskClass& Program::task_class(std::string name) {
+  classes_.emplace_back(std::move(name));
+  return classes_.back();
+}
+
+TaskGraph Program::unfold() const {
+  TaskGraph g;
+  for (int k = 0; k < outer_extent_; ++k) {
+    for (const TaskClass& tc : classes_) {
+      PTLR_CHECK(tc.instances_ && tc.build_,
+                 "task class '" + tc.name_ + "' is incomplete");
+      for (const Params& p : tc.instances_(k)) {
+        TaskInfo info = tc.build_(p);
+        const std::vector<DataKey> reads =
+            tc.reads_ ? tc.reads_(p) : std::vector<DataKey>{};
+        const std::vector<DataKey> writes =
+            tc.writes_ ? tc.writes_(p) : std::vector<DataKey>{};
+        g.add_task(std::move(info), reads, writes);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ptlr::rt::ptg

@@ -1,0 +1,84 @@
+// A miniature Parameterized Task Graph (PTG) front-end.
+//
+// PaRSEC's PTG/JDF (Section III-C) describes an algorithm as task classes
+// over parameter spaces with declared dataflow, instead of inserting tasks
+// one by one. This layer reproduces that programming model on top of
+// PTLR's TaskGraph: each TaskClass enumerates its instances per outer
+// (panel) index and declares reads/writes as functions of the parameters;
+// Program::unfold() walks the outer index and materializes the DAG. The
+// imperative and PTG descriptions of the TLR Cholesky are tested to
+// produce equivalent graphs.
+#pragma once
+
+#include <functional>
+
+#include "runtime/taskgraph.hpp"
+
+namespace ptlr::rt::ptg {
+
+/// A point in a task class's parameter space (k = outer/panel index).
+struct Params {
+  int k = 0;
+  int i = 0;
+  int j = 0;
+};
+
+/// One parameterized task class ("POTRF(k)", "GEMM(k, i, j)", ...).
+class TaskClass {
+ public:
+  explicit TaskClass(std::string name) : name_(std::move(name)) {}
+
+  /// Enumerate the instances of this class at outer index k.
+  TaskClass& instances(std::function<std::vector<Params>(int k)> fn) {
+    instances_ = std::move(fn);
+    return *this;
+  }
+  /// Data read by an instance.
+  TaskClass& reads(std::function<std::vector<DataKey>(const Params&)> fn) {
+    reads_ = std::move(fn);
+    return *this;
+  }
+  /// Data written by an instance.
+  TaskClass& writes(std::function<std::vector<DataKey>(const Params&)> fn) {
+    writes_ = std::move(fn);
+    return *this;
+  }
+  /// Fill the TaskInfo (name, priority, owner, duration, body).
+  TaskClass& build(std::function<TaskInfo(const Params&)> fn) {
+    build_ = std::move(fn);
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Program;
+  std::string name_;
+  std::function<std::vector<Params>(int)> instances_;
+  std::function<std::vector<DataKey>(const Params&)> reads_;
+  std::function<std::vector<DataKey>(const Params&)> writes_;
+  std::function<TaskInfo(const Params&)> build_;
+};
+
+/// A collection of task classes unfolded over an outer index range — the
+/// JDF document. Classes are visited in declaration order within each
+/// outer step, which must be a valid sequential order of the algorithm
+/// (for a right-looking Cholesky: POTRF, TRSM, SYRK, GEMM per panel).
+class Program {
+ public:
+  explicit Program(int outer_extent) : outer_extent_(outer_extent) {}
+
+  /// Declare a class; returns a reference for builder-style chaining.
+  TaskClass& task_class(std::string name);
+
+  /// Materialize the full DAG.
+  [[nodiscard]] TaskGraph unfold() const;
+
+  [[nodiscard]] int outer_extent() const { return outer_extent_; }
+
+ private:
+  int outer_extent_;
+  std::vector<TaskClass> classes_;
+};
+
+}  // namespace ptlr::rt::ptg

@@ -1,0 +1,78 @@
+#include "runtime/taskgraph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ptlr::rt {
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  if (from == to) return;
+  auto& succ = nodes_[static_cast<std::size_t>(from)].succ;
+  // Dedupe: read/write sets of one task are tiny, so a linear scan of the
+  // most recent edges is cheaper than a per-node hash set.
+  if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
+  succ.push_back(to);
+  nodes_[static_cast<std::size_t>(to)].npred++;
+}
+
+TaskId TaskGraph::add_task(TaskInfo info, std::span<const DataKey> reads,
+                           std::span<const DataKey> writes) {
+  const auto id = static_cast<TaskId>(nodes_.size());
+  nodes_.push_back(Node{std::move(info), {}, 0});
+
+  for (const DataKey k : reads) {
+    LastAccess& la = last_[k];
+    if (la.writer >= 0) add_edge(la.writer, id);
+    la.readers.push_back(id);
+  }
+  for (const DataKey k : writes) {
+    LastAccess& la = last_[k];
+    if (la.readers.empty()) {
+      // No readers since the last write: direct WAW edge.
+      if (la.writer >= 0) add_edge(la.writer, id);
+    } else {
+      // WAR edges; the WAW edge is transitively implied by writer→readers.
+      for (const TaskId r : la.readers) add_edge(r, id);
+    }
+    la.readers.clear();
+    la.writer = id;
+  }
+  return id;
+}
+
+TaskGraph::EdgeStats TaskGraph::classify_edges() const {
+  EdgeStats s;
+  for (const Node& n : nodes_)
+    for (const TaskId t : n.succ) {
+      if (n.info.owner == nodes_[static_cast<std::size_t>(t)].info.owner)
+        s.local++;
+      else
+        s.remote++;
+    }
+  return s;
+}
+
+int TaskGraph::critical_path_length() const {
+  // Nodes are inserted in dependency order (edges only point forward), so
+  // a single forward sweep computes longest paths.
+  std::vector<int> depth(nodes_.size(), 1);
+  int best = nodes_.empty() ? 0 : 1;
+  for (std::size_t t = 0; t < nodes_.size(); ++t) {
+    for (const TaskId s : nodes_[t].succ) {
+      PTLR_ASSERT(static_cast<std::size_t>(s) > t, "edge must point forward");
+      depth[static_cast<std::size_t>(s)] =
+          std::max(depth[static_cast<std::size_t>(s)], depth[t] + 1);
+      best = std::max(best, depth[static_cast<std::size_t>(s)]);
+    }
+  }
+  return best;
+}
+
+double TaskGraph::total_duration() const {
+  double s = 0.0;
+  for (const Node& n : nodes_) s += n.info.duration;
+  return s;
+}
+
+}  // namespace ptlr::rt

@@ -1,0 +1,52 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace ptlr::rt {
+
+std::vector<KindStats> kind_breakdown(const std::vector<TraceEvent>& trace) {
+  std::map<int, KindStats> agg;
+  for (const auto& ev : trace) {
+    if (ev.task < 0) continue;
+    auto& s = agg[ev.kind];
+    s.kind = ev.kind;
+    s.count++;
+    s.seconds += ev.end - ev.start;
+  }
+  std::vector<KindStats> out;
+  out.reserve(agg.size());
+  for (auto& [k, s] : agg) out.push_back(s);
+  std::sort(out.begin(), out.end(),
+            [](const KindStats& a, const KindStats& b) {
+              return a.seconds > b.seconds;
+            });
+  return out;
+}
+
+void write_chrome_trace(const std::vector<TraceEvent>& trace,
+                        const TaskGraph& g, const std::string& path) {
+  std::ofstream os(path);
+  PTLR_CHECK(os.good(), "cannot open trace file: " + path);
+  os << "[\n";
+  bool first = true;
+  for (const auto& ev : trace) {
+    if (ev.task < 0) continue;
+    if (!first) os << ",\n";
+    first = false;
+    // Complete ("X") events; timestamps in microseconds per the format.
+    os << R"(  {"name": ")" << g.info(ev.task).name
+       << R"(", "cat": "kernel", "ph": "X", "pid": )" << ev.proc
+       << R"(, "tid": )" << ev.worker << R"(, "ts": )" << ev.start * 1e6
+       << R"(, "dur": )" << (ev.end - ev.start) * 1e6
+       << R"(, "args": {"panel": )" << ev.panel << R"(, "kind": )"
+       << ev.kind << "}}";
+  }
+  os << "\n]\n";
+  PTLR_CHECK(os.good(), "failed writing trace file: " + path);
+}
+
+}  // namespace ptlr::rt

@@ -1,0 +1,146 @@
+#include "stars/besselk.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptlr::stars {
+
+namespace {
+
+constexpr double kEps = 1e-16;
+constexpr int kMaxIter = 20000;
+constexpr double kEulerGamma = 0.57721566490153286060651209008240243;
+
+// Auxiliary Gamma-function combinations used by Temme's series:
+//   gam1 = (1/Gamma(1-x) - 1/Gamma(1+x)) / (2x)
+//   gam2 = (1/Gamma(1-x) + 1/Gamma(1+x)) / 2
+//   gampl = 1/Gamma(1+x),  gammi = 1/Gamma(1-x)
+// for |x| <= 1/2. Computed from std::tgamma with a series fallback at the
+// removable singularity of gam1 at x = 0.
+void gamma_combo(double x, double& gam1, double& gam2, double& gampl,
+                 double& gammi) {
+  gampl = 1.0 / std::tgamma(1.0 + x);
+  gammi = 1.0 / std::tgamma(1.0 - x);
+  if (std::abs(x) < 1e-5) {
+    // 1/Gamma(1±x) = 1 ± γx + (γ²/2 − π²/12)x² ± ..., so the odd part
+    // divided by -2x tends to -γ with an O(x²) correction.
+    const double c3 =
+        -0.65587807152025388108;  // ψ''-related cubic coefficient of 1/Γ
+    gam1 = -kEulerGamma - c3 * x * x;
+    gam2 = 0.5 * (gampl + gammi);
+  } else {
+    gam1 = (gammi - gampl) / (2.0 * x);
+    gam2 = 0.5 * (gammi + gampl);
+  }
+}
+
+// Temme's method: returns K_mu(x) and K_{mu+1}(x) for |mu| <= 1/2, x <= 2.
+void temme_k(double mu, double x, double& kmu, double& kmu1) {
+  const double x2 = 0.5 * x;
+  const double pimu = M_PI * mu;
+  const double fact = std::abs(pimu) < kEps ? 1.0 : pimu / std::sin(pimu);
+  double d = -std::log(x2);
+  double e = mu * d;
+  const double fact2 = std::abs(e) < kEps ? 1.0 : std::sinh(e) / e;
+  double gam1, gam2, gampl, gammi;
+  gamma_combo(mu, gam1, gam2, gampl, gammi);
+  double ff = fact * (gam1 * std::cosh(e) + gam2 * fact2 * d);
+  double sum = ff;
+  e = std::exp(e);
+  double p = 0.5 * e / gampl;
+  double q = 0.5 / (e * gammi);
+  double c = 1.0;
+  d = x2 * x2;
+  double sum1 = p;
+  const double mu2 = mu * mu;
+  int i = 1;
+  for (; i <= kMaxIter; ++i) {
+    ff = (i * ff + p + q) / (i * i - mu2);
+    c *= d / i;
+    p /= (i - mu);
+    q /= (i + mu);
+    const double del = c * ff;
+    sum += del;
+    const double del1 = c * (p - i * ff);
+    sum1 += del1;
+    if (std::abs(del) < std::abs(sum) * kEps) break;
+  }
+  PTLR_CHECK(i <= kMaxIter, "bessel_k: Temme series failed to converge");
+  kmu = sum;
+  kmu1 = sum1 * (2.0 / x);
+}
+
+// Steed continued fraction CF2: returns exp(x)*K_mu(x) and
+// exp(x)*K_{mu+1}(x) for |mu| <= 1/2, x > 2.
+void cf2_k_scaled(double mu, double x, double& kmu, double& kmu1) {
+  const double mu2 = mu * mu;
+  double b = 2.0 * (1.0 + x);
+  double d = 1.0 / b;
+  double h = d, delh = d;
+  double q1 = 0.0, q2 = 1.0;
+  const double a1 = 0.25 - mu2;
+  double q = a1, c = a1, a = -a1;
+  double s = 1.0 + q * delh;
+  int i = 2;
+  for (; i <= kMaxIter; ++i) {
+    a -= 2.0 * (i - 1);
+    c = -a * c / i;
+    const double qnew = (q1 - b * q2) / a;
+    q1 = q2;
+    q2 = qnew;
+    q += c * qnew;
+    b += 2.0;
+    d = 1.0 / (b + a * d);
+    delh = (b * d - 1.0) * delh;
+    h += delh;
+    const double dels = q * delh;
+    s += dels;
+    if (std::abs(dels / s) < kEps) break;
+  }
+  PTLR_CHECK(i <= kMaxIter, "bessel_k: continued fraction failed to converge");
+  h = a1 * h;
+  kmu = std::sqrt(M_PI / (2.0 * x)) / s;  // scaled by exp(x)
+  kmu1 = kmu * (mu + x + 0.5 - h) / x;
+}
+
+double bessel_k_impl(double nu, double x, bool scaled) {
+  PTLR_CHECK(x > 0.0, "bessel_k requires x > 0");
+  PTLR_CHECK(nu >= 0.0, "bessel_k requires nu >= 0");
+  const int nl = static_cast<int>(nu + 0.5);
+  const double mu = nu - nl;  // in [-1/2, 1/2]
+  double kmu, kmu1;
+  if (x <= 2.0) {
+    temme_k(mu, x, kmu, kmu1);
+    if (scaled) {
+      const double ex = std::exp(x);
+      kmu *= ex;
+      kmu1 *= ex;
+    }
+  } else {
+    cf2_k_scaled(mu, x, kmu, kmu1);
+    if (!scaled) {
+      const double ex = std::exp(-x);
+      kmu *= ex;
+      kmu1 *= ex;
+    }
+  }
+  // Upward recurrence K_{m+1} = K_{m-1} + (2m/x) K_m (stable for K).
+  double km = kmu, kp = kmu1;
+  for (int i = 1; i <= nl; ++i) {
+    const double knext = km + (2.0 * (mu + i) / x) * kp;
+    km = kp;
+    kp = knext;
+  }
+  return km;
+}
+
+}  // namespace
+
+double bessel_k(double nu, double x) { return bessel_k_impl(nu, x, false); }
+
+double bessel_k_scaled(double nu, double x) {
+  return bessel_k_impl(nu, x, true);
+}
+
+}  // namespace ptlr::stars

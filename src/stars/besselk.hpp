@@ -1,0 +1,19 @@
+// Modified Bessel function of the second kind K_nu for real order nu >= 0.
+//
+// Required by the Matérn covariance kernel (Eq. 2 of the paper). Uses
+// Temme's series for small arguments and a Steed continued fraction for
+// large arguments, with stable upward recurrence in the order — the
+// classical algorithm behind the reference implementations the paper's
+// STARS-H generator calls into (GSL / Numerical Recipes bessik).
+#pragma once
+
+namespace ptlr::stars {
+
+/// K_nu(x) for x > 0, nu >= 0. Throws ptlr::Error for invalid arguments.
+double bessel_k(double nu, double x);
+
+/// exp(x) * K_nu(x): the exponentially scaled variant, usable for large x
+/// where K_nu itself underflows.
+double bessel_k_scaled(double nu, double x);
+
+}  // namespace ptlr::stars

@@ -1,0 +1,47 @@
+#include "stars/kernels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stars/besselk.hpp"
+
+namespace ptlr::stars {
+
+Matern::Matern(double theta1, double theta2, double theta3)
+    : theta1_(theta1), theta2_(theta2), theta3_(theta3),
+      norm_(theta1 / (std::pow(2.0, theta3 - 1.0) * std::tgamma(theta3))) {
+  PTLR_CHECK(theta1 > 0 && theta2 > 0 && theta3 > 0,
+             "Matern parameters must be positive");
+}
+
+double Matern::operator()(double r) const {
+  if (r <= 0.0) return theta1_;
+  const double s = r / theta2_;
+  // Closed forms for the common half-integer smoothness values.
+  if (theta3_ == 0.5) return theta1_ * std::exp(-s);
+  if (theta3_ == 1.5) return theta1_ * (1.0 + s) * std::exp(-s);
+  if (theta3_ == 2.5)
+    return theta1_ * (1.0 + s + s * s / 3.0) * std::exp(-s);
+  // For large s the product (s^nu K_nu) underflows gracefully; use the
+  // scaled Bessel function to keep intermediate values representable.
+  const double k = bessel_k_scaled(theta3_, s);
+  return norm_ * std::pow(s, theta3_) * k * std::exp(-s);
+}
+
+double Exponential::operator()(double r) const {
+  return sigma2_ * std::exp(-r / ell_);
+}
+
+double SquaredExponential::operator()(double r) const {
+  return sigma2_ * std::exp(-r * r / (2.0 * ell_ * ell_));
+}
+
+double Electrostatics::operator()(double r) const {
+  return r <= 0.0 ? diag_ : 1.0 / r;
+}
+
+double Electrodynamics::operator()(double r) const {
+  return r <= 0.0 ? w_ : std::sin(w_ * r) / r;
+}
+
+}  // namespace ptlr::stars

@@ -1,0 +1,102 @@
+// Covariance matrix problem generation (the STARS-H role in the paper).
+//
+// A CovarianceProblem binds a Morton-ordered point geometry to a covariance
+// kernel and serves dense matrix entries / tiles on demand:
+//   Σ(θ)_{ij} = C(||s_i - s_j||; θ) + nugget·δ_{ij}.
+// Tiles are generated lazily so the TLR layer never materializes the full
+// dense operator (essential at the paper's scales).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "stars/geometry.hpp"
+#include "stars/kernels.hpp"
+
+namespace ptlr::stars {
+
+/// Named problem presets from the paper and its predecessors.
+enum class ProblemKind {
+  kSt3DExp,    ///< st-3D-exp: Matérn θ=(1, 0.1, 0.5) on a jittered 3D grid
+  kSt2DExp,    ///< 2D analogue (the easier case of prior work [22], [23])
+  kSt3DSqExp,  ///< 3D squared-exponential (smooth field, fast rank decay)
+  kSt3DMatern, ///< 3D Matérn with θ3 = 1.5 (smoother than st-3D-exp)
+  kElectrostatics3D,   ///< Coulomb 1/r on a 3D cloud (STARS-H application)
+  kElectrodynamics3D,  ///< sin(wr)/r on a 3D cloud (STARS-H application)
+};
+
+/// Human-readable name of a preset.
+std::string to_string(ProblemKind kind);
+
+/// A data-sparse covariance matrix problem.
+class CovarianceProblem {
+ public:
+  CovarianceProblem(std::vector<Point> points,
+                    std::shared_ptr<const CovarianceKernel> kernel,
+                    double nugget);
+
+  /// Number of spatial locations n (matrix dimension).
+  [[nodiscard]] int n() const { return static_cast<int>(points_.size()); }
+
+  /// Matrix entry Σ_{ij}.
+  [[nodiscard]] double entry(int i, int j) const;
+
+  /// Fill `out` with the dense block Σ[row0:row0+rows, col0:col0+cols].
+  void fill_block(int row0, int col0, dense::MatrixView out) const;
+
+  /// Convenience: materialize a block as an owning matrix.
+  [[nodiscard]] dense::Matrix block(int row0, int col0, int rows,
+                                    int cols) const;
+
+  /// A synthetic measurement vector Z standing in for the observational
+  /// data of the MLE application (the paper's real climate measurements are
+  /// not public; any vector exercises the same solver path).
+  [[nodiscard]] std::vector<double> synthetic_observations(Rng& rng) const;
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] const CovarianceKernel& kernel() const { return *kernel_; }
+  [[nodiscard]] double nugget() const { return nugget_; }
+
+ private:
+  std::vector<Point> points_;
+  std::shared_ptr<const CovarianceKernel> kernel_;
+  double nugget_;
+};
+
+/// Build one of the named presets with `n` locations.
+/// `nugget` regularizes the diagonal exactly as STARS-H's `noise` parameter
+/// does; the default keeps laptop-scale operators comfortably SPD without
+/// visibly changing off-diagonal ranks.
+CovarianceProblem make_problem(ProblemKind kind, int n,
+                               std::uint64_t seed = 42,
+                               double nugget = 1e-2);
+
+/// st-3D-exp with explicit Matérn parameters (Section IV defaults).
+CovarianceProblem make_st3d_matern(int n, double theta1, double theta2,
+                                   double theta3, std::uint64_t seed = 42,
+                                   double nugget = 1e-2);
+
+/// Cross-covariance between two location sets (rows: targets, cols:
+/// observations): Σ*_{ij} = C(‖tᵢ − sⱼ‖). The operator of geostatistical
+/// prediction (kriging): once θ is estimated by the MLE, field values at
+/// unobserved locations are E[Z*] = Σ*ᵀ Σ⁻¹ Z.
+class CrossCovariance {
+ public:
+  CrossCovariance(std::vector<Point> rows, std::vector<Point> cols,
+                  std::shared_ptr<const CovarianceKernel> kernel);
+
+  [[nodiscard]] int rows() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] int cols() const { return static_cast<int>(cols_.size()); }
+  [[nodiscard]] double entry(int i, int j) const;
+  void fill_block(int row0, int col0, dense::MatrixView out) const;
+  [[nodiscard]] dense::Matrix block(int row0, int col0, int nrows,
+                                    int ncols) const;
+
+ private:
+  std::vector<Point> rows_, cols_;
+  std::shared_ptr<const CovarianceKernel> kernel_;
+};
+
+}  // namespace ptlr::stars

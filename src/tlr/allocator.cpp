@@ -1,0 +1,75 @@
+#include "tlr/allocator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <new>
+
+#include "common/error.hpp"
+
+namespace ptlr::tlr {
+
+PoolBuffer::~PoolBuffer() {
+  if (owner_ != nullptr && data_ != nullptr) owner_->release(data_, capacity_);
+}
+
+std::size_t MemoryPool::bucket_of(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(n, 64));
+}
+
+PoolBuffer MemoryPool::acquire(std::size_t n) {
+  const std::size_t cap = bucket_of(n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_lists_.find(cap);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      double* p = it->second.back();
+      it->second.pop_back();
+      stats_.reuse_hits++;
+      stats_.bytes_cached -= cap * sizeof(double);
+      stats_.bytes_live += cap * sizeof(double);
+      stats_.bytes_high_water = std::max(stats_.bytes_high_water,
+                                         stats_.bytes_live +
+                                             stats_.bytes_cached);
+      return {p, cap, this};
+    }
+  }
+  double* p = new double[cap];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.fresh_allocs++;
+    stats_.bytes_live += cap * sizeof(double);
+    stats_.bytes_high_water =
+        std::max(stats_.bytes_high_water, stats_.bytes_live + stats_.bytes_cached);
+  }
+  return {p, cap, this};
+}
+
+void MemoryPool::release(double* data, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_lists_[capacity].push_back(data);
+  stats_.bytes_live -= capacity * sizeof(double);
+  stats_.bytes_cached += capacity * sizeof(double);
+}
+
+MemoryPool::Stats MemoryPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MemoryPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [cap, list] : free_lists_) {
+    for (double* p : list) delete[] p;
+    stats_.bytes_cached -= cap * sizeof(double) * list.size();
+    list.clear();
+  }
+}
+
+MemoryPool::~MemoryPool() { trim(); }
+
+MemoryPool& MemoryPool::global() {
+  static MemoryPool pool;
+  return pool;
+}
+
+}  // namespace ptlr::tlr

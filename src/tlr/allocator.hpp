@@ -1,0 +1,95 @@
+// Reusable memory pool — the "dynamic memory designation" substrate.
+//
+// Section VII-B of the paper: PaRSEC lets the user code allocate exactly
+// the memory a tile needs (2·b·k elements for its *actual* rank instead of
+// a static 2·b·maxrank), draw temporaries from a reusable pool, and
+// re-associate reallocated buffers with the runtime when recompression
+// grows a rank. This pool provides those allocations: size-bucketed free
+// lists with O(1) reuse, full statistics for the Fig. 8 memory experiment.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace ptlr::tlr {
+
+class MemoryPool;
+
+/// RAII lease of a pool buffer (doubles). Returns storage to the pool on
+/// destruction; movable, non-copyable.
+class PoolBuffer {
+ public:
+  PoolBuffer() = default;
+  PoolBuffer(PoolBuffer&& other) noexcept { swap(other); }
+  PoolBuffer& operator=(PoolBuffer&& other) noexcept {
+    PoolBuffer tmp(std::move(other));
+    swap(tmp);
+    return *this;
+  }
+  PoolBuffer(const PoolBuffer&) = delete;
+  PoolBuffer& operator=(const PoolBuffer&) = delete;
+  ~PoolBuffer();
+
+  [[nodiscard]] double* data() noexcept { return data_; }
+  [[nodiscard]] const double* data() const noexcept { return data_; }
+  /// Usable capacity in doubles (>= the requested size).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return data_ == nullptr; }
+
+ private:
+  friend class MemoryPool;
+  PoolBuffer(double* data, std::size_t capacity, MemoryPool* owner)
+      : data_(data), capacity_(capacity), owner_(owner) {}
+  void swap(PoolBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(capacity_, other.capacity_);
+    std::swap(owner_, other.owner_);
+  }
+
+  double* data_ = nullptr;
+  std::size_t capacity_ = 0;
+  MemoryPool* owner_ = nullptr;
+};
+
+/// Thread-safe size-bucketed pool of double buffers. Buckets are powers of
+/// two, so a released buffer serves any later request up to its capacity
+/// bucket — matching PaRSEC's arena-per-size reusable pools.
+class MemoryPool {
+ public:
+  MemoryPool() = default;
+  ~MemoryPool();
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  /// Lease a buffer of at least `n` doubles.
+  PoolBuffer acquire(std::size_t n);
+
+  /// Usage statistics (for the Fig. 8 experiment and tests).
+  struct Stats {
+    std::size_t bytes_live = 0;       ///< currently leased
+    std::size_t bytes_cached = 0;     ///< idle in free lists
+    std::size_t bytes_high_water = 0; ///< max simultaneous footprint
+    std::size_t reuse_hits = 0;       ///< acquisitions served from cache
+    std::size_t fresh_allocs = 0;     ///< acquisitions hitting malloc
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Free all cached (idle) buffers.
+  void trim();
+
+  /// A process-wide pool shared by tile kernels' workspaces.
+  static MemoryPool& global();
+
+ private:
+  friend class PoolBuffer;
+  void release(double* data, std::size_t capacity);
+  static std::size_t bucket_of(std::size_t n);
+
+  mutable std::mutex mu_;
+  std::map<std::size_t, std::vector<double*>> free_lists_;
+  Stats stats_;
+};
+
+}  // namespace ptlr::tlr

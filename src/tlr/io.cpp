@@ -1,0 +1,167 @@
+#include "tlr/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace ptlr::tlr {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x50544C523153ull;  // "PTLR1S"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+double read_f64(std::istream& is) {
+  double v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_matrix(std::ostream& os, const dense::Matrix& m) {
+  write_u64(os, static_cast<std::uint64_t>(m.rows()));
+  write_u64(os, static_cast<std::uint64_t>(m.cols()));
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+dense::Matrix read_matrix(std::istream& is) {
+  const auto rows = static_cast<int>(read_u64(is));
+  const auto cols = static_cast<int>(read_u64(is));
+  PTLR_CHECK(rows >= 0 && cols >= 0 && rows < (1 << 24) && cols < (1 << 24),
+             "corrupt matrix header");
+  dense::Matrix m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  return m;
+}
+
+}  // namespace
+
+void save(const TlrMatrix& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  PTLR_CHECK(os.good(), "cannot open for writing: " + path);
+  write_u64(os, kMagic);
+  write_u64(os, kVersion);
+  write_u64(os, static_cast<std::uint64_t>(m.n()));
+  write_u64(os, static_cast<std::uint64_t>(m.tile_size()));
+  write_u64(os, static_cast<std::uint64_t>(m.band_size()));
+  write_f64(os, m.accuracy().tol);
+  write_u64(os, static_cast<std::uint64_t>(m.accuracy().maxrank));
+  for (int i = 0; i < m.nt(); ++i)
+    for (int j = 0; j <= i; ++j) {
+      const Tile& t = m.at(i, j);
+      write_u64(os, t.is_dense() ? 0 : 1);
+      if (t.is_dense()) {
+        write_matrix(os, t.dense_data());
+      } else {
+        write_matrix(os, t.lr().u);
+        write_matrix(os, t.lr().v);
+      }
+    }
+  PTLR_CHECK(os.good(), "write failed: " + path);
+}
+
+TlrMatrix load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PTLR_CHECK(is.good(), "cannot open for reading: " + path);
+  PTLR_CHECK(read_u64(is) == kMagic, "not a PTLR matrix file: " + path);
+  PTLR_CHECK(read_u64(is) == kVersion, "unsupported format version");
+  const auto n = static_cast<int>(read_u64(is));
+  const auto b = static_cast<int>(read_u64(is));
+  const auto band = static_cast<int>(read_u64(is));
+  compress::Accuracy acc;
+  acc.tol = read_f64(is);
+  acc.maxrank = static_cast<int>(read_u64(is));
+
+  TlrMatrix m(n, b);
+  for (int i = 0; i < m.nt(); ++i)
+    for (int j = 0; j <= i; ++j) {
+      const std::uint64_t tag = read_u64(is);
+      PTLR_CHECK(tag <= 1, "corrupt tile tag");
+      if (tag == 0) {
+        m.at(i, j) = Tile::make_dense(read_matrix(is));
+      } else {
+        dense::Matrix u = read_matrix(is);
+        dense::Matrix v = read_matrix(is);
+        m.at(i, j) =
+            Tile::make_lowrank({std::move(u), std::move(v)});
+      }
+      PTLR_CHECK(is.good(), "truncated file: " + path);
+    }
+  // Restore the metadata the constructor cannot take.
+  m.densify_band(band);  // formats already match; this records band_size
+  m.set_accuracy(acc);
+  return m;
+}
+
+namespace {
+
+void append_u64(std::vector<char>& buf, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(v));
+}
+
+void append_matrix(std::vector<char>& buf, const dense::Matrix& m) {
+  append_u64(buf, static_cast<std::uint64_t>(m.rows()));
+  append_u64(buf, static_cast<std::uint64_t>(m.cols()));
+  const auto* p = reinterpret_cast<const char*>(m.data());
+  buf.insert(buf.end(), p, p + m.size() * sizeof(double));
+}
+
+std::uint64_t take_u64(const std::vector<char>& buf, std::size_t& pos) {
+  PTLR_CHECK(pos + sizeof(std::uint64_t) <= buf.size(),
+             "truncated tile buffer");
+  std::uint64_t v;
+  std::memcpy(&v, buf.data() + pos, sizeof(v));
+  pos += sizeof(v);
+  return v;
+}
+
+dense::Matrix take_matrix(const std::vector<char>& buf, std::size_t& pos) {
+  const auto rows = static_cast<int>(take_u64(buf, pos));
+  const auto cols = static_cast<int>(take_u64(buf, pos));
+  PTLR_CHECK(rows >= 0 && cols >= 0, "corrupt tile buffer");
+  dense::Matrix m(rows, cols);
+  const std::size_t bytes = m.size() * sizeof(double);
+  PTLR_CHECK(pos + bytes <= buf.size(), "truncated tile buffer");
+  std::memcpy(m.data(), buf.data() + pos, bytes);
+  pos += bytes;
+  return m;
+}
+
+}  // namespace
+
+std::vector<char> tile_to_bytes(const Tile& t) {
+  std::vector<char> buf;
+  append_u64(buf, t.is_dense() ? 0 : 1);
+  if (t.is_dense()) {
+    append_matrix(buf, t.dense_data());
+  } else {
+    append_matrix(buf, t.lr().u);
+    append_matrix(buf, t.lr().v);
+  }
+  return buf;
+}
+
+Tile tile_from_bytes(const std::vector<char>& bytes) {
+  std::size_t pos = 0;
+  const std::uint64_t tag = take_u64(bytes, pos);
+  PTLR_CHECK(tag <= 1, "corrupt tile buffer tag");
+  if (tag == 0) return Tile::make_dense(take_matrix(bytes, pos));
+  dense::Matrix u = take_matrix(bytes, pos);
+  dense::Matrix v = take_matrix(bytes, pos);
+  return Tile::make_lowrank({std::move(u), std::move(v)});
+}
+
+}  // namespace ptlr::tlr

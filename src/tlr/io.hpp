@@ -1,0 +1,30 @@
+// Binary (de)serialization of TLR matrices.
+//
+// Compressing a large covariance operator is expensive relative to
+// factorizing it at loose accuracies; persisting the compressed form lets
+// an MLE campaign reuse one compression across parameter evaluations and
+// lets the virtual-cluster tools consume rank maps produced elsewhere.
+// Format: a fixed little-endian header plus per-tile records; versioned.
+#pragma once
+
+#include <string>
+
+#include "tlr/tlr_matrix.hpp"
+
+namespace ptlr::tlr {
+
+/// Write `m` to `path`. Throws ptlr::Error on I/O failure.
+void save(const TlrMatrix& m, const std::string& path);
+
+/// Read a matrix previously written by save(). Throws ptlr::Error on I/O
+/// failure, bad magic, or version mismatch.
+TlrMatrix load(const std::string& path);
+
+/// Serialize one tile to a self-describing byte buffer (used as the wire
+/// format of the distributed execution layer).
+std::vector<char> tile_to_bytes(const Tile& t);
+
+/// Inverse of tile_to_bytes. Throws ptlr::Error on corrupt input.
+Tile tile_from_bytes(const std::vector<char>& bytes);
+
+}  // namespace ptlr::tlr

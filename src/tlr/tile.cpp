@@ -1,0 +1,66 @@
+#include "tlr/tile.hpp"
+
+namespace ptlr::tlr {
+
+int Tile::rows() const {
+  return is_dense() ? std::get<dense::Matrix>(storage_).rows()
+                    : std::get<compress::LowRankFactor>(storage_).rows();
+}
+
+int Tile::cols() const {
+  return is_dense() ? std::get<dense::Matrix>(storage_).cols()
+                    : std::get<compress::LowRankFactor>(storage_).cols();
+}
+
+int Tile::rank() const {
+  return is_dense() ? std::min(rows(), cols())
+                    : std::get<compress::LowRankFactor>(storage_).rank();
+}
+
+std::size_t Tile::elements() const {
+  return is_dense() ? std::get<dense::Matrix>(storage_).size()
+                    : std::get<compress::LowRankFactor>(storage_).elements();
+}
+
+dense::Matrix& Tile::dense_data() {
+  PTLR_CHECK(is_dense(), "tile is not dense");
+  return std::get<dense::Matrix>(storage_);
+}
+
+const dense::Matrix& Tile::dense_data() const {
+  PTLR_CHECK(is_dense(), "tile is not dense");
+  return std::get<dense::Matrix>(storage_);
+}
+
+compress::LowRankFactor& Tile::lr() {
+  PTLR_CHECK(is_lowrank(), "tile is not low-rank");
+  return std::get<compress::LowRankFactor>(storage_);
+}
+
+const compress::LowRankFactor& Tile::lr() const {
+  PTLR_CHECK(is_lowrank(), "tile is not low-rank");
+  return std::get<compress::LowRankFactor>(storage_);
+}
+
+dense::Matrix Tile::to_dense() const {
+  return is_dense() ? std::get<dense::Matrix>(storage_)
+                    : std::get<compress::LowRankFactor>(storage_).to_dense();
+}
+
+void Tile::densify() {
+  if (is_dense()) return;
+  storage_ = std::get<compress::LowRankFactor>(storage_).to_dense();
+}
+
+bool Tile::compress_to(const compress::Accuracy& acc) {
+  if (is_lowrank()) {
+    compress::recompress(std::get<compress::LowRankFactor>(storage_), acc);
+    return true;
+  }
+  auto f = compress::compress(std::get<dense::Matrix>(storage_).view(), acc);
+  if (!f) return false;
+  storage_ = std::move(*f);
+  return true;
+}
+
+}  // namespace ptlr::tlr

@@ -1,0 +1,67 @@
+// A matrix tile that is either dense or low-rank — the unit of data the
+// BAND-DENSE-TLR algorithm moves between formats (Section V).
+#pragma once
+
+#include <variant>
+
+#include "compress/compress.hpp"
+#include "dense/matrix.hpp"
+
+namespace ptlr::tlr {
+
+/// Storage format of a tile.
+enum class TileFormat { kDense, kLowRank };
+
+/// Tagged union of a dense block and a U·Vᵀ factorization, with the format
+/// transitions the densification pass needs.
+class Tile {
+ public:
+  Tile() : storage_(dense::Matrix()) {}
+
+  static Tile make_dense(dense::Matrix m) { return Tile(std::move(m)); }
+  static Tile make_lowrank(compress::LowRankFactor f) {
+    return Tile(std::move(f));
+  }
+
+  [[nodiscard]] TileFormat format() const {
+    return std::holds_alternative<dense::Matrix>(storage_)
+               ? TileFormat::kDense
+               : TileFormat::kLowRank;
+  }
+  [[nodiscard]] bool is_dense() const {
+    return format() == TileFormat::kDense;
+  }
+  [[nodiscard]] bool is_lowrank() const { return !is_dense(); }
+
+  [[nodiscard]] int rows() const;
+  [[nodiscard]] int cols() const;
+
+  /// Rank of the representation: k for low-rank, min(rows, cols) for dense.
+  [[nodiscard]] int rank() const;
+
+  /// Storage footprint in scalar elements (b² dense, 2·b·k low-rank).
+  [[nodiscard]] std::size_t elements() const;
+
+  /// Accessors; throw if the tile holds the other format.
+  [[nodiscard]] dense::Matrix& dense_data();
+  [[nodiscard]] const dense::Matrix& dense_data() const;
+  [[nodiscard]] compress::LowRankFactor& lr();
+  [[nodiscard]] const compress::LowRankFactor& lr() const;
+
+  /// Materialize as a dense matrix (copy).
+  [[nodiscard]] dense::Matrix to_dense() const;
+
+  /// In-place format transitions.
+  void densify();
+  /// Compress in place at the given accuracy; returns false (and leaves the
+  /// tile dense) if the rank cap is exceeded.
+  bool compress_to(const compress::Accuracy& acc);
+
+ private:
+  explicit Tile(dense::Matrix m) : storage_(std::move(m)) {}
+  explicit Tile(compress::LowRankFactor f) : storage_(std::move(f)) {}
+
+  std::variant<dense::Matrix, compress::LowRankFactor> storage_;
+};
+
+}  // namespace ptlr::tlr

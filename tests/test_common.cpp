@@ -1,0 +1,183 @@
+// Unit tests for ptlr::common — Morton codes, flop models, table output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/flops.hpp"
+#include "common/morton.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace m = ptlr::morton;
+namespace fl = ptlr::flops;
+
+TEST(Morton, Encode2RoundTrip) {
+  for (std::uint32_t x : {0u, 1u, 5u, 1023u, 65535u, 4000000u}) {
+    for (std::uint32_t y : {0u, 2u, 77u, 9999u, 65535u}) {
+      std::uint32_t rx = 0, ry = 0;
+      m::decode2(m::encode2(x, y), rx, ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+}
+
+TEST(Morton, Encode3RoundTrip) {
+  for (std::uint32_t x : {0u, 1u, 31u, 1024u, 100000u, 2097151u}) {
+    for (std::uint32_t y : {0u, 3u, 512u, 2097151u}) {
+      for (std::uint32_t z : {0u, 7u, 123456u}) {
+        std::uint32_t rx = 0, ry = 0, rz = 0;
+        m::decode3(m::encode3(x, y, z), rx, ry, rz);
+        EXPECT_EQ(rx, x);
+        EXPECT_EQ(ry, y);
+        EXPECT_EQ(rz, z);
+      }
+    }
+  }
+}
+
+TEST(Morton, Encode2KnownValues) {
+  // Interleave: x=0b11, y=0b01 -> bits x0 y0 x1 y1 = 1,1,1,0 -> 0b0111.
+  EXPECT_EQ(m::encode2(3, 1), 0b0111u);
+  EXPECT_EQ(m::encode2(0, 0), 0u);
+  EXPECT_EQ(m::encode2(1, 0), 1u);
+  EXPECT_EQ(m::encode2(0, 1), 2u);
+}
+
+TEST(Morton, Encode3KnownValues) {
+  EXPECT_EQ(m::encode3(1, 0, 0), 1u);
+  EXPECT_EQ(m::encode3(0, 1, 0), 2u);
+  EXPECT_EQ(m::encode3(0, 0, 1), 4u);
+  EXPECT_EQ(m::encode3(1, 1, 1), 7u);
+}
+
+TEST(Morton, EncodePreservesLocality) {
+  // Points adjacent in space should mostly be close in Morton order:
+  // check the key of (x, y) and (x+1, y) differ less than distant points
+  // on average over a small grid (sanity, not a strict property).
+  double near = 0, far = 0;
+  int cnt = 0;
+  for (std::uint32_t x = 0; x < 16; ++x)
+    for (std::uint32_t y = 0; y < 16; ++y) {
+      near += static_cast<double>(m::encode2(x + 1, y)) -
+              static_cast<double>(m::encode2(x, y)) > 0
+                  ? 1
+                  : 0;
+      far += static_cast<double>(m::encode2(x + 64, y)) >
+                     static_cast<double>(m::encode2(x, y))
+                 ? 1
+                 : 0;
+      ++cnt;
+    }
+  EXPECT_GT(near / cnt, 0.9);
+  EXPECT_GT(far / cnt, 0.9);
+}
+
+TEST(Morton, QuantizeClamps) {
+  EXPECT_EQ(m::quantize(-0.5, 10), 0u);
+  EXPECT_EQ(m::quantize(0.0, 10), 0u);
+  EXPECT_EQ(m::quantize(1.0, 10), 1023u);
+  EXPECT_EQ(m::quantize(2.0, 10), 1023u);
+  EXPECT_EQ(m::quantize(0.5, 1), 1u);
+}
+
+TEST(Flops, TableIModels) {
+  const std::int64_t b = 100, k = 10;
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kPotrf1, b, k), 1e6 / 3.0);
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kTrsm1, b, k), 1e6);
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kTrsm4, b, k), 1e5);
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kSyrk1, b, k), 1e6);
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kSyrk3, b, k),
+                   2.0 * b * b * k + 4.0 * b * k * k);
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kGemm1, b, k), 2e6);
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kGemm2, b, k), 4.0 * b * b * k);
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kGemm3, b, k),
+                   2.0 * b * b * k + 4.0 * b * k * k);
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kGemm5, b, k),
+                   34.0 * b * k * k + 157.0 * k * k * k);
+  EXPECT_DOUBLE_EQ(fl::model(fl::Kernel::kGemm6, b, k),
+                   36.0 * b * k * k + 157.0 * k * k * k);
+}
+
+TEST(Flops, LowRankKernelsCheaperThanDenseBelowThreshold) {
+  // The premise of Fig. 2a / Section V: LR GEMM beats dense GEMM only while
+  // the rank is small relative to b.
+  const std::int64_t b = 2700;
+  EXPECT_LT(fl::model(fl::Kernel::kGemm6, b, 20),
+            fl::model(fl::Kernel::kGemm1, b, 20));
+  EXPECT_GT(fl::model(fl::Kernel::kGemm6, b, b / 2),
+            fl::model(fl::Kernel::kGemm1, b, b / 2));
+}
+
+TEST(Flops, CounterAccumulatesAndResets) {
+  fl::Counter::reset();
+  fl::Counter::add(123.0);
+  fl::Counter::add(877.0);
+  EXPECT_DOUBLE_EQ(fl::Counter::total(), 1000.0);
+  fl::Region r;
+  fl::Counter::add(500.0);
+  EXPECT_DOUBLE_EQ(r.flops(), 500.0);
+  fl::Counter::reset();
+  EXPECT_DOUBLE_EQ(fl::Counter::total(), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  ptlr::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  ptlr::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Table, PrintsAlignedRowsAndCsv) {
+  ptlr::Table t({"name", "value"});
+  t.row().cell(std::string("alpha")).cell(1.5);
+  t.row().cell(std::string("b")).cell(static_cast<long long>(42));
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("alpha,1.5"), std::string::npos);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  ptlr::Table t({"x"});
+  EXPECT_THROW(t.cell(1.0), ptlr::Error);
+}
+
+TEST(Heatmap, RendersTriangle) {
+  const int nt = 3;
+  std::vector<double> v(nt * nt, -1.0);
+  v[0] = 0.0;
+  v[3] = 5.0;   // (1,0)
+  v[4] = 10.0;  // (1,1)
+  const std::string hm = ptlr::ascii_heatmap(nt, v, 10.0);
+  // 3 lines and blanks above the diagonal.
+  EXPECT_EQ(std::count(hm.begin(), hm.end(), '\n'), 3);
+  EXPECT_EQ(hm[1], ' ');
+}
+
+TEST(Error, CheckMacroThrowsWithMessage) {
+  try {
+    PTLR_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const ptlr::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, NumericalErrorCarriesInfo) {
+  ptlr::NumericalError e("potrf failed", 3);
+  EXPECT_EQ(e.info(), 3);
+}

@@ -1,0 +1,401 @@
+// Unit tests for ptlr::dense — the BLAS/LAPACK substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/flops.hpp"
+#include "dense/blas.hpp"
+#include "dense/lapack.hpp"
+#include "dense/util.hpp"
+
+using namespace ptlr::dense;
+using ptlr::Rng;
+
+namespace {
+
+// Naive triple-loop reference GEMM for validation.
+Matrix ref_gemm(Trans ta, Trans tb, double alpha, const Matrix& a,
+                const Matrix& b, double beta, const Matrix& c) {
+  Matrix out = c;
+  const int m = c.rows(), n = c.cols();
+  const int k = ta == Trans::N ? a.cols() : a.rows();
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const double av = ta == Trans::N ? a(i, p) : a(p, i);
+        const double bv = tb == Trans::N ? b(p, j) : b(j, p);
+        s += av * bv;
+      }
+      out(i, j) = alpha * s + beta * c(i, j);
+    }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- GEMM ----
+
+struct GemmCase {
+  Trans ta, tb;
+  int m, n, k;
+  double alpha, beta;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesReference) {
+  const auto p = GetParam();
+  Rng rng(17);
+  Matrix a(p.ta == Trans::N ? p.m : p.k, p.ta == Trans::N ? p.k : p.m);
+  Matrix b(p.tb == Trans::N ? p.k : p.n, p.tb == Trans::N ? p.n : p.k);
+  Matrix c(p.m, p.n);
+  fill_uniform(a.view(), rng);
+  fill_uniform(b.view(), rng);
+  fill_uniform(c.view(), rng);
+  const Matrix want = ref_gemm(p.ta, p.tb, p.alpha, a, b, p.beta, c);
+  gemm(p.ta, p.tb, p.alpha, a.view(), b.view(), p.beta, c.view());
+  EXPECT_LT(frob_diff(c.view(), want.view()), 1e-12 * (1 + frob_norm(want.view())));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransCombos, GemmTest,
+    ::testing::Values(
+        GemmCase{Trans::N, Trans::N, 13, 7, 9, 1.0, 0.0},
+        GemmCase{Trans::N, Trans::T, 13, 7, 9, -1.0, 1.0},
+        GemmCase{Trans::T, Trans::N, 13, 7, 9, 2.0, 0.5},
+        GemmCase{Trans::T, Trans::T, 13, 7, 9, 1.0, 1.0},
+        GemmCase{Trans::N, Trans::N, 1, 1, 1, 1.0, 0.0},
+        GemmCase{Trans::N, Trans::T, 32, 32, 32, 1.0, -1.0},
+        GemmCase{Trans::T, Trans::N, 5, 40, 3, 0.5, 2.0},
+        GemmCase{Trans::N, Trans::N, 40, 2, 17, 1.0, 0.0}));
+
+TEST(Gemm, ZeroAlphaOnlyScalesC) {
+  Rng rng(3);
+  Matrix a(4, 4), b(4, 4), c(4, 4);
+  fill_uniform(a.view(), rng);
+  fill_uniform(b.view(), rng);
+  fill_uniform(c.view(), rng);
+  Matrix want = c;
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 4; ++i) want(i, j) *= 3.0;
+  gemm(Trans::N, Trans::N, 0.0, a.view(), b.view(), 3.0, c.view());
+  EXPECT_LT(frob_diff(c.view(), want.view()), 1e-14);
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  Matrix a(4, 5), b(6, 3), c(4, 3);
+  EXPECT_THROW(gemm(Trans::N, Trans::N, 1.0, a.view(), b.view(), 0.0, c.view()),
+               ptlr::Error);
+}
+
+TEST(Gemm, ChargesModelFlops) {
+  ptlr::flops::Counter::reset();
+  Matrix a(10, 20), b(20, 30), c(10, 30);
+  gemm(Trans::N, Trans::N, 1.0, a.view(), b.view(), 0.0, c.view());
+  EXPECT_DOUBLE_EQ(ptlr::flops::Counter::total(), 2.0 * 10 * 30 * 20);
+}
+
+// ---------------------------------------------------------------- SYRK ----
+
+TEST(Syrk, LowerNotransMatchesGemm) {
+  Rng rng(5);
+  Matrix a(9, 4), c(9, 9), cg(9, 9);
+  fill_uniform(a.view(), rng);
+  fill_uniform(c.view(), rng);
+  symmetrize(Uplo::Lower, c.view());
+  cg = c;
+  syrk(Uplo::Lower, Trans::N, -1.0, a.view(), 1.0, c.view());
+  gemm(Trans::N, Trans::T, -1.0, a.view(), a.view(), 1.0, cg.view());
+  for (int j = 0; j < 9; ++j)
+    for (int i = j; i < 9; ++i) EXPECT_NEAR(c(i, j), cg(i, j), 1e-13);
+}
+
+TEST(Syrk, UpperTransMatchesGemm) {
+  Rng rng(6);
+  Matrix a(4, 9), c(9, 9), cg(9, 9);
+  fill_uniform(a.view(), rng);
+  fill_uniform(c.view(), rng);
+  symmetrize(Uplo::Upper, c.view());
+  cg = c;
+  syrk(Uplo::Upper, Trans::T, 2.0, a.view(), 0.5, c.view());
+  gemm(Trans::T, Trans::N, 2.0, a.view(), a.view(), 0.5, cg.view());
+  for (int j = 0; j < 9; ++j)
+    for (int i = 0; i <= j; ++i) EXPECT_NEAR(c(i, j), cg(i, j), 1e-13);
+}
+
+TEST(Syrk, LeavesOppositeTriangleUntouched) {
+  Rng rng(7);
+  Matrix a(6, 3), c(6, 6);
+  fill_uniform(a.view(), rng);
+  c.fill(7.0);
+  syrk(Uplo::Lower, Trans::N, 1.0, a.view(), 0.0, c.view());
+  for (int j = 1; j < 6; ++j)
+    for (int i = 0; i < j; ++i) EXPECT_DOUBLE_EQ(c(i, j), 7.0);
+}
+
+// ---------------------------------------------------------------- TRSM ----
+
+struct TrsmCase {
+  Side side;
+  Uplo uplo;
+  Trans trans;
+  Diag diag;
+};
+
+class TrsmTest : public ::testing::TestWithParam<TrsmCase> {};
+
+TEST_P(TrsmTest, SolvesSystem) {
+  const auto p = GetParam();
+  Rng rng(11);
+  const int m = 11, n = 6;
+  const int na = p.side == Side::Left ? m : n;
+  Matrix a(na, na);
+  fill_uniform(a.view(), rng, 0.1, 1.0);
+  for (int j = 0; j < na; ++j) a(j, j) = p.diag == Diag::Unit ? 1.0 : 3.0 + j;
+  // Zero the non-referenced triangle so the reference multiply is exact.
+  zero_opposite_triangle(p.uplo, a.view());
+  Matrix x(m, n);
+  fill_uniform(x.view(), rng);
+  // Build B = alpha^-1 * op(A)*X (left) or X*op(A) (right), then solve.
+  Matrix bm(m, n);
+  if (p.side == Side::Left)
+    gemm(p.trans, Trans::N, 1.0, a.view(), x.view(), 0.0, bm.view());
+  else
+    gemm(Trans::N, p.trans, 1.0, x.view(), a.view(), 0.0, bm.view());
+  trsm(p.side, p.uplo, p.trans, p.diag, 1.0, a.view(), bm.view());
+  EXPECT_LT(frob_diff(bm.view(), x.view()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmTest,
+    ::testing::Values(
+        TrsmCase{Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit},
+        TrsmCase{Side::Left, Uplo::Lower, Trans::T, Diag::NonUnit},
+        TrsmCase{Side::Left, Uplo::Upper, Trans::N, Diag::NonUnit},
+        TrsmCase{Side::Left, Uplo::Upper, Trans::T, Diag::NonUnit},
+        TrsmCase{Side::Right, Uplo::Lower, Trans::N, Diag::NonUnit},
+        TrsmCase{Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit},
+        TrsmCase{Side::Right, Uplo::Upper, Trans::N, Diag::NonUnit},
+        TrsmCase{Side::Right, Uplo::Upper, Trans::T, Diag::NonUnit},
+        TrsmCase{Side::Left, Uplo::Lower, Trans::N, Diag::Unit},
+        TrsmCase{Side::Right, Uplo::Upper, Trans::T, Diag::Unit}));
+
+TEST(Trsm, AppliesAlpha) {
+  Matrix a = identity(3);
+  Matrix bm(3, 2);
+  bm.fill(1.0);
+  trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 5.0, a.view(),
+       bm.view());
+  EXPECT_DOUBLE_EQ(bm(2, 1), 5.0);
+}
+
+// --------------------------------------------------------------- POTRF ----
+
+TEST(Potrf, FactorizesSpdLower) {
+  Rng rng(21);
+  for (int n : {1, 2, 17, 64, 130}) {
+    Matrix a = random_spd(n, rng);
+    Matrix l = a;
+    potrf(Uplo::Lower, l.view());
+    zero_opposite_triangle(Uplo::Lower, l.view());
+    Matrix rec(n, n);
+    gemm(Trans::N, Trans::T, 1.0, l.view(), l.view(), 0.0, rec.view());
+    EXPECT_LT(frob_diff(rec.view(), a.view()), 1e-10 * frob_norm(a.view()))
+        << "n=" << n;
+  }
+}
+
+TEST(Potrf, FactorizesSpdUpper) {
+  Rng rng(22);
+  const int n = 70;
+  Matrix a = random_spd(n, rng);
+  Matrix u = a;
+  potrf(Uplo::Upper, u.view());
+  zero_opposite_triangle(Uplo::Upper, u.view());
+  Matrix rec(n, n);
+  gemm(Trans::T, Trans::N, 1.0, u.view(), u.view(), 0.0, rec.view());
+  EXPECT_LT(frob_diff(rec.view(), a.view()), 1e-10 * frob_norm(a.view()));
+}
+
+TEST(Potrf, ThrowsOnIndefiniteWithPivotIndex) {
+  Matrix a = identity(5);
+  a(3, 3) = -1.0;
+  try {
+    potrf(Uplo::Lower, a.view());
+    FAIL() << "expected NumericalError";
+  } catch (const ptlr::NumericalError& e) {
+    EXPECT_EQ(e.info(), 4);  // 1-based index of the failing pivot
+  }
+}
+
+TEST(Potrf, RejectsNonSquare) {
+  Matrix a(4, 5);
+  EXPECT_THROW(potrf(Uplo::Lower, a.view()), ptlr::Error);
+}
+
+// ------------------------------------------------------------------ QR ----
+
+TEST(Qr, ReconstructsTallMatrix) {
+  Rng rng(31);
+  const int m = 40, n = 12;
+  Matrix a(m, n);
+  fill_uniform(a.view(), rng);
+  Matrix qr = a;
+  std::vector<double> tau;
+  geqrf(qr.view(), tau);
+  // Extract R, then form Q and multiply back.
+  Matrix r(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) r(i, j) = qr(i, j);
+  orgqr(qr.view(), tau, n);
+  Matrix rec(m, n);
+  gemm(Trans::N, Trans::N, 1.0, qr.view(), r.view(), 0.0, rec.view());
+  EXPECT_LT(frob_diff(rec.view(), a.view()), 1e-12 * frob_norm(a.view()));
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  Rng rng(32);
+  const int m = 33, n = 10;
+  Matrix a(m, n);
+  fill_uniform(a.view(), rng);
+  std::vector<double> tau;
+  geqrf(a.view(), tau);
+  orgqr(a.view(), tau, n);
+  Matrix qtq(n, n);
+  gemm(Trans::T, Trans::N, 1.0, a.view(), a.view(), 0.0, qtq.view());
+  EXPECT_LT(frob_diff(qtq.view(), identity(n).view()), 1e-12);
+}
+
+TEST(Qr, OrmqrAppliesQTranspose) {
+  Rng rng(33);
+  const int m = 25, n = 8, ncols = 5;
+  Matrix a(m, n), c(m, ncols);
+  fill_uniform(a.view(), rng);
+  fill_uniform(c.view(), rng);
+  Matrix qr = a;
+  std::vector<double> tau;
+  geqrf(qr.view(), tau);
+  Matrix q = qr;
+  orgqr(q.view(), tau, n);
+  // Explicit Q^T * C (leading n rows) vs ormqr.
+  Matrix want(n, ncols);
+  gemm(Trans::T, Trans::N, 1.0, q.view(), c.view(), 0.0, want.view());
+  Matrix got = c;
+  ormqr(Trans::T, qr.view(), tau, got.view());
+  EXPECT_LT(frob_diff(got.block(0, 0, n, ncols), want.view()), 1e-12);
+}
+
+TEST(Qr, Geqp3DetectsExactRank) {
+  Rng rng(34);
+  const int m = 50, n = 50, r = 7;
+  Matrix a = random_lowrank(m, n, r, 1.0, rng);  // flat spectrum, exact rank
+  auto piv = geqp3_trunc(a.view(), 1e-10, n);
+  EXPECT_EQ(piv.rank, r);
+}
+
+TEST(Qr, Geqp3RespectsMaxRank) {
+  Rng rng(35);
+  Matrix a(30, 30);
+  fill_uniform(a.view(), rng);
+  auto piv = geqp3_trunc(a.view(), 0.0, 5);
+  EXPECT_EQ(piv.rank, 5);
+}
+
+TEST(Qr, Geqp3ZeroMatrixHasRankZero) {
+  Matrix a(20, 20);
+  auto piv = geqp3_trunc(a.view(), 1e-14, 20);
+  EXPECT_EQ(piv.rank, 0);
+}
+
+// ----------------------------------------------------------------- SVD ----
+
+TEST(Svd, DiagonalMatrix) {
+  Matrix a(4, 4);
+  a(0, 0) = 3.0;
+  a(1, 1) = -2.0;
+  a(2, 2) = 1.0;
+  a(3, 3) = 0.5;
+  auto svd = jacobi_svd(a.view());
+  ASSERT_EQ(svd.s.size(), 4u);
+  EXPECT_NEAR(svd.s[0], 3.0, 1e-13);
+  EXPECT_NEAR(svd.s[1], 2.0, 1e-13);
+  EXPECT_NEAR(svd.s[2], 1.0, 1e-13);
+  EXPECT_NEAR(svd.s[3], 0.5, 1e-13);
+}
+
+TEST(Svd, ReconstructsRandomMatrix) {
+  Rng rng(41);
+  const int m = 30, n = 13;
+  Matrix a(m, n);
+  fill_uniform(a.view(), rng);
+  auto svd = jacobi_svd(a.view());
+  // rec = U * diag(s) * V^T
+  Matrix us = svd.u;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) us(i, j) *= svd.s[j];
+  Matrix rec(m, n);
+  gemm(Trans::N, Trans::T, 1.0, us.view(), svd.v.view(), 0.0, rec.view());
+  EXPECT_LT(frob_diff(rec.view(), a.view()), 1e-11 * frob_norm(a.view()));
+}
+
+TEST(Svd, SingularValuesDescendAndMatchFrobenius) {
+  Rng rng(42);
+  Matrix a(20, 20);
+  fill_uniform(a.view(), rng);
+  auto s = singular_values(a.view());
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) EXPECT_GE(s[i], s[i + 1]);
+  for (double v : s) sum2 += v * v;
+  const double f = frob_norm(a.view());
+  EXPECT_NEAR(std::sqrt(sum2), f, 1e-10 * f);
+}
+
+TEST(Svd, WideMatrixViaTranspose) {
+  Rng rng(43);
+  Matrix a(5, 12);
+  fill_uniform(a.view(), rng);
+  auto s = singular_values(a.view());
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_GT(s[0], 0.0);
+}
+
+TEST(Svd, RankDeficientTailIsZero) {
+  Rng rng(44);
+  Matrix a = random_lowrank(25, 25, 4, 1.0, rng);
+  auto s = singular_values(a.view());
+  for (std::size_t i = 4; i < s.size(); ++i) EXPECT_LT(s[i], 1e-12);
+}
+
+// ------------------------------------------------------------- utility ----
+
+TEST(Util, RandomLowRankHasRequestedSpectrum) {
+  Rng rng(51);
+  Matrix a = random_lowrank(40, 30, 10, 1e-4, rng);
+  auto s = singular_values(a.view());
+  EXPECT_NEAR(s[0], 1.0, 1e-10);
+  EXPECT_NEAR(s[9], 1e-4, 1e-10);
+}
+
+TEST(Util, SymmetrizeMirrors) {
+  Matrix a(3, 3);
+  a(1, 0) = 5.0;
+  a(2, 1) = -2.0;
+  symmetrize(Uplo::Lower, a.view());
+  EXPECT_DOUBLE_EQ(a(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), -2.0);
+}
+
+TEST(Util, BlockViewsAliasParent) {
+  Matrix a(6, 6);
+  auto blk = a.block(2, 3, 2, 2);
+  blk(0, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(a(2, 3), 9.0);
+}
+
+TEST(Util, Nrm2HandlesExtremeValues) {
+  std::vector<double> big(3, 1e200);
+  EXPECT_NEAR(nrm2(3, big.data()) / (1e200 * std::sqrt(3.0)), 1.0, 1e-12);
+  std::vector<double> tiny(4, 1e-200);
+  EXPECT_NEAR(nrm2(4, tiny.data()) / (1e-200 * 2.0), 1.0, 1e-12);
+}

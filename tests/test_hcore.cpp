@@ -1,0 +1,363 @@
+// Unit tests for ptlr::hcore — the ten (region)-kernels of Section VI.
+//
+// Every kernel variant is validated against its dense counterpart on the
+// same data, and the whole family is exercised end-to-end by a sequential
+// tile Cholesky factorization whose backward error must meet the
+// compression threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/blas.hpp"
+#include "dense/lapack.hpp"
+#include "dense/util.hpp"
+#include "hcore/kernels.hpp"
+#include "stars/problem.hpp"
+#include "tlr/tlr_matrix.hpp"
+
+using namespace ptlr;
+using namespace ptlr::dense;
+using namespace ptlr::hcore;
+using ptlr::tlr::Tile;
+using ptlr::tlr::TlrMatrix;
+using flops::Kernel;
+
+namespace {
+
+constexpr int kB = 24;      // tile size for kernel tests
+constexpr int kRank = 5;    // operand rank
+const Accuracy kAcc{1e-10, 1 << 30};
+
+Tile lr_tile(int m, int n, int r, Rng& rng) {
+  auto a = random_lowrank(m, n, r, 1.0, rng);
+  auto f = compress::compress(a.view(), kAcc);
+  return Tile::make_lowrank(std::move(*f));
+}
+
+Tile spd_tile(int n, Rng& rng) { return Tile::make_dense(random_spd(n, rng)); }
+
+// Dense reference of the update C -= A * B^T.
+Matrix ref_update(const Tile& a, const Tile& b, const Tile& c) {
+  Matrix out = c.to_dense();
+  Matrix ad = a.to_dense(), bd = b.to_dense();
+  gemm(Trans::N, Trans::T, -1.0, ad.view(), bd.view(), 1.0, out.view());
+  return out;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- POTRF ----
+
+TEST(HcorePotrf, MatchesDensePotrf) {
+  Rng rng(1);
+  Matrix a = random_spd(kB, rng);
+  Tile t = Tile::make_dense(a);
+  EXPECT_EQ(potrf(t), Kernel::kPotrf1);
+  Matrix want = a;
+  dense::potrf(Uplo::Lower, want.view());
+  // Compare lower triangles.
+  for (int j = 0; j < kB; ++j)
+    for (int i = j; i < kB; ++i)
+      EXPECT_NEAR(t.dense_data()(i, j), want(i, j), 1e-12);
+}
+
+TEST(HcorePotrf, RejectsLowRankTile) {
+  Rng rng(2);
+  Tile t = lr_tile(kB, kB, kRank, rng);
+  EXPECT_THROW(potrf(t), ptlr::Error);
+}
+
+// ---------------------------------------------------------------- TRSM ----
+
+TEST(HcoreTrsm, DenseVariantMatchesBlas) {
+  Rng rng(3);
+  Tile l = spd_tile(kB, rng);
+  potrf(l);
+  Matrix b0(kB, kB);
+  fill_uniform(b0.view(), rng);
+  Tile bt = Tile::make_dense(b0);
+  EXPECT_EQ(trsm(l, bt), Kernel::kTrsm1);
+  Matrix want = b0;
+  dense::trsm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0,
+              l.dense_data().view(), want.view());
+  EXPECT_LT(frob_diff(bt.dense_data().view(), want.view()), 1e-12);
+}
+
+TEST(HcoreTrsm, LowRankVariantMatchesDenseSolve) {
+  Rng rng(4);
+  Tile l = spd_tile(kB, rng);
+  potrf(l);
+  Tile bt = lr_tile(kB, kB, kRank, rng);
+  Matrix want = bt.to_dense();
+  dense::trsm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0,
+              l.dense_data().view(), want.view());
+  EXPECT_EQ(trsm(l, bt), Kernel::kTrsm4);
+  EXPECT_TRUE(bt.is_lowrank());
+  EXPECT_EQ(bt.rank(), kRank);  // (4)-TRSM preserves the rank
+  EXPECT_LT(frob_diff(bt.to_dense().view(), want.view()), 1e-9);
+}
+
+TEST(HcoreTrsm, RankZeroIsNoop) {
+  Rng rng(5);
+  Tile l = spd_tile(kB, rng);
+  potrf(l);
+  Tile z = Tile::make_lowrank({Matrix(kB, 0), Matrix(kB, 0)});
+  EXPECT_EQ(trsm(l, z), Kernel::kTrsm4);
+  EXPECT_EQ(z.rank(), 0);
+}
+
+// ---------------------------------------------------------------- SYRK ----
+
+TEST(HcoreSyrk, DenseVariantMatchesBlas) {
+  Rng rng(6);
+  Matrix a(kB, kB);
+  fill_uniform(a.view(), rng);
+  Tile at = Tile::make_dense(a);
+  Tile ct = spd_tile(kB, rng);
+  Matrix want = ct.dense_data();
+  EXPECT_EQ(syrk(at, ct), Kernel::kSyrk1);
+  dense::syrk(Uplo::Lower, Trans::N, -1.0, a.view(), 1.0, want.view());
+  for (int j = 0; j < kB; ++j)
+    for (int i = j; i < kB; ++i)
+      EXPECT_NEAR(ct.dense_data()(i, j), want(i, j), 1e-12);
+}
+
+TEST(HcoreSyrk, LowRankVariantMatchesDense) {
+  Rng rng(7);
+  Tile at = lr_tile(kB, kB, kRank, rng);
+  Tile ct = spd_tile(kB, rng);
+  Matrix want = ct.dense_data();
+  Matrix ad = at.to_dense();
+  gemm(Trans::N, Trans::T, -1.0, ad.view(), ad.view(), 1.0, want.view());
+  EXPECT_EQ(syrk(at, ct), Kernel::kSyrk3);
+  // Lower triangle must match the dense reference.
+  for (int j = 0; j < kB; ++j)
+    for (int i = j; i < kB; ++i)
+      EXPECT_NEAR(ct.dense_data()(i, j), want(i, j), 1e-9);
+}
+
+// ---------------------------------------------------- GEMM: dense output ---
+
+TEST(HcoreGemm, DenseDenseDense) {
+  Rng rng(8);
+  Matrix am(kB, kB), bm(kB, kB), cm(kB, kB);
+  fill_uniform(am.view(), rng);
+  fill_uniform(bm.view(), rng);
+  fill_uniform(cm.view(), rng);
+  Tile a = Tile::make_dense(am), b = Tile::make_dense(bm),
+       c = Tile::make_dense(cm);
+  Matrix want = ref_update(a, b, c);
+  EXPECT_EQ(gemm(a, b, c, kAcc), Kernel::kGemm1);
+  EXPECT_LT(frob_diff(c.dense_data().view(), want.view()), 1e-12);
+}
+
+TEST(HcoreGemm, LowRankTimesDenseIntoDense) {
+  Rng rng(9);
+  Tile a = lr_tile(kB, kB, kRank, rng);
+  Matrix bm(kB, kB), cm(kB, kB);
+  fill_uniform(bm.view(), rng);
+  fill_uniform(cm.view(), rng);
+  Tile b = Tile::make_dense(bm), c = Tile::make_dense(cm);
+  Matrix want = ref_update(a, b, c);
+  EXPECT_EQ(gemm(a, b, c, kAcc), Kernel::kGemm2);
+  EXPECT_LT(frob_diff(c.dense_data().view(), want.view()), 1e-10);
+}
+
+TEST(HcoreGemm, DenseTimesLowRankIntoDense) {
+  Rng rng(10);
+  Matrix am(kB, kB), cm(kB, kB);
+  fill_uniform(am.view(), rng);
+  fill_uniform(cm.view(), rng);
+  Tile a = Tile::make_dense(am);
+  Tile b = lr_tile(kB, kB, kRank, rng);
+  Tile c = Tile::make_dense(cm);
+  Matrix want = ref_update(a, b, c);
+  EXPECT_EQ(gemm(a, b, c, kAcc), Kernel::kGemm2);
+  EXPECT_LT(frob_diff(c.dense_data().view(), want.view()), 1e-10);
+}
+
+TEST(HcoreGemm, LowRankTimesLowRankIntoDense) {
+  Rng rng(11);
+  Tile a = lr_tile(kB, kB, kRank, rng);
+  Tile b = lr_tile(kB, kB, kRank + 2, rng);
+  Matrix cm(kB, kB);
+  fill_uniform(cm.view(), rng);
+  Tile c = Tile::make_dense(cm);
+  Matrix want = ref_update(a, b, c);
+  EXPECT_EQ(gemm(a, b, c, kAcc), Kernel::kGemm3);
+  EXPECT_LT(frob_diff(c.dense_data().view(), want.view()), 1e-10);
+}
+
+// ------------------------------------------------- GEMM: low-rank output ---
+
+TEST(HcoreGemm, LowRankTimesDenseIntoLowRank) {
+  Rng rng(12);
+  Tile a = lr_tile(kB, kB, kRank, rng);
+  Matrix bm(kB, kB);
+  fill_uniform(bm.view(), rng);
+  Tile b = Tile::make_dense(bm);
+  Tile c = lr_tile(kB, kB, 4, rng);
+  Matrix want = ref_update(a, b, c);
+  EXPECT_EQ(gemm(a, b, c, kAcc), Kernel::kGemm5);
+  ASSERT_TRUE(c.is_lowrank());
+  EXPECT_LT(frob_diff(c.to_dense().view(), want.view()),
+            1e-8 * frob_norm(want.view()) + 1e-9);
+}
+
+TEST(HcoreGemm, HcoreDgemmAllLowRank) {
+  Rng rng(13);
+  Tile a = lr_tile(kB, kB, kRank, rng);
+  Tile b = lr_tile(kB, kB, kRank + 3, rng);
+  Tile c = lr_tile(kB, kB, 4, rng);
+  Matrix want = ref_update(a, b, c);
+  EXPECT_EQ(gemm(a, b, c, kAcc), Kernel::kGemm6);
+  ASSERT_TRUE(c.is_lowrank());
+  EXPECT_LT(frob_diff(c.to_dense().view(), want.view()),
+            1e-8 * frob_norm(want.view()) + 1e-9);
+  // The recompressed rank stays at most k_C + min(k_A, k_B).
+  EXPECT_LE(c.rank(), 4 + kRank);
+}
+
+TEST(HcoreGemm, RecompressionKeepsRankMinimal) {
+  // Subtracting the product right back should return (close to) the
+  // original rank, not the inflated concatenation.
+  Rng rng(14);
+  Tile a = lr_tile(kB, kB, 3, rng);
+  Tile b = lr_tile(kB, kB, 3, rng);
+  Tile c = lr_tile(kB, kB, 4, rng);
+  Matrix before = c.to_dense();
+  gemm(a, b, c, kAcc);   // C -= A B^T
+  // Now add the product back by negating a and updating again.
+  for (int j = 0; j < a.lr().u.cols(); ++j)
+    for (int i = 0; i < kB; ++i) a.lr().u(i, j) = -a.lr().u(i, j);
+  gemm(a, b, c, kAcc);   // C += A B^T
+  EXPECT_LT(frob_diff(c.to_dense().view(), before.view()), 1e-8);
+  EXPECT_LE(c.rank(), 4 + 1);
+}
+
+TEST(HcoreGemm, DenseDenseIntoLowRankDensifiesOnDemand) {
+  Rng rng(15);
+  Matrix am(kB, kB), bm(kB, kB);
+  fill_uniform(am.view(), rng);
+  fill_uniform(bm.view(), rng);
+  Tile a = Tile::make_dense(am), b = Tile::make_dense(bm);
+  Tile c = lr_tile(kB, kB, 4, rng);
+  Matrix want = ref_update(a, b, c);
+  EXPECT_EQ(gemm(a, b, c, kAcc), Kernel::kGemm1);
+  EXPECT_TRUE(c.is_dense());  // tile-based densification fallback
+  EXPECT_LT(frob_diff(c.dense_data().view(), want.view()), 1e-9);
+}
+
+TEST(HcoreGemm, DenseTimesLowRankIntoLowRank) {
+  Rng rng(16);
+  Matrix am(kB, kB);
+  fill_uniform(am.view(), rng);
+  Tile a = Tile::make_dense(am);
+  Tile b = lr_tile(kB, kB, kRank, rng);
+  Tile c = lr_tile(kB, kB, 4, rng);
+  Matrix want = ref_update(a, b, c);
+  EXPECT_EQ(gemm(a, b, c, kAcc), Kernel::kGemm5);
+  EXPECT_LT(frob_diff(c.to_dense().view(), want.view()),
+            1e-8 * frob_norm(want.view()) + 1e-9);
+}
+
+TEST(HcoreGemm, RectangularTilesAreSupported) {
+  // Tail tiles are shorter: A (20x24), B (16x24), C (20x16).
+  Rng rng(17);
+  Tile a = lr_tile(20, 24, 4, rng);
+  Tile b = lr_tile(16, 24, 3, rng);
+  Tile c = lr_tile(20, 16, 2, rng);
+  Matrix want = ref_update(a, b, c);
+  gemm(a, b, c, kAcc);
+  EXPECT_LT(frob_diff(c.to_dense().view(), want.view()),
+            1e-8 * frob_norm(want.view()) + 1e-9);
+}
+
+TEST(HcoreGemm, ModelFlopsSelectTableOneEntries) {
+  const std::int64_t b = 2700, k = 300;
+  EXPECT_DOUBLE_EQ(gemm_model_flops(true, true, true, b, k),
+                   flops::model(Kernel::kGemm1, b, k));
+  EXPECT_DOUBLE_EQ(gemm_model_flops(false, true, true, b, k),
+                   flops::model(Kernel::kGemm2, b, k));
+  EXPECT_DOUBLE_EQ(gemm_model_flops(false, false, true, b, k),
+                   flops::model(Kernel::kGemm3, b, k));
+  EXPECT_DOUBLE_EQ(gemm_model_flops(false, true, false, b, k),
+                   flops::model(Kernel::kGemm5, b, k));
+  EXPECT_DOUBLE_EQ(gemm_model_flops(false, false, false, b, k),
+                   flops::model(Kernel::kGemm6, b, k));
+}
+
+// --------------------------------------- end-to-end sequential Cholesky ----
+
+namespace {
+
+// Right-looking tile Cholesky over hcore kernels (the reference workflow
+// the runtime version must reproduce).
+void tile_cholesky(TlrMatrix& m, const Accuracy& acc) {
+  for (int k = 0; k < m.nt(); ++k) {
+    potrf(m.at(k, k));
+    for (int i = k + 1; i < m.nt(); ++i) trsm(m.at(k, k), m.at(i, k));
+    for (int i = k + 1; i < m.nt(); ++i) {
+      syrk(m.at(i, k), m.at(i, i));
+      for (int j = k + 1; j < i; ++j)
+        gemm(m.at(i, k), m.at(j, k), m.at(i, j), acc);
+    }
+  }
+}
+
+// Assemble the lower-triangular factor from a factored tile matrix.
+Matrix assemble_lower(const TlrMatrix& m) {
+  Matrix l(m.n(), m.n());
+  for (int i = 0; i < m.nt(); ++i)
+    for (int j = 0; j <= i; ++j) {
+      Matrix blk = m.at(i, j).to_dense();
+      for (int c = 0; c < blk.cols(); ++c)
+        for (int r = 0; r < blk.rows(); ++r) {
+          if (i == j && r < c) continue;  // strictly upper part of diagonal
+          l(m.row_offset(i) + r, m.row_offset(j) + c) = blk(r, c);
+        }
+    }
+  return l;
+}
+
+}  // namespace
+
+struct CholeskyCase {
+  int n, b, band;
+  double tol;
+};
+
+class TlrCholeskyTest : public ::testing::TestWithParam<CholeskyCase> {};
+
+TEST_P(TlrCholeskyTest, BackwardErrorMeetsThreshold) {
+  const auto p = GetParam();
+  auto prob = stars::make_st3d_matern(p.n, 1.0, 0.5, 0.5, 29, 1e-1);
+  Accuracy acc{p.tol, p.b / 2};
+  auto m = TlrMatrix::from_problem(prob, p.b, acc, p.band);
+  Matrix a = prob.block(0, 0, p.n, p.n);
+  tile_cholesky(m, acc);
+  Matrix l = assemble_lower(m);
+  Matrix rec(p.n, p.n);
+  gemm(Trans::N, Trans::T, 1.0, l.view(), l.view(), 0.0, rec.view());
+  const double err = frob_diff(rec.view(), a.view()) / frob_norm(a.view());
+  // Backward error should track the compression threshold (modulo growth
+  // across NT panels), exactly as the paper validates against the
+  // application accuracy (Section VIII-A).
+  EXPECT_LT(err, p.tol * p.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, TlrCholeskyTest,
+    ::testing::Values(CholeskyCase{128, 32, 1, 1e-6},
+                      CholeskyCase{128, 32, 2, 1e-6},
+                      CholeskyCase{192, 48, 1, 1e-7},
+                      CholeskyCase{200, 32, 3, 1e-5},
+                      CholeskyCase{256, 32, 2, 1e-8}));
+
+TEST(TlrCholesky, LooserAccuracyGivesLowerRanks) {
+  auto prob = stars::make_st3d_matern(256, 1.0, 0.5, 0.5, 31, 1e-1);
+  // No rank cap so every off-diagonal tile compresses at both accuracies.
+  auto tight = TlrMatrix::from_problem(prob, 32, {1e-8, 1 << 30}, 1);
+  auto loose = TlrMatrix::from_problem(prob, 32, {1e-3, 1 << 30}, 1);
+  EXPECT_LE(loose.rank_stats().avg, tight.rank_stats().avg);
+}

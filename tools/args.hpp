@@ -1,0 +1,46 @@
+// Minimal command-line flag parsing shared by the PTLR tools:
+// --name value pairs with typed accessors and defaults.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ptlr::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      PTLR_CHECK(key.rfind("--", 0) == 0, "expected --flag, got: " + key);
+      key = key.substr(2);
+      PTLR_CHECK(i + 1 < argc, "missing value for --" + key);
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  [[nodiscard]] int integer(const std::string& key, int def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] double real(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ptlr::tools
