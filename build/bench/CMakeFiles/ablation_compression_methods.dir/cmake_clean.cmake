@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compression_methods.dir/ablation_compression_methods.cpp.o"
+  "CMakeFiles/ablation_compression_methods.dir/ablation_compression_methods.cpp.o.d"
+  "ablation_compression_methods"
+  "ablation_compression_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compression_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

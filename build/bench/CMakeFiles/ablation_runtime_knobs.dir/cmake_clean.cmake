@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_runtime_knobs.dir/ablation_runtime_knobs.cpp.o"
+  "CMakeFiles/ablation_runtime_knobs.dir/ablation_runtime_knobs.cpp.o.d"
+  "ablation_runtime_knobs"
+  "ablation_runtime_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runtime_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

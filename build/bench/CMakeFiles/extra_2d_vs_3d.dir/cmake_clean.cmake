@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_2d_vs_3d.dir/extra_2d_vs_3d.cpp.o"
+  "CMakeFiles/extra_2d_vs_3d.dir/extra_2d_vs_3d.cpp.o.d"
+  "extra_2d_vs_3d"
+  "extra_2d_vs_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_2d_vs_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

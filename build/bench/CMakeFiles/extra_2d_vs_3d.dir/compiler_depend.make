@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_2d_vs_3d.
+# This may be replaced when dependencies are built.

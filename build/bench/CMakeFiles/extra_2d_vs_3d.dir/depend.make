@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_2d_vs_3d.
+# This may be replaced when dependencies are built.

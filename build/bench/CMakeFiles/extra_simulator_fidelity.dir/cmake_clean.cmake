@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_simulator_fidelity.dir/extra_simulator_fidelity.cpp.o"
+  "CMakeFiles/extra_simulator_fidelity.dir/extra_simulator_fidelity.cpp.o.d"
+  "extra_simulator_fidelity"
+  "extra_simulator_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_simulator_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_tlr_vs_dense.dir/extra_tlr_vs_dense.cpp.o"
+  "CMakeFiles/extra_tlr_vs_dense.dir/extra_tlr_vs_dense.cpp.o.d"
+  "extra_tlr_vs_dense"
+  "extra_tlr_vs_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_tlr_vs_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

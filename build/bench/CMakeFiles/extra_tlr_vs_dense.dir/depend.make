@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_tlr_vs_dense.
+# This may be replaced when dependencies are built.

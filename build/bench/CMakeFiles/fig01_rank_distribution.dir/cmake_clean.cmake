@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_rank_distribution.dir/fig01_rank_distribution.cpp.o"
+  "CMakeFiles/fig01_rank_distribution.dir/fig01_rank_distribution.cpp.o.d"
+  "fig01_rank_distribution"
+  "fig01_rank_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_rank_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02a_tlr_vs_dense_gemm.dir/fig02a_tlr_vs_dense_gemm.cpp.o"
+  "CMakeFiles/fig02a_tlr_vs_dense_gemm.dir/fig02a_tlr_vs_dense_gemm.cpp.o.d"
+  "fig02a_tlr_vs_dense_gemm"
+  "fig02a_tlr_vs_dense_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02a_tlr_vs_dense_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02a_tlr_vs_dense_gemm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02b_rank_vs_tilesize.dir/fig02b_rank_vs_tilesize.cpp.o"
+  "CMakeFiles/fig02b_rank_vs_tilesize.dir/fig02b_rank_vs_tilesize.cpp.o.d"
+  "fig02b_rank_vs_tilesize"
+  "fig02b_rank_vs_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02b_rank_vs_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

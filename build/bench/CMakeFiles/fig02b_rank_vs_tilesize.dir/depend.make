@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02b_rank_vs_tilesize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_band_size_autotune.dir/fig06_band_size_autotune.cpp.o"
+  "CMakeFiles/fig06_band_size_autotune.dir/fig06_band_size_autotune.cpp.o.d"
+  "fig06_band_size_autotune"
+  "fig06_band_size_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_band_size_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_band_size_autotune.
+# This may be replaced when dependencies are built.

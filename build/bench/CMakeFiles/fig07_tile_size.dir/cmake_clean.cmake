@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tile_size.dir/fig07_tile_size.cpp.o"
+  "CMakeFiles/fig07_tile_size.dir/fig07_tile_size.cpp.o.d"
+  "fig07_tile_size"
+  "fig07_tile_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tile_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

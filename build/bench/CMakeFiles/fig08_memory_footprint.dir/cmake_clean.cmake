@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_memory_footprint.dir/fig08_memory_footprint.cpp.o"
+  "CMakeFiles/fig08_memory_footprint.dir/fig08_memory_footprint.cpp.o.d"
+  "fig08_memory_footprint"
+  "fig08_memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

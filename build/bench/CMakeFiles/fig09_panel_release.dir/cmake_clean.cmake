@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_panel_release.dir/fig09_panel_release.cpp.o"
+  "CMakeFiles/fig09_panel_release.dir/fig09_panel_release.cpp.o.d"
+  "fig09_panel_release"
+  "fig09_panel_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_panel_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

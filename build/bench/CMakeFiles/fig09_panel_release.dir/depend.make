@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_panel_release.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_occupancy.dir/fig11_occupancy.cpp.o"
+  "CMakeFiles/fig11_occupancy.dir/fig11_occupancy.cpp.o.d"
+  "fig11_occupancy"
+  "fig11_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_accuracy_thresholds.cpp" "bench/CMakeFiles/fig13_accuracy_thresholds.dir/fig13_accuracy_thresholds.cpp.o" "gcc" "bench/CMakeFiles/fig13_accuracy_thresholds.dir/fig13_accuracy_thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ptlr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hcore/CMakeFiles/ptlr_hcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlr/CMakeFiles/ptlr_tlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ptlr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/stars/CMakeFiles/ptlr_stars.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/ptlr_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ptlr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

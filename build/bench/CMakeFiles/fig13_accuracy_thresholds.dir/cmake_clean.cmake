@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_accuracy_thresholds.dir/fig13_accuracy_thresholds.cpp.o"
+  "CMakeFiles/fig13_accuracy_thresholds.dir/fig13_accuracy_thresholds.cpp.o.d"
+  "fig13_accuracy_thresholds"
+  "fig13_accuracy_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_accuracy_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_kernel_complexity.dir/table1_kernel_complexity.cpp.o"
+  "CMakeFiles/table1_kernel_complexity.dir/table1_kernel_complexity.cpp.o.d"
+  "table1_kernel_complexity"
+  "table1_kernel_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_kernel_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

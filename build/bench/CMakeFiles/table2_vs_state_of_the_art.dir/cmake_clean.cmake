@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_vs_state_of_the_art.dir/table2_vs_state_of_the_art.cpp.o"
+  "CMakeFiles/table2_vs_state_of_the_art.dir/table2_vs_state_of_the_art.cpp.o.d"
+  "table2_vs_state_of_the_art"
+  "table2_vs_state_of_the_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vs_state_of_the_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_vs_state_of_the_art.
+# This may be replaced when dependencies are built.

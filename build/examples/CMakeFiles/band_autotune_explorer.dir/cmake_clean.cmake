@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/band_autotune_explorer.dir/band_autotune_explorer.cpp.o"
+  "CMakeFiles/band_autotune_explorer.dir/band_autotune_explorer.cpp.o.d"
+  "band_autotune_explorer"
+  "band_autotune_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/band_autotune_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

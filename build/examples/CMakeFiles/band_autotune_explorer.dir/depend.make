@@ -1,0 +1,2 @@
+# Empty dependencies file for band_autotune_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kriging_prediction.dir/kriging_prediction.cpp.o"
+  "CMakeFiles/kriging_prediction.dir/kriging_prediction.cpp.o.d"
+  "kriging_prediction"
+  "kriging_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kriging_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mle_3d_geostatistics.dir/mle_3d_geostatistics.cpp.o"
+  "CMakeFiles/mle_3d_geostatistics.dir/mle_3d_geostatistics.cpp.o.d"
+  "mle_3d_geostatistics"
+  "mle_3d_geostatistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mle_3d_geostatistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mle_3d_geostatistics.
+# This may be replaced when dependencies are built.

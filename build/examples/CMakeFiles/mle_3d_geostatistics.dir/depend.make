@@ -1,0 +1,2 @@
+# Empty dependencies file for mle_3d_geostatistics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_cluster_scaling.dir/virtual_cluster_scaling.cpp.o"
+  "CMakeFiles/virtual_cluster_scaling.dir/virtual_cluster_scaling.cpp.o.d"
+  "virtual_cluster_scaling"
+  "virtual_cluster_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptlr_common.dir/flops.cpp.o"
+  "CMakeFiles/ptlr_common.dir/flops.cpp.o.d"
+  "CMakeFiles/ptlr_common.dir/morton.cpp.o"
+  "CMakeFiles/ptlr_common.dir/morton.cpp.o.d"
+  "CMakeFiles/ptlr_common.dir/table.cpp.o"
+  "CMakeFiles/ptlr_common.dir/table.cpp.o.d"
+  "libptlr_common.a"
+  "libptlr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptlr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptlr_compress.dir/compress.cpp.o"
+  "CMakeFiles/ptlr_compress.dir/compress.cpp.o.d"
+  "CMakeFiles/ptlr_compress.dir/methods.cpp.o"
+  "CMakeFiles/ptlr_compress.dir/methods.cpp.o.d"
+  "libptlr_compress.a"
+  "libptlr_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptlr_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

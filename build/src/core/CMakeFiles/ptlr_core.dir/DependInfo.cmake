@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/band_tuner.cpp" "src/core/CMakeFiles/ptlr_core.dir/band_tuner.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/band_tuner.cpp.o.d"
+  "/root/repo/src/core/cholesky.cpp" "src/core/CMakeFiles/ptlr_core.dir/cholesky.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/cholesky.cpp.o.d"
+  "/root/repo/src/core/cholesky_graph.cpp" "src/core/CMakeFiles/ptlr_core.dir/cholesky_graph.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/cholesky_graph.cpp.o.d"
+  "/root/repo/src/core/cholesky_ptg.cpp" "src/core/CMakeFiles/ptlr_core.dir/cholesky_ptg.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/cholesky_ptg.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/ptlr_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/dist_cholesky.cpp" "src/core/CMakeFiles/ptlr_core.dir/dist_cholesky.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/dist_cholesky.cpp.o.d"
+  "/root/repo/src/core/kriging.cpp" "src/core/CMakeFiles/ptlr_core.dir/kriging.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/kriging.cpp.o.d"
+  "/root/repo/src/core/matvec.cpp" "src/core/CMakeFiles/ptlr_core.dir/matvec.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/matvec.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/core/CMakeFiles/ptlr_core.dir/memory_model.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/memory_model.cpp.o.d"
+  "/root/repo/src/core/mle.cpp" "src/core/CMakeFiles/ptlr_core.dir/mle.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/mle.cpp.o.d"
+  "/root/repo/src/core/rank_map.cpp" "src/core/CMakeFiles/ptlr_core.dir/rank_map.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/rank_map.cpp.o.d"
+  "/root/repo/src/core/solve.cpp" "src/core/CMakeFiles/ptlr_core.dir/solve.cpp.o" "gcc" "src/core/CMakeFiles/ptlr_core.dir/solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hcore/CMakeFiles/ptlr_hcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ptlr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlr/CMakeFiles/ptlr_tlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/ptlr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/stars/CMakeFiles/ptlr_stars.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/ptlr_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptlr_core.dir/band_tuner.cpp.o"
+  "CMakeFiles/ptlr_core.dir/band_tuner.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/cholesky.cpp.o"
+  "CMakeFiles/ptlr_core.dir/cholesky.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/cholesky_graph.cpp.o"
+  "CMakeFiles/ptlr_core.dir/cholesky_graph.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/cholesky_ptg.cpp.o"
+  "CMakeFiles/ptlr_core.dir/cholesky_ptg.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/cost_model.cpp.o"
+  "CMakeFiles/ptlr_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/dist_cholesky.cpp.o"
+  "CMakeFiles/ptlr_core.dir/dist_cholesky.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/kriging.cpp.o"
+  "CMakeFiles/ptlr_core.dir/kriging.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/matvec.cpp.o"
+  "CMakeFiles/ptlr_core.dir/matvec.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/memory_model.cpp.o"
+  "CMakeFiles/ptlr_core.dir/memory_model.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/mle.cpp.o"
+  "CMakeFiles/ptlr_core.dir/mle.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/rank_map.cpp.o"
+  "CMakeFiles/ptlr_core.dir/rank_map.cpp.o.d"
+  "CMakeFiles/ptlr_core.dir/solve.cpp.o"
+  "CMakeFiles/ptlr_core.dir/solve.cpp.o.d"
+  "libptlr_core.a"
+  "libptlr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptlr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dense/blas.cpp" "src/dense/CMakeFiles/ptlr_dense.dir/blas.cpp.o" "gcc" "src/dense/CMakeFiles/ptlr_dense.dir/blas.cpp.o.d"
+  "/root/repo/src/dense/potrf.cpp" "src/dense/CMakeFiles/ptlr_dense.dir/potrf.cpp.o" "gcc" "src/dense/CMakeFiles/ptlr_dense.dir/potrf.cpp.o.d"
+  "/root/repo/src/dense/qr.cpp" "src/dense/CMakeFiles/ptlr_dense.dir/qr.cpp.o" "gcc" "src/dense/CMakeFiles/ptlr_dense.dir/qr.cpp.o.d"
+  "/root/repo/src/dense/svd.cpp" "src/dense/CMakeFiles/ptlr_dense.dir/svd.cpp.o" "gcc" "src/dense/CMakeFiles/ptlr_dense.dir/svd.cpp.o.d"
+  "/root/repo/src/dense/util.cpp" "src/dense/CMakeFiles/ptlr_dense.dir/util.cpp.o" "gcc" "src/dense/CMakeFiles/ptlr_dense.dir/util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptlr_dense.dir/blas.cpp.o"
+  "CMakeFiles/ptlr_dense.dir/blas.cpp.o.d"
+  "CMakeFiles/ptlr_dense.dir/potrf.cpp.o"
+  "CMakeFiles/ptlr_dense.dir/potrf.cpp.o.d"
+  "CMakeFiles/ptlr_dense.dir/qr.cpp.o"
+  "CMakeFiles/ptlr_dense.dir/qr.cpp.o.d"
+  "CMakeFiles/ptlr_dense.dir/svd.cpp.o"
+  "CMakeFiles/ptlr_dense.dir/svd.cpp.o.d"
+  "CMakeFiles/ptlr_dense.dir/util.cpp.o"
+  "CMakeFiles/ptlr_dense.dir/util.cpp.o.d"
+  "libptlr_dense.a"
+  "libptlr_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptlr_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

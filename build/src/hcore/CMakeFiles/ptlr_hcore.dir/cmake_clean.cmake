@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptlr_hcore.dir/kernels.cpp.o"
+  "CMakeFiles/ptlr_hcore.dir/kernels.cpp.o.d"
+  "libptlr_hcore.a"
+  "libptlr_hcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptlr_hcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ptlr_hcore.
+# This may be replaced when dependencies are built.

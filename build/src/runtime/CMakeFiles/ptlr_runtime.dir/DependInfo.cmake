@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/distribution.cpp" "src/runtime/CMakeFiles/ptlr_runtime.dir/distribution.cpp.o" "gcc" "src/runtime/CMakeFiles/ptlr_runtime.dir/distribution.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/runtime/CMakeFiles/ptlr_runtime.dir/executor.cpp.o" "gcc" "src/runtime/CMakeFiles/ptlr_runtime.dir/executor.cpp.o.d"
+  "/root/repo/src/runtime/mailbox.cpp" "src/runtime/CMakeFiles/ptlr_runtime.dir/mailbox.cpp.o" "gcc" "src/runtime/CMakeFiles/ptlr_runtime.dir/mailbox.cpp.o.d"
+  "/root/repo/src/runtime/ptg.cpp" "src/runtime/CMakeFiles/ptlr_runtime.dir/ptg.cpp.o" "gcc" "src/runtime/CMakeFiles/ptlr_runtime.dir/ptg.cpp.o.d"
+  "/root/repo/src/runtime/simulator.cpp" "src/runtime/CMakeFiles/ptlr_runtime.dir/simulator.cpp.o" "gcc" "src/runtime/CMakeFiles/ptlr_runtime.dir/simulator.cpp.o.d"
+  "/root/repo/src/runtime/taskgraph.cpp" "src/runtime/CMakeFiles/ptlr_runtime.dir/taskgraph.cpp.o" "gcc" "src/runtime/CMakeFiles/ptlr_runtime.dir/taskgraph.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/ptlr_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/ptlr_runtime.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptlr_runtime.dir/distribution.cpp.o"
+  "CMakeFiles/ptlr_runtime.dir/distribution.cpp.o.d"
+  "CMakeFiles/ptlr_runtime.dir/executor.cpp.o"
+  "CMakeFiles/ptlr_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/ptlr_runtime.dir/mailbox.cpp.o"
+  "CMakeFiles/ptlr_runtime.dir/mailbox.cpp.o.d"
+  "CMakeFiles/ptlr_runtime.dir/ptg.cpp.o"
+  "CMakeFiles/ptlr_runtime.dir/ptg.cpp.o.d"
+  "CMakeFiles/ptlr_runtime.dir/simulator.cpp.o"
+  "CMakeFiles/ptlr_runtime.dir/simulator.cpp.o.d"
+  "CMakeFiles/ptlr_runtime.dir/taskgraph.cpp.o"
+  "CMakeFiles/ptlr_runtime.dir/taskgraph.cpp.o.d"
+  "CMakeFiles/ptlr_runtime.dir/trace.cpp.o"
+  "CMakeFiles/ptlr_runtime.dir/trace.cpp.o.d"
+  "libptlr_runtime.a"
+  "libptlr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptlr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

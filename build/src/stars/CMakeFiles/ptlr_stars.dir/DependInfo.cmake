@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stars/besselk.cpp" "src/stars/CMakeFiles/ptlr_stars.dir/besselk.cpp.o" "gcc" "src/stars/CMakeFiles/ptlr_stars.dir/besselk.cpp.o.d"
+  "/root/repo/src/stars/geometry.cpp" "src/stars/CMakeFiles/ptlr_stars.dir/geometry.cpp.o" "gcc" "src/stars/CMakeFiles/ptlr_stars.dir/geometry.cpp.o.d"
+  "/root/repo/src/stars/kernels.cpp" "src/stars/CMakeFiles/ptlr_stars.dir/kernels.cpp.o" "gcc" "src/stars/CMakeFiles/ptlr_stars.dir/kernels.cpp.o.d"
+  "/root/repo/src/stars/problem.cpp" "src/stars/CMakeFiles/ptlr_stars.dir/problem.cpp.o" "gcc" "src/stars/CMakeFiles/ptlr_stars.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dense/CMakeFiles/ptlr_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

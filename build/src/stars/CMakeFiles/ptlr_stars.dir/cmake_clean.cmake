@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptlr_stars.dir/besselk.cpp.o"
+  "CMakeFiles/ptlr_stars.dir/besselk.cpp.o.d"
+  "CMakeFiles/ptlr_stars.dir/geometry.cpp.o"
+  "CMakeFiles/ptlr_stars.dir/geometry.cpp.o.d"
+  "CMakeFiles/ptlr_stars.dir/kernels.cpp.o"
+  "CMakeFiles/ptlr_stars.dir/kernels.cpp.o.d"
+  "CMakeFiles/ptlr_stars.dir/problem.cpp.o"
+  "CMakeFiles/ptlr_stars.dir/problem.cpp.o.d"
+  "libptlr_stars.a"
+  "libptlr_stars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptlr_stars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ptlr_stars.
+# This may be replaced when dependencies are built.

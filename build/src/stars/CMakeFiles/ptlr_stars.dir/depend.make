@@ -1,0 +1,2 @@
+# Empty dependencies file for ptlr_stars.
+# This may be replaced when dependencies are built.

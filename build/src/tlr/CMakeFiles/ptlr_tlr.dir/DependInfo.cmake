@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlr/allocator.cpp" "src/tlr/CMakeFiles/ptlr_tlr.dir/allocator.cpp.o" "gcc" "src/tlr/CMakeFiles/ptlr_tlr.dir/allocator.cpp.o.d"
+  "/root/repo/src/tlr/general_matrix.cpp" "src/tlr/CMakeFiles/ptlr_tlr.dir/general_matrix.cpp.o" "gcc" "src/tlr/CMakeFiles/ptlr_tlr.dir/general_matrix.cpp.o.d"
+  "/root/repo/src/tlr/io.cpp" "src/tlr/CMakeFiles/ptlr_tlr.dir/io.cpp.o" "gcc" "src/tlr/CMakeFiles/ptlr_tlr.dir/io.cpp.o.d"
+  "/root/repo/src/tlr/tile.cpp" "src/tlr/CMakeFiles/ptlr_tlr.dir/tile.cpp.o" "gcc" "src/tlr/CMakeFiles/ptlr_tlr.dir/tile.cpp.o.d"
+  "/root/repo/src/tlr/tlr_matrix.cpp" "src/tlr/CMakeFiles/ptlr_tlr.dir/tlr_matrix.cpp.o" "gcc" "src/tlr/CMakeFiles/ptlr_tlr.dir/tlr_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/ptlr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/stars/CMakeFiles/ptlr_stars.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/ptlr_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

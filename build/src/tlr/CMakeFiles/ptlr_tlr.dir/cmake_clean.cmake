@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptlr_tlr.dir/allocator.cpp.o"
+  "CMakeFiles/ptlr_tlr.dir/allocator.cpp.o.d"
+  "CMakeFiles/ptlr_tlr.dir/general_matrix.cpp.o"
+  "CMakeFiles/ptlr_tlr.dir/general_matrix.cpp.o.d"
+  "CMakeFiles/ptlr_tlr.dir/io.cpp.o"
+  "CMakeFiles/ptlr_tlr.dir/io.cpp.o.d"
+  "CMakeFiles/ptlr_tlr.dir/tile.cpp.o"
+  "CMakeFiles/ptlr_tlr.dir/tile.cpp.o.d"
+  "CMakeFiles/ptlr_tlr.dir/tlr_matrix.cpp.o"
+  "CMakeFiles/ptlr_tlr.dir/tlr_matrix.cpp.o.d"
+  "libptlr_tlr.a"
+  "libptlr_tlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptlr_tlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptlr_tlr.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hcore.dir/test_hcore.cpp.o"
+  "CMakeFiles/test_hcore.dir/test_hcore.cpp.o.d"
+  "test_hcore"
+  "test_hcore.pdb"
+  "test_hcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stars.dir/test_stars.cpp.o"
+  "CMakeFiles/test_stars.dir/test_stars.cpp.o.d"
+  "test_stars"
+  "test_stars.pdb"
+  "test_stars[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlr.dir/test_tlr.cpp.o"
+  "CMakeFiles/test_tlr.dir/test_tlr.cpp.o.d"
+  "test_tlr"
+  "test_tlr.pdb"
+  "test_tlr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

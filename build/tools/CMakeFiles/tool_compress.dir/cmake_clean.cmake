@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_compress.dir/ptlr_compress.cpp.o"
+  "CMakeFiles/tool_compress.dir/ptlr_compress.cpp.o.d"
+  "ptlr-compress"
+  "ptlr-compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_info.dir/ptlr_info.cpp.o"
+  "CMakeFiles/tool_info.dir/ptlr_info.cpp.o.d"
+  "ptlr-info"
+  "ptlr-info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

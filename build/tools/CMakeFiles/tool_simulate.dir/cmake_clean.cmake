@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_simulate.dir/ptlr_simulate.cpp.o"
+  "CMakeFiles/tool_simulate.dir/ptlr_simulate.cpp.o.d"
+  "ptlr-simulate"
+  "ptlr-simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

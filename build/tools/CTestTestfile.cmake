@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_roundtrip "bash" "-c" "set -e; d=\$(mktemp -d);              /root/repo/build/tools/ptlr-compress --n 512 --b 64 --tol 1e-3                --out \$d/s.ptlr --threads 2;              /root/repo/build/tools/ptlr-info --in \$d/s.ptlr | grep -q ratio_maxrank;              /root/repo/build/tools/ptlr-simulate --in \$d/s.ptlr --nodes 4                --trace \$d/t.json | grep -q nodes;              grep -q potrf \$d/t.json; rm -rf \$d")
+set_tests_properties(tools_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
