@@ -39,7 +39,10 @@ CholeskyResult factorize(tlr::TlrMatrix& a,
   result.model_flops = result.stats.model_flops;
 
   flops::Region flop_region;
-  result.exec = rt::execute(g, cfg.nthreads, cfg.record_trace);
+  rt::ExecOptions exec_opts;
+  exec_opts.record_trace = cfg.record_trace;
+  exec_opts.perturb = cfg.perturb;
+  result.exec = rt::execute(g, cfg.nthreads, exec_opts);
   result.factor_seconds = result.exec.seconds;
   result.measured_flops = flop_region.flops();
   return result;

@@ -28,6 +28,10 @@ struct CholeskyConfig {
   int recursive_block = 0;        ///< 0 → tile_size/4
   int nthreads = 2;
   bool record_trace = false;
+  /// Chaos mode for the worker pool (see runtime/perturb.hpp): replay the
+  /// same factorization across adversarial schedules. Numerics must not
+  /// depend on it — the schedule-independence property tests assert so.
+  rt::PerturbConfig perturb = rt::PerturbConfig::from_env();
 };
 
 /// Outcome of a shared-memory factorization.

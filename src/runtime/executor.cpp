@@ -27,16 +27,72 @@ struct ReadyOrder {
   }
 };
 
+// The set of ready tasks. Deterministic mode keeps the binary heap above;
+// chaos mode keeps a flat bag so pops can randomize tie-breaks or invert
+// priorities outright. Callers hold the pool mutex around every method.
+class ReadyPool {
+ public:
+  explicit ReadyPool(Perturber& perturber) : perturber_(perturber) {}
+
+  [[nodiscard]] bool empty() const {
+    return perturber_.enabled() ? bag_.empty() : heap_.empty();
+  }
+
+  void push(double priority, TaskId id) {
+    if (perturber_.enabled())
+      bag_.push_back({priority, id});
+    else
+      heap_.push({priority, id});
+  }
+
+  TaskId pop() {
+    if (!perturber_.enabled()) {
+      const TaskId id = heap_.top().id;
+      heap_.pop();
+      return id;
+    }
+    std::size_t pick;
+    if (perturber_.decide(perturber_.config().inversion_probability)) {
+      // Forced priority inversion: any ready task, priorities be damned.
+      pick = static_cast<std::size_t>(perturber_.below(bag_.size()));
+    } else {
+      // Highest priority, random tie-break among equals.
+      pick = 0;
+      std::size_t ties = 1;
+      for (std::size_t i = 1; i < bag_.size(); ++i) {
+        if (bag_[i].priority > bag_[pick].priority) {
+          pick = i;
+          ties = 1;
+        } else if (bag_[i].priority == bag_[pick].priority &&
+                   perturber_.below(++ties) == 0) {
+          pick = i;
+        }
+      }
+    }
+    const TaskId id = bag_[pick].id;
+    bag_[pick] = bag_.back();
+    bag_.pop_back();
+    return id;
+  }
+
+ private:
+  Perturber& perturber_;
+  std::priority_queue<ReadyTask, std::vector<ReadyTask>, ReadyOrder> heap_;
+  std::vector<ReadyTask> bag_;
+};
+
 }  // namespace
 
-ExecResult execute(TaskGraph& g, int nthreads, bool record_trace) {
+ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
   PTLR_CHECK(nthreads >= 1, "need at least one worker");
+  if (opts.validate) g.validate();
   const int n = g.size();
   ExecResult result;
   if (n == 0) return result;
 
+  Perturber perturber(opts.perturb);
   std::vector<std::atomic<int>> pending(static_cast<std::size_t>(n));
-  std::priority_queue<ReadyTask, std::vector<ReadyTask>, ReadyOrder> ready;
+  ReadyPool ready(perturber);
   std::mutex mu;
   std::condition_variable cv;
   int remaining = n;
@@ -48,12 +104,13 @@ ExecResult execute(TaskGraph& g, int nthreads, bool record_trace) {
       pending[static_cast<std::size_t>(t)].store(g.num_predecessors(t),
                                                  std::memory_order_relaxed);
       if (g.num_predecessors(t) == 0)
-        ready.push({g.info(t).priority, t});
+        ready.push(g.info(t).priority, t);
     }
   }
 
   std::vector<TraceEvent> trace;
-  if (record_trace) trace.resize(static_cast<std::size_t>(n));
+  if (opts.record_trace) trace.resize(static_cast<std::size_t>(n));
+  std::atomic<long long> seq_clock{0};
 
   WallTimer timer;
   auto worker = [&](int wid) {
@@ -66,10 +123,11 @@ ExecResult execute(TaskGraph& g, int nthreads, bool record_trace) {
         });
         if (remaining == 0 || first_error != nullptr) return;
         if (ready.empty()) continue;
-        task = ready.top().id;
-        ready.pop();
+        task = ready.pop();
       }
 
+      perturber.maybe_stall();
+      const long long s0 = seq_clock.fetch_add(1, std::memory_order_relaxed);
       const double t0 = timer.seconds();
       try {
         if (g.info(task).fn) g.info(task).fn();
@@ -80,7 +138,8 @@ ExecResult execute(TaskGraph& g, int nthreads, bool record_trace) {
         return;
       }
       const double t1 = timer.seconds();
-      if (record_trace) {
+      const long long s1 = seq_clock.fetch_add(1, std::memory_order_relaxed);
+      if (opts.record_trace) {
         auto& ev = trace[static_cast<std::size_t>(task)];
         ev.task = task;
         ev.kind = g.info(task).kind;
@@ -88,16 +147,19 @@ ExecResult execute(TaskGraph& g, int nthreads, bool record_trace) {
         ev.worker = wid;
         ev.start = t0;
         ev.end = t1;
+        ev.seq_start = s0;
+        ev.seq_end = s1;
       }
 
       // Release successors; collect newly-ready tasks under the lock.
+      perturber.maybe_stall();
       bool notify = false;
       {
         std::lock_guard<std::mutex> lock(mu);
         for (const TaskId s : g.successors(task)) {
           if (pending[static_cast<std::size_t>(s)].fetch_sub(
                   1, std::memory_order_acq_rel) == 1) {
-            ready.push({g.info(s).priority, s});
+            ready.push(g.info(s).priority, s);
             notify = true;
           }
         }
@@ -116,6 +178,12 @@ ExecResult execute(TaskGraph& g, int nthreads, bool record_trace) {
   result.seconds = timer.seconds();
   result.trace = std::move(trace);
   return result;
+}
+
+ExecResult execute(TaskGraph& g, int nthreads, bool record_trace) {
+  ExecOptions opts;
+  opts.record_trace = record_trace;
+  return execute(g, nthreads, opts);
 }
 
 std::vector<double> panel_release_times(

@@ -4,6 +4,7 @@
 // for distributed-scale studies.
 #pragma once
 
+#include "runtime/perturb.hpp"
 #include "runtime/taskgraph.hpp"
 #include "runtime/trace.hpp"
 
@@ -15,10 +16,26 @@ struct ExecResult {
   std::vector<TraceEvent> trace;     ///< one event per executed task
 };
 
+/// Options of a shared-memory run.
+struct ExecOptions {
+  bool record_trace = false;  ///< fill ExecResult::trace (incl. seq stamps)
+  /// Run TaskGraph::validate() before launching workers, so a malformed
+  /// graph (cycle, dangling successor, inconsistent predecessor counts)
+  /// throws a descriptive ptlr::Error instead of deadlocking the pool.
+  bool validate = true;
+  /// Chaos mode (see perturb.hpp): seeded random tie-breaking, forced
+  /// priority inversions and worker stalls. Defaults honour
+  /// PTLR_PERTURB_SEED so failing seeds replay without a recompile.
+  PerturbConfig perturb = PerturbConfig::from_env();
+};
+
 /// Execute every task in `g` respecting its dependencies, using `nthreads`
-/// worker threads. Among ready tasks, higher TaskInfo::priority runs first.
-/// Exceptions thrown by task bodies are captured and rethrown on the
-/// calling thread after the pool drains.
+/// worker threads. Among ready tasks, higher TaskInfo::priority runs first
+/// (unless perturbation inverts it). Exceptions thrown by task bodies are
+/// captured and rethrown on the calling thread after the pool drains.
+ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts);
+
+/// Back-compat convenience overload.
 ExecResult execute(TaskGraph& g, int nthreads, bool record_trace = false);
 
 }  // namespace ptlr::rt

@@ -4,14 +4,19 @@
 
 namespace ptlr::rt::dist {
 
-Communicator::Communicator(int nranks)
-    : nranks_(nranks), boxes_(static_cast<std::size_t>(nranks)) {
+Communicator::Communicator(int nranks, const PerturbConfig& perturb)
+    : nranks_(nranks),
+      perturber_(perturb),
+      boxes_(static_cast<std::size_t>(nranks)) {
   PTLR_CHECK(nranks >= 1, "need at least one rank");
 }
 
 void Communicator::send(int from, int to, std::uint64_t tag,
                         std::vector<char> payload) {
   PTLR_CHECK(to >= 0 && to < nranks_, "send to invalid rank");
+  // Chaos mode: hold the message in flight for a moment so a later send
+  // (to another tag or another rank) can overtake it.
+  perturber_.maybe_delay_delivery();
   if (from != to) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.messages++;

@@ -18,6 +18,8 @@
 #include <queue>
 #include <vector>
 
+#include "runtime/perturb.hpp"
+
 namespace ptlr::rt::dist {
 
 /// Message tags: (space, k, i, j) packed into 64 bits, mirroring the data
@@ -33,7 +35,14 @@ constexpr std::uint64_t make_tag(std::uint32_t space, std::uint32_t k,
 /// Tagged mailboxes between `nranks` ranks sharing one process.
 class Communicator {
  public:
-  explicit Communicator(int nranks);
+  /// `perturb` (chaos mode, see perturb.hpp) injects seeded random delays
+  /// before a deposit becomes visible, so messages on different tags
+  /// arrive out of their send order — the reordering a real network is
+  /// allowed to do and the in-process FIFO would otherwise hide. Defaults
+  /// honour PTLR_PERTURB_SEED, like the executor.
+  explicit Communicator(int nranks,
+                        const PerturbConfig& perturb =
+                            PerturbConfig::from_env());
 
   [[nodiscard]] int nranks() const { return nranks_; }
 
@@ -63,6 +72,7 @@ class Communicator {
     std::map<std::uint64_t, std::queue<std::vector<char>>> slots;
   };
   int nranks_;
+  Perturber perturber_;
   std::vector<Box> boxes_;
   std::atomic<bool> aborted_{false};
   mutable std::mutex stats_mu_;

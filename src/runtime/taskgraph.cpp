@@ -41,6 +41,55 @@ TaskId TaskGraph::add_task(TaskInfo info, std::span<const DataKey> reads,
   return id;
 }
 
+void TaskGraph::add_dependency(TaskId from, TaskId to) {
+  const auto n = static_cast<TaskId>(nodes_.size());
+  PTLR_CHECK(from >= 0 && from < n, "add_dependency: `from` is not a task");
+  PTLR_CHECK(to >= 0 && to < n, "add_dependency: `to` is not a task");
+  PTLR_CHECK(from != to, "add_dependency: self-dependency");
+  add_edge(from, to);
+}
+
+void TaskGraph::validate() const {
+  const auto n = static_cast<TaskId>(nodes_.size());
+  std::vector<int> indegree(nodes_.size(), 0);
+  for (std::size_t t = 0; t < nodes_.size(); ++t) {
+    for (const TaskId s : nodes_[t].succ) {
+      PTLR_CHECK(s >= 0 && s < n,
+                 "task \"" + nodes_[t].info.name + "\" (id " +
+                     std::to_string(t) +
+                     ") has a dangling successor index " + std::to_string(s));
+      PTLR_CHECK(static_cast<std::size_t>(s) != t,
+                 "task \"" + nodes_[t].info.name + "\" depends on itself");
+      indegree[static_cast<std::size_t>(s)]++;
+    }
+  }
+  for (std::size_t t = 0; t < nodes_.size(); ++t) {
+    PTLR_CHECK(indegree[t] == nodes_[t].npred,
+               "task \"" + nodes_[t].info.name + "\" (id " +
+                   std::to_string(t) + ") expects " +
+                   std::to_string(nodes_[t].npred) +
+                   " predecessors but has " + std::to_string(indegree[t]) +
+                   " incoming edges");
+  }
+  // Kahn's algorithm: if a topological order does not cover every task the
+  // leftover tasks form (or hang off) a cycle and the pool would deadlock.
+  std::vector<TaskId> stack;
+  for (TaskId t = 0; t < n; ++t)
+    if (indegree[static_cast<std::size_t>(t)] == 0) stack.push_back(t);
+  std::size_t seen = 0;
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (const TaskId s : nodes_[static_cast<std::size_t>(t)].succ)
+      if (--indegree[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+  }
+  PTLR_CHECK(seen == nodes_.size(),
+             "dependency cycle: " + std::to_string(nodes_.size() - seen) +
+                 " of " + std::to_string(nodes_.size()) +
+                 " tasks can never become ready");
+}
+
 TaskGraph::EdgeStats TaskGraph::classify_edges() const {
   EdgeStats s;
   for (const Node& n : nodes_)

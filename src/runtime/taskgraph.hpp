@@ -54,6 +54,18 @@ class TaskGraph {
   TaskId add_task(TaskInfo info, std::span<const DataKey> reads,
                   std::span<const DataKey> writes);
 
+  /// Add an explicit edge `from -> to` outside the dataflow rules (control
+  /// dependencies, adversarial test graphs). Duplicate edges are collapsed.
+  /// Both ids must name existing tasks and differ; unlike dataflow edges,
+  /// nothing stops a caller from building a cycle here — `validate()` (run
+  /// by the executor before launching workers) rejects such graphs.
+  void add_dependency(TaskId from, TaskId to);
+
+  /// Structural sanity check: every successor id in range, predecessor
+  /// counts consistent with the edges, and no dependency cycle. Throws
+  /// ptlr::Error describing the first violation. Cost O(V + E).
+  void validate() const;
+
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] const TaskInfo& info(TaskId t) const {
     return nodes_[static_cast<std::size_t>(t)].info;

@@ -19,6 +19,13 @@ struct TraceEvent {
   int worker = 0;     ///< worker/core index within the process
   double start = 0.0; ///< seconds from run start
   double end = 0.0;
+  /// Logical happens-before stamps drawn from one atomic counter shared by
+  /// all workers (shared-memory executor only; -1 in simulator traces).
+  /// A dependency t -> s executed correctly iff seq_end(t) < seq_start(s);
+  /// unlike wall-clock start/end these cannot alias under coarse timers,
+  /// so the fuzzer's dependency checker is exact.
+  long long seq_start = -1;
+  long long seq_end = -1;
 };
 
 /// Completion time of the last task of each panel — the panel release

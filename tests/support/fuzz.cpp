@@ -1,0 +1,275 @@
+#include "support/fuzz.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptlr::testing {
+
+using rt::DataKey;
+using rt::make_key;
+using rt::TaskId;
+using rt::TaskInfo;
+
+// ------------------------------------------------------------- state ----
+
+struct FuzzProgram::State {
+  std::vector<Op> ops;
+  std::vector<double> cells;
+  std::vector<double> initial;
+  /// Fixed capacity (atomics are immovable); ops.size() entries are live.
+  std::vector<std::atomic<long long>> counts;
+
+  State(int nkeys, int ntasks_hint)
+      : cells(static_cast<std::size_t>(nkeys)),
+        initial(static_cast<std::size_t>(nkeys)),
+        counts(static_cast<std::size_t>(ntasks_hint)) {
+    ops.reserve(static_cast<std::size_t>(ntasks_hint));
+    for (std::size_t k = 0; k < cells.size(); ++k)
+      initial[k] = cells[k] = 1.0 + 0.0625 * static_cast<double>(k);
+    for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+  }
+};
+
+namespace {
+
+// One task's arithmetic. Deliberately non-commutative and non-associative:
+// reordering two writers of a cell, or letting a reader see a stale value,
+// changes the bits of the result.
+void apply_op(std::vector<double>& cells, const FuzzProgram::Op& op,
+              TaskId id) {
+  double acc = 1.0 + 1e-3 * static_cast<double>(id);
+  for (const int r : op.reads)
+    acc = 0.75 * acc + cells[static_cast<std::size_t>(r)];
+  for (std::size_t w = 0; w < op.writes.size(); ++w) {
+    double& cell = cells[static_cast<std::size_t>(op.writes[w])];
+    cell = 0.5 * cell + acc + 0.125 * static_cast<double>(w);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------- construction ----
+
+FuzzProgram::FuzzProgram(int nkeys, int ntasks_hint)
+    : state_(std::make_unique<State>(nkeys, ntasks_hint)) {}
+
+FuzzProgram::FuzzProgram(FuzzProgram&&) noexcept = default;
+FuzzProgram& FuzzProgram::operator=(FuzzProgram&&) noexcept = default;
+FuzzProgram::~FuzzProgram() = default;
+
+TaskId FuzzProgram::add_op(TaskInfo info, Op op) {
+  std::vector<DataKey> reads, writes;
+  reads.reserve(op.reads.size());
+  writes.reserve(op.writes.size());
+  for (const int r : op.reads)
+    reads.push_back(make_key(0, 0, static_cast<std::uint32_t>(r)));
+  for (const int w : op.writes)
+    writes.push_back(make_key(0, 0, static_cast<std::uint32_t>(w)));
+
+  const auto id = static_cast<TaskId>(state_->ops.size());
+  PTLR_CHECK(static_cast<std::size_t>(id) < state_->counts.size(),
+             "FuzzProgram task-count hint too small");
+  state_->ops.push_back(std::move(op));
+  State* st = state_.get();  // heap state: stable across moves of *this
+  info.fn = [st, id] {
+    st->counts[static_cast<std::size_t>(id)].fetch_add(
+        1, std::memory_order_relaxed);
+    apply_op(st->cells, st->ops[static_cast<std::size_t>(id)], id);
+  };
+  return graph_.add_task(std::move(info), reads, writes);
+}
+
+FuzzProgram FuzzProgram::random(Rng& rng, int ntasks, int nkeys) {
+  FuzzProgram p(nkeys, ntasks);
+  for (int t = 0; t < ntasks; ++t) {
+    Op op;
+    const int nr = static_cast<int>(rng.integer(0, 3));
+    const int nw = static_cast<int>(rng.integer(0, 2));
+    for (int r = 0; r < nr; ++r)
+      op.reads.push_back(static_cast<int>(rng.integer(0, nkeys - 1)));
+    for (int w = 0; w < nw; ++w)
+      op.writes.push_back(static_cast<int>(rng.integer(0, nkeys - 1)));
+    TaskInfo info;
+    info.name = "f" + std::to_string(t);
+    info.priority = rng.uniform();
+    p.add_op(std::move(info), std::move(op));
+  }
+  return p;
+}
+
+FuzzProgram FuzzProgram::diamond(int layers, int width) {
+  // Cell 0 is the join datum; cells 1..width are the middle lanes.
+  FuzzProgram p(width + 1, layers * (width + 2));
+  for (int l = 0; l < layers; ++l) {
+    TaskInfo src;
+    src.name = "src" + std::to_string(l);
+    p.add_op(std::move(src), Op{{}, {0}});
+    for (int w = 0; w < width; ++w) {
+      TaskInfo mid;
+      mid.name = "mid" + std::to_string(l) + "_" + std::to_string(w);
+      mid.priority = w;  // skewed priorities invite inversions
+      p.add_op(std::move(mid), Op{{0}, {1 + w}});
+    }
+    TaskInfo sink;
+    sink.name = "sink" + std::to_string(l);
+    Op join;
+    for (int w = 0; w < width; ++w) join.reads.push_back(1 + w);
+    join.writes.push_back(0);
+    p.add_op(std::move(sink), std::move(join));
+  }
+  return p;
+}
+
+FuzzProgram FuzzProgram::fork_join(int stages, int fanout) {
+  // Cell 0 is the barrier datum; cells 1..fanout are persistent lanes.
+  FuzzProgram p(fanout + 1, stages * (fanout + 1));
+  for (int s = 0; s < stages; ++s) {
+    for (int f = 0; f < fanout; ++f) {
+      TaskInfo work;
+      work.name = "w" + std::to_string(s) + "_" + std::to_string(f);
+      work.priority = (s + f) % 3;
+      p.add_op(std::move(work), Op{{0, 1 + f}, {1 + f}});
+    }
+    TaskInfo barrier;
+    barrier.name = "join" + std::to_string(s);
+    Op join;
+    for (int f = 0; f < fanout; ++f) join.reads.push_back(1 + f);
+    join.writes.push_back(0);
+    p.add_op(std::move(barrier), std::move(join));
+  }
+  return p;
+}
+
+FuzzProgram FuzzProgram::band_cholesky(int ntiles, int band) {
+  // One cell per lower-triangular tile (i, j), i >= j.
+  const auto cell = [ntiles](int i, int j) { return i * ntiles + j; };
+  FuzzProgram p(ntiles * ntiles, ntiles * ntiles * ntiles);
+  const auto panel_priority = [ntiles](int k) {
+    return static_cast<double>(ntiles - k);  // early panels first (Fig. 9)
+  };
+  for (int k = 0; k < ntiles; ++k) {
+    TaskInfo potrf;
+    potrf.name = "potrf" + std::to_string(k);
+    potrf.kind = 0;
+    potrf.panel = k;
+    potrf.priority = panel_priority(k) + 0.75;
+    p.add_op(std::move(potrf), Op{{cell(k, k)}, {cell(k, k)}});
+    for (int i = k + 1; i < ntiles; ++i) {
+      TaskInfo trsm;
+      trsm.name = "trsm" + std::to_string(i) + "_" + std::to_string(k);
+      trsm.kind = (i - k < band) ? 1 : 2;  // dense-band vs. TLR flavour
+      trsm.panel = k;
+      trsm.priority = panel_priority(k) + 0.5;
+      p.add_op(std::move(trsm), Op{{cell(k, k), cell(i, k)}, {cell(i, k)}});
+    }
+    for (int i = k + 1; i < ntiles; ++i)
+      for (int j = k + 1; j <= i; ++j) {
+        TaskInfo upd;
+        upd.name = (i == j ? "syrk" : "gemm") + std::to_string(i) + "_" +
+                   std::to_string(j) + "_" + std::to_string(k);
+        upd.kind = (i - j < band) ? 3 : 4;
+        upd.panel = k;
+        upd.priority = panel_priority(k);
+        Op op;
+        op.reads = {cell(i, k), cell(j, k), cell(i, j)};
+        op.writes = {cell(i, j)};
+        p.add_op(std::move(upd), std::move(op));
+      }
+  }
+  return p;
+}
+
+// --------------------------------------------------------- execution ----
+
+std::vector<double> FuzzProgram::run_reference() const {
+  std::vector<double> cells = state_->initial;
+  for (std::size_t t = 0; t < state_->ops.size(); ++t)
+    apply_op(cells, state_->ops[t], static_cast<TaskId>(t));
+  return cells;
+}
+
+const std::vector<double>& FuzzProgram::cells() const {
+  return state_->cells;
+}
+
+std::vector<long long> FuzzProgram::run_counts() const {
+  std::vector<long long> out;
+  out.reserve(state_->ops.size());
+  for (std::size_t t = 0; t < state_->ops.size(); ++t)
+    out.push_back(state_->counts[t].load(std::memory_order_relaxed));
+  return out;
+}
+
+void FuzzProgram::reset() {
+  state_->cells = state_->initial;
+  for (std::size_t t = 0; t < state_->ops.size(); ++t)
+    state_->counts[t].store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------- checkers ----
+
+std::string check_ran_exactly_once(const std::vector<long long>& counts) {
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    if (counts[t] != 1) {
+      std::ostringstream os;
+      os << "task " << t << " ran " << counts[t] << " times (expected 1)";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+std::string check_happens_before(const rt::TaskGraph& g,
+                                 const std::vector<rt::TraceEvent>& trace) {
+  if (static_cast<int>(trace.size()) != g.size())
+    return "trace has " + std::to_string(trace.size()) + " events for " +
+           std::to_string(g.size()) + " tasks";
+  for (TaskId t = 0; t < g.size(); ++t) {
+    const auto& ev = trace[static_cast<std::size_t>(t)];
+    if (ev.seq_start < 0 || ev.seq_end < ev.seq_start) {
+      std::ostringstream os;
+      os << "task " << t << " (\"" << g.info(t).name
+         << "\") has no valid happens-before stamps (seq_start="
+         << ev.seq_start << ", seq_end=" << ev.seq_end << ")";
+      return os.str();
+    }
+  }
+  for (TaskId t = 0; t < g.size(); ++t)
+    for (const TaskId s : g.successors(t)) {
+      const auto& pe = trace[static_cast<std::size_t>(t)];
+      const auto& se = trace[static_cast<std::size_t>(s)];
+      if (!(pe.seq_end < se.seq_start)) {
+        std::ostringstream os;
+        os << "dependency violated: task " << s << " (\"" << g.info(s).name
+           << "\", seq_start=" << se.seq_start << ") started before its "
+           << "predecessor " << t << " (\"" << g.info(t).name
+           << "\", seq_end=" << pe.seq_end << ") finished";
+        return os.str();
+      }
+    }
+  return "";
+}
+
+std::string check_cells_match(const std::vector<double>& got,
+                              const std::vector<double>& want) {
+  if (got.size() != want.size())
+    return "cell count mismatch: " + std::to_string(got.size()) + " vs " +
+           std::to_string(want.size());
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    // Bitwise comparison: schedule-independence means *identical* results.
+    if (std::memcmp(&got[k], &want[k], sizeof(double)) != 0) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "cell " << k << " diverged: got " << got[k] << ", oracle says "
+         << want[k];
+      return os.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace ptlr::testing

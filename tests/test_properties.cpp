@@ -204,3 +204,55 @@ INSTANTIATE_TEST_SUITE_P(
                      compress::Method::kRsvd, 0, 2},
         PipelineCase{stars::ProblemKind::kSt3DMatern,
                      compress::Method::kCpqrSvd, 3, 1}));
+
+// --------------------- schedule independence of the factorization ----
+
+namespace {
+
+// One full BAND-DENSE-TLR factorization of the same Matérn problem,
+// returning the assembled lower factor. The band is fixed (the auto-tuner
+// measures wall-clock and is deliberately schedule-dependent) and the
+// compression method is deterministic, so the only degree of freedom left
+// is the executor's schedule.
+dense::Matrix factor_matern_once(const stars::CovarianceProblem& prob,
+                                 int threads, rt::PerturbConfig perturb) {
+  const int b = 48;
+  const double tol = 1e-6;
+  auto a = tlr::TlrMatrix::from_problem_parallel(
+      prob, b, {tol, 1 << 30}, threads, 1, compress::Method::kCpqrSvd);
+  core::CholeskyConfig cfg;
+  cfg.acc = {tol, 1 << 30};
+  cfg.band_size = 2;
+  cfg.nthreads = threads;
+  cfg.recursive_all = true;
+  cfg.recursive_block = 16;
+  cfg.perturb = perturb;
+  core::factorize(a, &prob, cfg);
+  return assemble_lower_factor(a);
+}
+
+}  // namespace
+
+TEST(ScheduleIndependence, BandDenseTlrCholeskyAcrossThreadsAndSeeds) {
+  // The dataflow graph serializes every kernel pair that touches a common
+  // tile, so any schedule — any thread count, any perturbation seed —
+  // must produce the same factor down to the last bit. A nonzero
+  // divergence here means a kernel ran against a stale or torn tile.
+  constexpr double kScheduleTol = 0.0;  // bitwise identity, explicitly
+  const int n = 192;
+  const auto prob =
+      stars::make_problem(stars::ProblemKind::kSt3DMatern, n, 17, 1e-1);
+  const dense::Matrix ref = factor_matern_once(prob, 1, {});
+  for (const int threads : {1, 2, 4}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const dense::Matrix got = factor_matern_once(
+          prob, threads, rt::PerturbConfig::with_seed(seed));
+      double max_diff = 0.0;
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i)
+          max_diff = std::max(max_diff, std::abs(got(i, j) - ref(i, j)));
+      EXPECT_LE(max_diff, kScheduleTol)
+          << "factor diverged at " << threads << " threads, seed " << seed;
+    }
+  }
+}

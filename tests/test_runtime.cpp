@@ -740,3 +740,189 @@ TEST(Simulator, WorkStealingPreservesDependencies) {
   for (std::size_t i = 1; i < res.trace.size(); ++i)
     EXPECT_GE(res.trace[i].start + 1e-12, res.trace[i - 1].end);
 }
+
+// ------------------------------------------- graph validation ----
+
+TEST(TaskGraph, AddDependencyCreatesControlEdge) {
+  TaskGraph g;
+  const auto a = g.add_task(named("a"), {}, {});
+  const auto b = g.add_task(named("b"), {}, {});
+  g.add_dependency(a, b);
+  EXPECT_EQ(g.num_predecessors(b), 1);
+  ASSERT_EQ(g.successors(a).size(), 1u);
+  EXPECT_EQ(g.successors(a)[0], b);
+  g.validate();  // forward control edges are a well-formed graph
+}
+
+TEST(TaskGraph, AddDependencyRejectsDanglingAndSelf) {
+  TaskGraph g;
+  const auto a = g.add_task(named("a"), {}, {});
+  EXPECT_THROW(g.add_dependency(a, 7), ptlr::Error);
+  EXPECT_THROW(g.add_dependency(-1, a), ptlr::Error);
+  EXPECT_THROW(g.add_dependency(a, a), ptlr::Error);
+}
+
+TEST(TaskGraph, ValidateAcceptsDataflowGraphs) {
+  TaskGraph g;
+  const DataKey x = make_key(0, 0, 0), y = make_key(0, 0, 1);
+  g.add_task(named("w"), {}, {{x}});
+  g.add_task(named("r"), {{x}}, {{y}});
+  g.add_task(named("rw"), {{x, y}}, {{x}});
+  g.validate();
+}
+
+TEST(TaskGraph, ValidateRejectsCycles) {
+  TaskGraph g;
+  const auto a = g.add_task(named("a"), {}, {});
+  const auto b = g.add_task(named("b"), {}, {});
+  const auto c = g.add_task(named("c"), {}, {});
+  g.add_dependency(a, b);
+  g.add_dependency(b, c);
+  g.add_dependency(c, a);
+  try {
+    g.validate();
+    FAIL() << "cycle not detected";
+  } catch (const ptlr::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+  }
+}
+
+TEST(Executor, RejectsCyclicGraphInsteadOfHanging) {
+  // Before validation, this graph deadlocked the pool: no task ever became
+  // ready, workers waited forever.
+  TaskGraph g;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 2; ++i) {
+    TaskInfo t = named("loop" + std::to_string(i));
+    t.fn = [&] { ran++; };
+    g.add_task(std::move(t), {}, {});
+  }
+  g.add_dependency(0, 1);
+  g.add_dependency(1, 0);
+  EXPECT_THROW(execute(g, 2), ptlr::Error);
+  EXPECT_EQ(ran.load(), 0);  // rejected before launching workers
+}
+
+// ------------------------------------- exception propagation ----
+
+TEST(Executor, MidGraphThrowRethrowsAfterPoolDrains) {
+  // A wide stage with one poisoned task; everything downstream of the
+  // thrower must not run, the pool must drain (no deadlocked workers), and
+  // the original exception must surface on the calling thread.
+  TaskGraph g;
+  const DataKey poison = make_key(0, 0, 99);
+  std::atomic<int> ran{0};
+  std::atomic<int> downstream{0};
+  for (int i = 0; i < 16; ++i) {
+    TaskInfo t = named("w" + std::to_string(i));
+    t.fn = [&] { ran++; };
+    g.add_task(std::move(t), {}, {});
+  }
+  TaskInfo boom = named("boom");
+  boom.fn = [] { throw ptlr::NumericalError("tile not SPD", 3); };
+  g.add_task(std::move(boom), {}, {{poison}});
+  for (int i = 0; i < 8; ++i) {
+    TaskInfo t = named("after" + std::to_string(i));
+    t.fn = [&] { downstream++; };
+    g.add_task(std::move(t), {{poison}}, {});
+  }
+  try {
+    execute(g, 4);
+    FAIL() << "exception was swallowed";
+  } catch (const ptlr::NumericalError& e) {
+    EXPECT_EQ(e.info(), 3);  // concrete type and payload preserved
+  }
+  EXPECT_EQ(downstream.load(), 0);
+  EXPECT_LE(ran.load(), 16);
+}
+
+TEST(Executor, ConcurrentThrowsPropagateExactlyOne) {
+  TaskGraph g;
+  for (int i = 0; i < 12; ++i) {
+    TaskInfo t = named("boom" + std::to_string(i));
+    t.fn = [i] { throw ptlr::Error("boom " + std::to_string(i)); };
+    g.add_task(std::move(t), {}, {});
+  }
+  EXPECT_THROW(execute(g, 4), ptlr::Error);
+}
+
+TEST(Executor, RepeatedFailingRunsLeaveNoStuckState) {
+  // Shake out leaked workers / poisoned synchronization: a failing graph
+  // executed many times must keep draining promptly.
+  for (int round = 0; round < 20; ++round) {
+    TaskGraph g;
+    const DataKey x = make_key(0, 0, 0);
+    TaskInfo a = named("ok");
+    a.fn = [] {};
+    g.add_task(std::move(a), {}, {{x}});
+    TaskInfo b = named("boom");
+    b.fn = [] { throw ptlr::Error("round failure"); };
+    g.add_task(std::move(b), {{x}}, {{x}});
+    TaskInfo c = named("never");
+    c.fn = [] { FAIL() << "task after the thrower ran"; };
+    g.add_task(std::move(c), {{x}}, {});
+    EXPECT_THROW(execute(g, 3), ptlr::Error);
+  }
+}
+
+TEST(Executor, ExceptionPropagatesUnderPerturbation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    TaskGraph g;
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 24; ++i) {
+      TaskInfo t = named("w" + std::to_string(i));
+      t.fn = [&] { ran++; };
+      g.add_task(std::move(t), {}, {});
+    }
+    TaskInfo boom = named("boom");
+    boom.fn = [] { throw ptlr::Error("chaos boom"); };
+    g.add_task(std::move(boom), {}, {});
+    ExecOptions opts;
+    opts.perturb = PerturbConfig::with_seed(seed);
+    EXPECT_THROW(execute(g, 4, opts), ptlr::Error);
+  }
+}
+
+// ------------------------------------------------- chaos mode ----
+
+TEST(Executor, PerturbedRunStillRespectsSerialChain) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    TaskGraph g;
+    std::atomic<int> counter{0};
+    std::vector<int> order(20, -1);
+    const DataKey x = make_key(0, 0, 0);
+    for (int i = 0; i < 20; ++i) {
+      TaskInfo t = named("t" + std::to_string(i));
+      t.fn = [&, i] { order[static_cast<std::size_t>(i)] = counter++; };
+      g.add_task(std::move(t), {{x}}, {{x}});  // serial chain
+    }
+    ExecOptions opts;
+    opts.perturb = PerturbConfig::with_seed(seed);
+    execute(g, 4, opts);
+    for (int i = 1; i < 20; ++i) EXPECT_GT(order[i], order[i - 1]);
+  }
+}
+
+TEST(Executor, TraceStampsGiveHappensBeforeOrder) {
+  TaskGraph g;
+  const DataKey x = make_key(0, 0, 0);
+  for (int i = 0; i < 10; ++i) {
+    TaskInfo t = named("t");
+    t.fn = [] {};
+    g.add_task(std::move(t), {{x}}, {{x}});
+  }
+  ExecOptions opts;
+  opts.record_trace = true;
+  auto res = execute(g, 3, opts);
+  ASSERT_EQ(res.trace.size(), 10u);
+  for (std::size_t i = 1; i < res.trace.size(); ++i)
+    EXPECT_LT(res.trace[i - 1].seq_end, res.trace[i].seq_start);
+}
+
+TEST(Mailbox, PerturbedCommunicatorDeliversInTagOrder) {
+  // Delays reorder cross-tag arrival but must never corrupt or reorder the
+  // per-(tag, rank) FIFO.
+  dist::Communicator comm(2, PerturbConfig::with_seed(5));
+  for (char c = 0; c < 10; ++c) comm.send(0, 1, 42, {c});
+  for (char c = 0; c < 10; ++c) EXPECT_EQ(comm.recv(1, 42)[0], c);
+}
