@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/flops.hpp"
+#include "dense/gemm_kernel.hpp"
 
 namespace ptlr::dense {
 
@@ -17,9 +18,188 @@ void scale_matrix(MatrixView c, double beta) {
   for (int j = 0; j < c.cols(); ++j) {
     double* cj = c.col(j);
     if (beta == 0.0) {
+      // BLAS semantics: beta == 0 overwrites C without reading it, so a
+      // NaN/Inf already in C does not survive.
       for (int i = 0; i < c.rows(); ++i) cj[i] = 0.0;
     } else {
       for (int i = 0; i < c.rows(); ++i) cj[i] *= beta;
+    }
+  }
+}
+
+// True when the configured path routes a triangular level-3 call (n-sized
+// triangle, `volume` = m*n*k-equivalent) through the blocked engine.
+bool blocked_l3(int n, double volume) {
+  const KernelPath path = kernel_path();
+  if (path == KernelPath::kUnblocked) return false;
+  if (path == KernelPath::kBlocked) return true;
+  return n > detail::kOuterNB && volume >= 32.0 * 32.0 * 32.0;
+}
+
+// Unblocked triangle-restricted SYRK: C += alpha * op(A) * op(A)^T on the
+// `uplo` triangle only (beta already applied, flops already charged).
+void syrk_unblocked(Uplo uplo, Trans ta, double alpha, ConstMatrixView a,
+                    MatrixView c) {
+  const int n = c.rows(), k = op_cols(ta, a);
+  if (ta == Trans::N) {
+    // C(i,j) += alpha * sum_p A(i,p) * A(j,p), triangle-restricted gaxpy.
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      for (int p = 0; p < k; ++p) {
+        const double w = alpha * a(j, p);
+        const double* ap = a.col(p);
+        if (uplo == Uplo::Lower) {
+          for (int i = j; i < n; ++i) cj[i] += w * ap[i];
+        } else {
+          for (int i = 0; i <= j; ++i) cj[i] += w * ap[i];
+        }
+      }
+    }
+  } else {
+    // C(i,j) += alpha * dot(A(:,i), A(:,j)).
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      const double* aj = a.col(j);
+      const int lo = uplo == Uplo::Lower ? j : 0;
+      const int hi = uplo == Uplo::Lower ? n : j + 1;
+      for (int i = lo; i < hi; ++i) cj[i] += alpha * dot(k, a.col(i), aj);
+    }
+  }
+}
+
+// Unblocked triangular solve (alpha already applied, flops already
+// charged): the seed's substitution loops, kept as the reference path and
+// as the diagonal-block solver of the blocked form.
+void trsm_unblocked(Side side, Uplo uplo, Trans ta, Diag diag,
+                    ConstMatrixView a, MatrixView b) {
+  const int m = b.rows(), n = b.cols();
+  const bool unit = diag == Diag::Unit;
+  if (side == Side::Left) {
+    for (int j = 0; j < n; ++j) {
+      double* bj = b.col(j);
+      if (uplo == Uplo::Lower && ta == Trans::N) {
+        // Forward substitution, axpy form.
+        for (int p = 0; p < m; ++p) {
+          if (!unit) bj[p] /= a(p, p);
+          const double w = bj[p];
+          const double* ap = a.col(p);
+          for (int i = p + 1; i < m; ++i) bj[i] -= w * ap[i];
+        }
+      } else if (uplo == Uplo::Lower && ta == Trans::T) {
+        // Backward substitution, dot form (column of A is contiguous).
+        for (int p = m - 1; p >= 0; --p) {
+          double s = bj[p] - dot(m - p - 1, a.col(p) + p + 1, bj + p + 1);
+          bj[p] = unit ? s : s / a(p, p);
+        }
+      } else if (uplo == Uplo::Upper && ta == Trans::N) {
+        // Backward substitution, axpy form.
+        for (int p = m - 1; p >= 0; --p) {
+          if (!unit) bj[p] /= a(p, p);
+          const double w = bj[p];
+          const double* ap = a.col(p);
+          for (int i = 0; i < p; ++i) bj[i] -= w * ap[i];
+        }
+      } else {  // Upper, T: forward substitution, dot form.
+        for (int p = 0; p < m; ++p) {
+          double s = bj[p] - dot(p, a.col(p), bj);
+          bj[p] = unit ? s : s / a(p, p);
+        }
+      }
+    }
+  } else {  // Side::Right — X * op(A) = B, column-block recurrences.
+    // No `w == 0` shortcuts here (reference BLAS propagates 0 * NaN).
+    if (uplo == Uplo::Lower && ta == Trans::T) {
+      // Forward over columns: X(:,j) = (B(:,j) - sum_{p<j} X(:,p)A(j,p))/A(j,j).
+      for (int j = 0; j < n; ++j) {
+        double* bj = b.col(j);
+        for (int p = 0; p < j; ++p) axpy(m, -a(j, p), b.col(p), bj);
+        if (!unit) scal(m, 1.0 / a(j, j), bj);
+      }
+    } else if (uplo == Uplo::Lower && ta == Trans::N) {
+      // Backward: X(:,j) = (B(:,j) - sum_{p>j} X(:,p)A(p,j))/A(j,j).
+      for (int j = n - 1; j >= 0; --j) {
+        double* bj = b.col(j);
+        for (int p = j + 1; p < n; ++p) axpy(m, -a(p, j), b.col(p), bj);
+        if (!unit) scal(m, 1.0 / a(j, j), bj);
+      }
+    } else if (uplo == Uplo::Upper && ta == Trans::N) {
+      // Forward: X(:,j) = (B(:,j) - sum_{p<j} X(:,p)A(p,j))/A(j,j).
+      for (int j = 0; j < n; ++j) {
+        double* bj = b.col(j);
+        for (int p = 0; p < j; ++p) axpy(m, -a(p, j), b.col(p), bj);
+        if (!unit) scal(m, 1.0 / a(j, j), bj);
+      }
+    } else {  // Upper, T — backward.
+      for (int j = n - 1; j >= 0; --j) {
+        double* bj = b.col(j);
+        for (int p = j + 1; p < n; ++p) axpy(m, -a(j, p), b.col(p), bj);
+        if (!unit) scal(m, 1.0 / a(j, j), bj);
+      }
+    }
+  }
+}
+
+// Recursive triangular solve (alpha already applied, flops already
+// charged): split the triangle in half, solve the independent half first,
+// fold its contribution into the other half with one fat GEMM on the
+// blocked engine, recurse. Bottoms out on the reference substitution at
+// kOuterNB, so the unblocked fraction of the O(na^2 * nrhs) volume decays
+// like kOuterNB / na.
+void trsm_body(Side side, Uplo uplo, Trans ta, Diag diag, ConstMatrixView a,
+               MatrixView b) {
+  const int m = b.rows(), n = b.cols();
+  const int na = side == Side::Left ? m : n;
+  const int nrhs = side == Side::Left ? n : m;
+  if (!blocked_l3(na, static_cast<double>(na) * na * nrhs) ||
+      na <= detail::kOuterNB) {
+    trsm_unblocked(side, uplo, ta, diag, a, b);
+    return;
+  }
+  const int n1 = na / 2, n2 = na - n1;
+  auto a11 = a.block(0, 0, n1, n1);
+  auto a22 = a.block(n1, n1, n2, n2);
+  // The off-diagonal block of the triangle: A21 for Lower, A12 for Upper.
+  auto aoff = uplo == Uplo::Lower ? a.block(n1, 0, n2, n1)
+                                  : a.block(0, n1, n1, n2);
+  if (side == Side::Left) {
+    auto b1 = b.block(0, 0, n1, n), b2 = b.block(n1, 0, n2, n);
+    // op(A) lower (Lower/N, Upper/T) solves top-down; upper bottom-up.
+    if ((uplo == Uplo::Lower) == (ta == Trans::N)) {
+      trsm_body(side, uplo, ta, diag, a11, b1);
+      if (uplo == Uplo::Lower) {
+        detail::gemm_body(Trans::N, Trans::N, -1.0, aoff, b1, b2);
+      } else {
+        detail::gemm_body(Trans::T, Trans::N, -1.0, aoff, b1, b2);
+      }
+      trsm_body(side, uplo, ta, diag, a22, b2);
+    } else {
+      trsm_body(side, uplo, ta, diag, a22, b2);
+      if (uplo == Uplo::Lower) {
+        detail::gemm_body(Trans::T, Trans::N, -1.0, aoff, b2, b1);
+      } else {
+        detail::gemm_body(Trans::N, Trans::N, -1.0, aoff, b2, b1);
+      }
+      trsm_body(side, uplo, ta, diag, a11, b1);
+    }
+  } else {
+    auto b1 = b.block(0, 0, m, n1), b2 = b.block(0, n1, m, n2);
+    // X op(A) = B: op(A) upper (Upper/N, Lower/T) solves left-to-right.
+    if ((uplo == Uplo::Upper) == (ta == Trans::N)) {
+      trsm_body(side, uplo, ta, diag, a11, b1);
+      if (uplo == Uplo::Upper) {
+        detail::gemm_body(Trans::N, Trans::N, -1.0, b1, aoff, b2);
+      } else {
+        detail::gemm_body(Trans::N, Trans::T, -1.0, b1, aoff, b2);
+      }
+      trsm_body(side, uplo, ta, diag, a22, b2);
+    } else {
+      trsm_body(side, uplo, ta, diag, a22, b2);
+      if (uplo == Uplo::Upper) {
+        detail::gemm_body(Trans::N, Trans::T, -1.0, b2, aoff, b1);
+      } else {
+        detail::gemm_body(Trans::N, Trans::N, -1.0, b2, aoff, b1);
+      }
+      trsm_body(side, uplo, ta, diag, a11, b1);
     }
   }
 }
@@ -65,51 +245,7 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   scale_matrix(c, beta);
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
   flops::Counter::add(flops::gemm(m, n, k));
-
-  if (ta == Trans::N && tb == Trans::N) {
-    // Gaxpy form: C(:,j) += alpha * A(:,p) * B(p,j); unit-stride inner loop.
-    for (int j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      const double* bj = b.col(j);
-      for (int p = 0; p < k; ++p) {
-        const double w = alpha * bj[p];
-        if (w == 0.0) continue;
-        const double* ap = a.col(p);
-        for (int i = 0; i < m; ++i) cj[i] += w * ap[i];
-      }
-    }
-  } else if (ta == Trans::N && tb == Trans::T) {
-    // C(:,j) += alpha * A(:,p) * B(j,p).
-    for (int j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      for (int p = 0; p < k; ++p) {
-        const double w = alpha * b(j, p);
-        if (w == 0.0) continue;
-        const double* ap = a.col(p);
-        for (int i = 0; i < m; ++i) cj[i] += w * ap[i];
-      }
-    }
-  } else if (ta == Trans::T && tb == Trans::N) {
-    // C(i,j) += alpha * dot(A(:,i), B(:,j)); both unit stride.
-    for (int j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      const double* bj = b.col(j);
-      for (int i = 0; i < m; ++i) {
-        cj[i] += alpha * dot(k, a.col(i), bj);
-      }
-    }
-  } else {  // T, T
-    // C(i,j) += alpha * sum_p A(p,i) * B(j,p).
-    for (int j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      for (int i = 0; i < m; ++i) {
-        const double* ai = a.col(i);
-        double s = 0.0;
-        for (int p = 0; p < k; ++p) s += ai[p] * b(j, p);
-        cj[i] += alpha * s;
-      }
-    }
-  }
+  detail::gemm_body(ta, tb, alpha, a, b, c);
 }
 
 void syrk(Uplo uplo, Trans ta, double alpha, ConstMatrixView a, double beta,
@@ -130,31 +266,18 @@ void syrk(Uplo uplo, Trans ta, double alpha, ConstMatrixView a, double beta,
   if (alpha == 0.0 || n == 0 || k == 0) return;
   flops::Counter::add(flops::syrk(n, k));
 
-  if (ta == Trans::N) {
-    // C(i,j) += alpha * sum_p A(i,p) * A(j,p), triangle-restricted gaxpy.
-    for (int j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      for (int p = 0; p < k; ++p) {
-        const double w = alpha * a(j, p);
-        if (w == 0.0) continue;
-        const double* ap = a.col(p);
-        if (uplo == Uplo::Lower) {
-          for (int i = j; i < n; ++i) cj[i] += w * ap[i];
-        } else {
-          for (int i = 0; i <= j; ++i) cj[i] += w * ap[i];
-        }
-      }
-    }
-  } else {
-    // C(i,j) += alpha * dot(A(:,i), A(:,j)).
-    for (int j = 0; j < n; ++j) {
-      double* cj = c.col(j);
-      const double* aj = a.col(j);
-      const int lo = uplo == Uplo::Lower ? j : 0;
-      const int hi = uplo == Uplo::Lower ? n : j + 1;
-      for (int i = lo; i < hi; ++i) cj[i] += alpha * dot(k, a.col(i), aj);
-    }
+  if (!blocked_l3(n, static_cast<double>(n) * n * k)) {
+    syrk_unblocked(uplo, ta, alpha, a, c);
+    return;
   }
+  // Ride the packed GEMM engine with a triangle mask: C += alpha * op(A) *
+  // op(A)^T restricted to `uplo`. One packing pass, full microkernel speed;
+  // microtiles outside the triangle are skipped, straddlers masked at
+  // write-back. No extra flops charged — the model above covers it all.
+  const Trans tb = ta == Trans::N ? Trans::T : Trans::N;
+  detail::gemm_blocked(ta, tb, alpha, a, a, c,
+                       uplo == Uplo::Lower ? detail::TriMask::kLower
+                                           : detail::TriMask::kUpper);
 }
 
 void trsm(Side side, Uplo uplo, Trans ta, Diag diag, double alpha,
@@ -164,88 +287,9 @@ void trsm(Side side, Uplo uplo, Trans ta, Diag diag, double alpha,
   PTLR_CHECK(a.rows() == na && a.cols() == na, "trsm dimension mismatch");
   if (alpha != 1.0) scale_matrix(b, alpha);
   if (m == 0 || n == 0) return;
-  const bool unit = diag == Diag::Unit;
   flops::Counter::add(side == Side::Left ? flops::trsm(m, n)
                                          : flops::trsm(n, m));
-
-  if (side == Side::Left) {
-    for (int j = 0; j < n; ++j) {
-      double* bj = b.col(j);
-      if (uplo == Uplo::Lower && ta == Trans::N) {
-        // Forward substitution, axpy form.
-        for (int p = 0; p < m; ++p) {
-          if (!unit) bj[p] /= a(p, p);
-          const double w = bj[p];
-          const double* ap = a.col(p);
-          for (int i = p + 1; i < m; ++i) bj[i] -= w * ap[i];
-        }
-      } else if (uplo == Uplo::Lower && ta == Trans::T) {
-        // Backward substitution, dot form (column of A is contiguous).
-        for (int p = m - 1; p >= 0; --p) {
-          double s = bj[p] - dot(m - p - 1, a.col(p) + p + 1, bj + p + 1);
-          bj[p] = unit ? s : s / a(p, p);
-        }
-      } else if (uplo == Uplo::Upper && ta == Trans::N) {
-        // Backward substitution, axpy form.
-        for (int p = m - 1; p >= 0; --p) {
-          if (!unit) bj[p] /= a(p, p);
-          const double w = bj[p];
-          const double* ap = a.col(p);
-          for (int i = 0; i < p; ++i) bj[i] -= w * ap[i];
-        }
-      } else {  // Upper, T: forward substitution, dot form.
-        for (int p = 0; p < m; ++p) {
-          double s = bj[p] - dot(p, a.col(p), bj);
-          bj[p] = unit ? s : s / a(p, p);
-        }
-      }
-    }
-  } else {  // Side::Right — X * op(A) = B, column-block recurrences.
-    if (uplo == Uplo::Lower && ta == Trans::T) {
-      // Forward over columns: X(:,j) = (B(:,j) - sum_{p<j} X(:,p)A(j,p))/A(j,j).
-      for (int j = 0; j < n; ++j) {
-        double* bj = b.col(j);
-        for (int p = 0; p < j; ++p) {
-          const double w = a(j, p);
-          if (w == 0.0) continue;
-          axpy(m, -w, b.col(p), bj);
-        }
-        if (!unit) scal(m, 1.0 / a(j, j), bj);
-      }
-    } else if (uplo == Uplo::Lower && ta == Trans::N) {
-      // Backward: X(:,j) = (B(:,j) - sum_{p>j} X(:,p)A(p,j))/A(j,j).
-      for (int j = n - 1; j >= 0; --j) {
-        double* bj = b.col(j);
-        for (int p = j + 1; p < n; ++p) {
-          const double w = a(p, j);
-          if (w == 0.0) continue;
-          axpy(m, -w, b.col(p), bj);
-        }
-        if (!unit) scal(m, 1.0 / a(j, j), bj);
-      }
-    } else if (uplo == Uplo::Upper && ta == Trans::N) {
-      // Forward: X(:,j) = (B(:,j) - sum_{p<j} X(:,p)A(p,j))/A(j,j).
-      for (int j = 0; j < n; ++j) {
-        double* bj = b.col(j);
-        for (int p = 0; p < j; ++p) {
-          const double w = a(p, j);
-          if (w == 0.0) continue;
-          axpy(m, -w, b.col(p), bj);
-        }
-        if (!unit) scal(m, 1.0 / a(j, j), bj);
-      }
-    } else {  // Upper, T — backward.
-      for (int j = n - 1; j >= 0; --j) {
-        double* bj = b.col(j);
-        for (int p = j + 1; p < n; ++p) {
-          const double w = a(j, p);
-          if (w == 0.0) continue;
-          axpy(m, -w, b.col(p), bj);
-        }
-        if (!unit) scal(m, 1.0 / a(j, j), bj);
-      }
-    }
-  }
+  trsm_body(side, uplo, ta, diag, a, b);
 }
 
 void gemv(Trans ta, double alpha, ConstMatrixView a, const double* x,

@@ -37,6 +37,27 @@ void trsm(Side side, Uplo uplo, Trans ta, Diag diag, double alpha,
 void gemv(Trans ta, double alpha, ConstMatrixView a, const double* x,
           double beta, double* y);
 
+// ------------------------------------------------------------------------
+// Kernel-path control (see docs/performance.md).
+//
+// The level-3 kernels have two implementations: the cache-blocked, packed
+// engine (gemm_kernel.cpp/pack.cpp) and the seed's unblocked reference
+// loops. kAuto picks per call by problem volume; the other values force one
+// path — used by the oracle tests and the kernel benchmark, and exposed to
+// users through the PTLR_DENSE_UNBLOCKED environment variable (any
+// non-empty value other than "0" selects kUnblocked until overridden).
+
+/// Which level-3 implementation to run.
+enum class KernelPath { kAuto, kBlocked, kUnblocked };
+
+/// Override the kernel path for the whole process (not thread-local; call
+/// before spawning workers). Resets any PTLR_DENSE_UNBLOCKED decision.
+void set_kernel_path(KernelPath path);
+
+/// Currently configured path (kAuto unless overridden by set_kernel_path
+/// or PTLR_DENSE_UNBLOCKED).
+KernelPath kernel_path();
+
 /// Dot product of length-n vectors.
 double dot(int n, const double* x, const double* y);
 

@@ -1,0 +1,244 @@
+// Blocked, packed GEMM engine: macro-kernel loop nest and register
+// microkernel (layout and parameter rationale in gemm_kernel.hpp and
+// docs/performance.md).
+#include "dense/gemm_kernel.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace ptlr::dense::detail {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PTLR_RESTRICT __restrict__
+#else
+#define PTLR_RESTRICT
+#endif
+
+// MR x NR register microkernel: acc = sum_p apanel(:, p) * bpanel(p, :)
+// over the packed panels, then C(0:mr, 0:nr) += acc. Panels are
+// zero-padded, so the hot loop is always full-width; mr/nr only mask the
+// write-back.
+//
+// The accumulators are spelled with GNU vector extensions: one kMR-wide
+// vector per microtile column, updated with a broadcast multiply-add per
+// packed B element. This pins the vectorization axis to the M dimension
+// (kNR accumulator vectors + one A vector stay resident in the register
+// file); left to its own devices GCC vectorizes the scalar form across the
+// N axis and drowns the FMAs in cross-lane shuffles.
+#if defined(__GNUC__) || defined(__clang__)
+#define PTLR_HAVE_VEC_EXT 1
+using v8d = double __attribute__((vector_size(kMR * sizeof(double))));
+#endif
+
+void micro_kernel(int kc, const double* PTLR_RESTRICT ap,
+                  const double* PTLR_RESTRICT bp, double* PTLR_RESTRICT c,
+                  int ldc, int mr, int nr) {
+#ifdef PTLR_HAVE_VEC_EXT
+  v8d acc[kNR] = {};
+  for (int p = 0; p < kc; ++p) {
+    v8d av;
+    __builtin_memcpy(&av, ap + static_cast<std::size_t>(p) * kMR, sizeof av);
+    const double* PTLR_RESTRICT brow = bp + static_cast<std::size_t>(p) * kNR;
+    for (int j = 0; j < kNR; ++j) acc[j] += av * brow[j];
+  }
+  if (mr == kMR && nr == kNR) {
+    for (int j = 0; j < kNR; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      for (int i = 0; i < kMR; ++i) cj[i] += acc[j][i];
+    }
+  } else {
+    for (int j = 0; j < nr; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      for (int i = 0; i < mr; ++i) cj[i] += acc[j][i];
+    }
+  }
+#else
+  double acc[kNR][kMR] = {};
+  for (int p = 0; p < kc; ++p) {
+    const double* PTLR_RESTRICT arow = ap + static_cast<std::size_t>(p) * kMR;
+    const double* PTLR_RESTRICT brow = bp + static_cast<std::size_t>(p) * kNR;
+    for (int j = 0; j < kNR; ++j) {
+      const double bj = brow[j];
+      for (int i = 0; i < kMR; ++i) acc[j][i] += arow[i] * bj;
+    }
+  }
+  for (int j = 0; j < nr; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (int i = 0; i < mr; ++i) cj[i] += acc[j][i];
+  }
+#endif
+}
+
+// Reusable per-thread packing workspace. Sized once to the largest block
+// (kMC/kNC rounded up to full micro-panels), so task-parallel tile updates
+// stop allocating per GEMM call after their first.
+struct PackBuffers {
+  std::vector<double> a, b;
+};
+
+PackBuffers& pack_buffers() {
+  constexpr int mc_round = (kMC + kMR - 1) / kMR * kMR;
+  constexpr int nc_round = (kNC + kNR - 1) / kNR * kNR;
+  thread_local PackBuffers bufs{
+      std::vector<double>(static_cast<std::size_t>(mc_round) * kKC),
+      std::vector<double>(static_cast<std::size_t>(nc_round) * kKC)};
+  return bufs;
+}
+
+KernelPath initial_kernel_path() {
+  const char* env = std::getenv("PTLR_DENSE_UNBLOCKED");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    return KernelPath::kUnblocked;
+  }
+  return KernelPath::kAuto;
+}
+
+KernelPath& kernel_path_state() {
+  static KernelPath path = initial_kernel_path();
+  return path;
+}
+
+}  // namespace
+
+void gemm_blocked(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                  ConstMatrixView b, MatrixView c, TriMask mask) {
+  const int m = c.rows(), n = c.cols();
+  const int k = ta == Trans::N ? a.cols() : a.rows();
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  PackBuffers& bufs = pack_buffers();
+  double* apack = bufs.a.data();
+  double* bpack = bufs.b.data();
+  const int ldc = c.ld();
+
+  for (int jc = 0; jc < n; jc += kNC) {
+    const int nc = n - jc < kNC ? n - jc : kNC;
+    for (int pc = 0; pc < k; pc += kKC) {
+      const int kc = k - pc < kKC ? k - pc : kKC;
+      pack_b(tb, b, pc, jc, kc, nc, bpack);
+      for (int ic = 0; ic < m; ic += kMC) {
+        const int mc = m - ic < kMC ? m - ic : kMC;
+        // A cache-block fully outside the requested triangle never packs.
+        if (mask == TriMask::kLower && jc > ic + mc - 1) continue;
+        if (mask == TriMask::kUpper && ic > jc + nc - 1) continue;
+        pack_a(ta, alpha, a, ic, pc, mc, kc, apack);
+        for (int jr = 0; jr < nc; jr += kNR) {
+          const int nr = nc - jr < kNR ? nc - jr : kNR;
+          const double* bp =
+              bpack + static_cast<std::size_t>(jr / kNR) * kc * kNR;
+          for (int ir = 0; ir < mc; ir += kMR) {
+            const int mr = mc - ir < kMR ? mc - ir : kMR;
+            const int r0 = ic + ir, c0 = jc + jr;
+            if (mask == TriMask::kLower && c0 > r0 + mr - 1) continue;
+            if (mask == TriMask::kUpper && r0 > c0 + nr - 1) continue;
+            const double* ap =
+                apack + static_cast<std::size_t>(ir / kMR) * kc * kMR;
+            // Straddling microtiles land in a scratch tile and copy the
+            // in-triangle lanes; interior tiles write C directly.
+            const bool straddle =
+                (mask == TriMask::kLower && c0 + nr - 1 > r0) ||
+                (mask == TriMask::kUpper && r0 + mr - 1 > c0);
+            if (!straddle) {
+              micro_kernel(kc, ap, bp, c.col(c0) + r0, ldc, mr, nr);
+            } else {
+              double tile[kMR * kNR] = {};
+              micro_kernel(kc, ap, bp, tile, kMR, mr, nr);
+              for (int j = 0; j < nr; ++j) {
+                double* cj = c.col(c0 + j) + r0;
+                for (int i = 0; i < mr; ++i) {
+                  const bool in_tri = mask == TriMask::kLower
+                                          ? r0 + i >= c0 + j
+                                          : r0 + i <= c0 + j;
+                  if (in_tri) cj[i] += tile[j * kMR + i];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_unblocked(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                    ConstMatrixView b, MatrixView c) {
+  const int m = c.rows(), n = c.cols();
+  const int k = ta == Trans::N ? a.cols() : a.rows();
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  // The seed's unit-stride loop forms. Deliberately no `w == 0` shortcuts:
+  // reference BLAS computes 0 * NaN = NaN, and so do we.
+  if (ta == Trans::N && tb == Trans::N) {
+    // Gaxpy form: C(:,j) += alpha * A(:,p) * B(p,j).
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      const double* bj = b.col(j);
+      for (int p = 0; p < k; ++p) {
+        const double w = alpha * bj[p];
+        const double* ap = a.col(p);
+        for (int i = 0; i < m; ++i) cj[i] += w * ap[i];
+      }
+    }
+  } else if (ta == Trans::N && tb == Trans::T) {
+    // C(:,j) += alpha * A(:,p) * B(j,p).
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      for (int p = 0; p < k; ++p) {
+        const double w = alpha * b(j, p);
+        const double* ap = a.col(p);
+        for (int i = 0; i < m; ++i) cj[i] += w * ap[i];
+      }
+    }
+  } else if (ta == Trans::T && tb == Trans::N) {
+    // C(i,j) += alpha * dot(A(:,i), B(:,j)); both unit stride.
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      const double* bj = b.col(j);
+      for (int i = 0; i < m; ++i) {
+        cj[i] += alpha * dot(k, a.col(i), bj);
+      }
+    }
+  } else {  // T, T
+    // C(i,j) += alpha * sum_p A(p,i) * B(j,p).
+    for (int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      for (int i = 0; i < m; ++i) {
+        const double* ai = a.col(i);
+        double s = 0.0;
+        for (int p = 0; p < k; ++p) s += ai[p] * b(j, p);
+        cj[i] += alpha * s;
+      }
+    }
+  }
+}
+
+bool worth_blocking(int m, int n, int k) {
+  // Packing moves O(m*k + k*n) bytes to save O(m*n*k) strided accesses;
+  // below ~32^3 of volume the naive unit-stride loops win.
+  return static_cast<double>(m) * n * k >= 32.0 * 32.0 * 32.0;
+}
+
+void gemm_body(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+               ConstMatrixView b, MatrixView c) {
+  const int k = ta == Trans::N ? a.cols() : a.rows();
+  const KernelPath path = kernel_path();
+  const bool blocked =
+      path == KernelPath::kBlocked ||
+      (path == KernelPath::kAuto && worth_blocking(c.rows(), c.cols(), k));
+  if (blocked) {
+    gemm_blocked(ta, tb, alpha, a, b, c);
+  } else {
+    gemm_unblocked(ta, tb, alpha, a, b, c);
+  }
+}
+
+}  // namespace ptlr::dense::detail
+
+namespace ptlr::dense {
+
+void set_kernel_path(KernelPath path) { detail::kernel_path_state() = path; }
+
+KernelPath kernel_path() { return detail::kernel_path_state(); }
+
+}  // namespace ptlr::dense

@@ -1,0 +1,79 @@
+// Internal interface of the blocked, packed GEMM engine.
+//
+// The engine follows the BLIS/GotoBLAS decomposition: a five-loop nest over
+// (NC, KC, MC) cache blocks with contiguous packing of the A- and B-panels,
+// and an MR x NR register microkernel at the bottom. Packing absorbs all
+// four Trans cases, so transposed operands never pay a strided inner loop.
+// See docs/performance.md for the parameter derivation and tuning notes.
+//
+// Everything here computes the *accumulation* form
+//     C += alpha * op(A) * op(B)
+// (no beta, no dimension checks, no flop accounting) — the public BLAS
+// entry points in blas.cpp own validation, beta-scaling and the flop
+// counter, and both SYRK/TRSM delegate their O(n^3) volume here without
+// double-charging flops.
+#pragma once
+
+#include "dense/blas.hpp"
+#include "dense/matrix.hpp"
+
+namespace ptlr::dense::detail {
+
+// Register microkernel footprint. kMR * kNR accumulators must fit in the
+// vector register file (8 + 6 doubles -> 6 full-width FMA rows on AVX2,
+// 6 zmm accumulators + broadcast on AVX-512).
+inline constexpr int kMR = 8;
+inline constexpr int kNR = 6;
+
+// Cache blocks: an MR x KC sliver of packed A stays in L1 (8*256*8B = 16 KiB
+// of 48 KiB); the MC x KC packed A block stays in L2 (256*256*8B = 512 KiB
+// of 2 MiB); the KC x NC packed B block streams from L3.
+inline constexpr int kMC = 256;
+inline constexpr int kKC = 256;
+inline constexpr int kNC = 2048;
+
+// Outer block size used by the blocked SYRK/TRSM/POTRF wrappers: diagonal
+// (triangular) blocks of this size run the unblocked reference kernels,
+// everything else is GEMM volume.
+inline constexpr int kOuterNB = 64;
+
+/// Restrict a blocked update to one triangle of C (diagonal included).
+/// Microtiles fully outside the triangle are skipped before they compute;
+/// straddling microtiles mask the write-back elementwise. This is how SYRK
+/// rides the GEMM engine at full speed with a single packing pass.
+enum class TriMask { kNone, kLower, kUpper };
+
+/// Blocked, packed path: C += alpha * op(A) * op(B). Any m/n/k, any ld.
+void gemm_blocked(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                  ConstMatrixView b, MatrixView c,
+                  TriMask mask = TriMask::kNone);
+
+/// Unblocked reference path with identical contract (the seed gaxpy/dot
+/// loops, minus the BLAS-violating zero shortcuts). Kept as the oracle and
+/// as the small-size / PTLR_DENSE_UNBLOCKED fallback.
+void gemm_unblocked(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                    ConstMatrixView b, MatrixView c);
+
+/// Dispatch helper used by gemm/syrk/trsm bodies: picks blocked vs
+/// unblocked from the configured kernel path and the problem volume.
+void gemm_body(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+               ConstMatrixView b, MatrixView c);
+
+/// Pack an mc x kc block of op(A) (alpha folded in) starting at row i0 /
+/// depth p0 into MR-row micro-panels, zero-padded to a multiple of kMR.
+/// Layout: panel q (rows [q*kMR, q*kMR+kMR)) occupies buf[q*kc*kMR ...],
+/// within a panel element (i, p) sits at p*kMR + i.
+void pack_a(Trans ta, double alpha, ConstMatrixView a, int i0, int p0,
+            int mc, int kc, double* buf);
+
+/// Pack a kc x nc block of op(B) starting at depth p0 / column j0 into
+/// NR-column micro-panels, zero-padded to a multiple of kNR.
+/// Layout: panel q (cols [q*kNR, q*kNR+kNR)) occupies buf[q*kc*kNR ...],
+/// within a panel element (p, j) sits at p*kNR + j.
+void pack_b(Trans tb, ConstMatrixView b, int p0, int j0, int kc, int nc,
+            double* buf);
+
+/// True when (m, n, k) is worth the packing overhead under kAuto.
+bool worth_blocking(int m, int n, int k);
+
+}  // namespace ptlr::dense::detail

@@ -1,0 +1,72 @@
+// Panel packing for the blocked GEMM engine (layout contract in
+// gemm_kernel.hpp).
+//
+// Packing is the only place the four Trans cases differ: after it, the
+// macro-kernel sees one canonical layout, so a T*T GEMM runs the same
+// microkernel as N*N. The buffers are zero-padded to full kMR/kNR
+// micro-panels, which lets the microkernel always run full-width and defer
+// edge handling to the write-back.
+#include "dense/gemm_kernel.hpp"
+
+namespace ptlr::dense::detail {
+
+void pack_a(Trans ta, double alpha, ConstMatrixView a, int i0, int p0,
+            int mc, int kc, double* buf) {
+  // alpha is folded into the packed A so the microkernel stays pure FMA.
+  for (int ir = 0; ir < mc; ir += kMR) {
+    const int mr = mc - ir < kMR ? mc - ir : kMR;
+    if (ta == Trans::N) {
+      // op(A)(i, p) = a(i0 + i, p0 + p); columns of a are contiguous.
+      for (int p = 0; p < kc; ++p) {
+        const double* src = a.col(p0 + p) + i0 + ir;
+        double* dst = buf + p * kMR;
+        for (int i = 0; i < mr; ++i) dst[i] = alpha * src[i];
+        for (int i = mr; i < kMR; ++i) dst[i] = 0.0;
+      }
+    } else {
+      // op(A)(i, p) = a(p0 + p, i0 + i); walk a's columns (i) outer so the
+      // strided reads happen once per packed element.
+      for (int i = 0; i < mr; ++i) {
+        const double* src = a.col(i0 + ir + i) + p0;
+        double* dst = buf + i;
+        for (int p = 0; p < kc; ++p) dst[p * kMR] = alpha * src[p];
+      }
+      for (int i = mr; i < kMR; ++i) {
+        double* dst = buf + i;
+        for (int p = 0; p < kc; ++p) dst[p * kMR] = 0.0;
+      }
+    }
+    buf += static_cast<std::size_t>(kc) * kMR;
+  }
+}
+
+void pack_b(Trans tb, ConstMatrixView b, int p0, int j0, int kc, int nc,
+            double* buf) {
+  for (int jr = 0; jr < nc; jr += kNR) {
+    const int nr = nc - jr < kNR ? nc - jr : kNR;
+    if (tb == Trans::N) {
+      // op(B)(p, j) = b(p0 + p, j0 + j); b's columns (j) are contiguous in
+      // p, so read each column once top to bottom.
+      for (int j = 0; j < nr; ++j) {
+        const double* src = b.col(j0 + jr + j) + p0;
+        double* dst = buf + j;
+        for (int p = 0; p < kc; ++p) dst[p * kNR] = src[p];
+      }
+      for (int j = nr; j < kNR; ++j) {
+        double* dst = buf + j;
+        for (int p = 0; p < kc; ++p) dst[p * kNR] = 0.0;
+      }
+    } else {
+      // op(B)(p, j) = b(j0 + j, p0 + p); contiguous in j per column of b.
+      for (int p = 0; p < kc; ++p) {
+        const double* src = b.col(p0 + p) + j0 + jr;
+        double* dst = buf + p * kNR;
+        for (int j = 0; j < nr; ++j) dst[j] = src[j];
+        for (int j = nr; j < kNR; ++j) dst[j] = 0.0;
+      }
+    }
+    buf += static_cast<std::size_t>(kc) * kNR;
+  }
+}
+
+}  // namespace ptlr::dense::detail

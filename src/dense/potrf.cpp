@@ -1,21 +1,25 @@
 #include <cmath>
 
 #include "common/flops.hpp"
+#include "dense/gemm_kernel.hpp"
 #include "dense/lapack.hpp"
 
 namespace ptlr::dense {
 
 namespace {
 
-// Unblocked Cholesky on the diagonal block (reference DPOTF2).
-void potf2(Uplo uplo, MatrixView a) {
+// Unblocked Cholesky on a diagonal block (reference DPOTF2). `base` is the
+// row offset of this block in the original matrix, so the NumericalError
+// pivot index stays 1-based and global.
+void potf2(Uplo uplo, MatrixView a, int base) {
   const int n = a.rows();
   if (uplo == Uplo::Lower) {
     for (int j = 0; j < n; ++j) {
       double d = a(j, j);
       for (int p = 0; p < j; ++p) d -= a(j, p) * a(j, p);
       if (d <= 0.0 || !std::isfinite(d)) {
-        throw NumericalError("potrf: matrix is not positive definite", j + 1);
+        throw NumericalError("potrf: matrix is not positive definite",
+                             base + j + 1);
       }
       const double ljj = std::sqrt(d);
       a(j, j) = ljj;
@@ -30,7 +34,8 @@ void potf2(Uplo uplo, MatrixView a) {
       double d = a(j, j);
       for (int p = 0; p < j; ++p) d -= a(p, j) * a(p, j);
       if (d <= 0.0 || !std::isfinite(d)) {
-        throw NumericalError("potrf: matrix is not positive definite", j + 1);
+        throw NumericalError("potrf: matrix is not positive definite",
+                             base + j + 1);
       }
       const double ujj = std::sqrt(d);
       a(j, j) = ujj;
@@ -43,41 +48,44 @@ void potf2(Uplo uplo, MatrixView a) {
   }
 }
 
+// Recursive Cholesky: factor the leading half, solve the off-diagonal
+// panel with one fat TRSM, downdate the trailing half with one SYRK, and
+// recurse. TRSM/SYRK delegate their O(n^3) volume to the blocked GEMM
+// engine, so the scalar potf2 fraction decays like kOuterNB / n. The
+// BLAS-3 calls charge their own flop models; subtract them so potrf's
+// total stays exactly flops::potrf(n).
+void potrf_rec(Uplo uplo, MatrixView a, int base) {
+  const int n = a.rows();
+  if (n <= detail::kOuterNB) {
+    potf2(uplo, a, base);
+    return;
+  }
+  const int n1 = n / 2, n2 = n - n1;
+  auto a11 = a.block(0, 0, n1, n1);
+  auto a22 = a.block(n1, n1, n2, n2);
+  potrf_rec(uplo, a11, base);
+  if (uplo == Uplo::Lower) {
+    auto panel = a.block(n1, 0, n2, n1);
+    flops::Counter::add(-flops::trsm(n1, n2));
+    trsm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0, a11, panel);
+    flops::Counter::add(-flops::syrk(n2, n1));
+    syrk(Uplo::Lower, Trans::N, -1.0, panel, 1.0, a22);
+  } else {
+    auto panel = a.block(0, n1, n1, n2);
+    flops::Counter::add(-flops::trsm(n1, n2));
+    trsm(Side::Left, Uplo::Upper, Trans::T, Diag::NonUnit, 1.0, a11, panel);
+    flops::Counter::add(-flops::syrk(n2, n1));
+    syrk(Uplo::Upper, Trans::T, -1.0, panel, 1.0, a22);
+  }
+  potrf_rec(uplo, a22, base + n1);
+}
+
 }  // namespace
 
 void potrf(Uplo uplo, MatrixView a) {
   PTLR_CHECK(a.rows() == a.cols(), "potrf needs a square matrix");
-  const int n = a.rows();
-  constexpr int nb = 64;
-  flops::Counter::add(flops::potrf(n));
-  if (n <= nb) {
-    potf2(uplo, a);
-    return;
-  }
-  // Right-looking blocked factorization; BLAS-3 updates do their own flop
-  // accounting, so subtract their model here to avoid double counting.
-  for (int j = 0; j < n; j += nb) {
-    const int jb = std::min(nb, n - j);
-    auto ajj = a.block(j, j, jb, jb);
-    potf2(uplo, ajj);
-    const int rest = n - j - jb;
-    if (rest == 0) continue;
-    if (uplo == Uplo::Lower) {
-      auto panel = a.block(j + jb, j, rest, jb);
-      flops::Counter::add(-flops::trsm(jb, rest));
-      trsm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0, ajj, panel);
-      auto trail = a.block(j + jb, j + jb, rest, rest);
-      flops::Counter::add(-flops::syrk(rest, jb));
-      syrk(Uplo::Lower, Trans::N, -1.0, panel, 1.0, trail);
-    } else {
-      auto panel = a.block(j, j + jb, jb, rest);
-      flops::Counter::add(-flops::trsm(jb, rest));
-      trsm(Side::Left, Uplo::Upper, Trans::T, Diag::NonUnit, 1.0, ajj, panel);
-      auto trail = a.block(j + jb, j + jb, rest, rest);
-      flops::Counter::add(-flops::syrk(rest, jb));
-      syrk(Uplo::Upper, Trans::T, -1.0, panel, 1.0, trail);
-    }
-  }
+  flops::Counter::add(flops::potrf(a.rows()));
+  potrf_rec(uplo, a, 0);
 }
 
 }  // namespace ptlr::dense

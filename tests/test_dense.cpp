@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/flops.hpp"
 #include "dense/blas.hpp"
@@ -30,6 +31,36 @@ Matrix ref_gemm(Trans ta, Trans tb, double alpha, const Matrix& a,
       out(i, j) = alpha * s + beta * c(i, j);
     }
   return out;
+}
+
+}  // namespace
+
+namespace {
+
+// Restore the kAuto kernel path when a test that forces a path exits.
+struct KernelPathGuard {
+  KernelPathGuard() = default;
+  KernelPathGuard(const KernelPathGuard&) = delete;
+  KernelPathGuard& operator=(const KernelPathGuard&) = delete;
+  ~KernelPathGuard() { set_kernel_path(KernelPath::kAuto); }
+};
+
+// View-based reference GEMM (handles ld > rows sub-views).
+void ref_gemm_view(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                   ConstMatrixView b, double beta, ConstMatrixView c0,
+                   MatrixView out) {
+  const int m = out.rows(), n = out.cols();
+  const int k = ta == Trans::N ? a.cols() : a.rows();
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const double av = ta == Trans::N ? a(i, p) : a(p, i);
+        const double bv = tb == Trans::N ? b(p, j) : b(j, p);
+        s += av * bv;
+      }
+      out(i, j) = alpha * s + beta * c0(i, j);
+    }
 }
 
 }  // namespace
@@ -94,6 +125,259 @@ TEST(Gemm, ChargesModelFlops) {
   Matrix a(10, 20), b(20, 30), c(10, 30);
   gemm(Trans::N, Trans::N, 1.0, a.view(), b.view(), 0.0, c.view());
   EXPECT_DOUBLE_EQ(ptlr::flops::Counter::total(), 2.0 * 10 * 30 * 20);
+}
+
+// Exhaustive oracle for the blocked engine: every Trans combination at
+// sizes straddling the MR/NR/MC/KC blocking edges (plus odd/prime shapes),
+// alpha/beta corner values, and a componentwise error bound scaled by the
+// accumulation depth k. The blocked path is forced so even sub-threshold
+// sizes exercise packing, microtile edges, and write-back masking.
+TEST(GemmOracle, BlockedMatchesNaiveAcrossBlockingEdges) {
+  KernelPathGuard guard;
+  // (m, n, k) triples: microkernel edges around MR=8 / NR=6, cache-block
+  // edges around MC=256 / KC=256, primes, and degenerate slivers.
+  const int cases[][3] = {
+      {1, 1, 1},    {8, 6, 4},     {9, 7, 5},    {7, 5, 3},
+      {16, 12, 8},  {17, 13, 9},   {63, 47, 31}, {64, 48, 32},
+      {65, 49, 33}, {97, 101, 103}, {129, 6, 129}, {257, 7, 9},
+      {7, 259, 9},  {13, 11, 257}, {255, 255, 31}, {256, 12, 256},
+      {33, 65, 130}, {1, 259, 257},
+  };
+  const double alphas[] = {0.0, 1.0, -1.0, 0.5};
+  const double betas[] = {0.0, 1.0, -1.0, 0.5};
+  Rng rng(97);
+  int combo = 0;
+  for (const auto& sz : cases) {
+    const int m = sz[0], n = sz[1], k = sz[2];
+    for (const Trans ta : {Trans::N, Trans::T}) {
+      for (const Trans tb : {Trans::N, Trans::T}) {
+        // Rotate through the alpha/beta corners so every pair appears
+        // across the sweep without a full 16x blow-up per size.
+        const double alpha = alphas[combo % 4];
+        const double beta = betas[(combo / 4) % 4];
+        ++combo;
+        Matrix a(ta == Trans::N ? m : k, ta == Trans::N ? k : m);
+        Matrix b(tb == Trans::N ? k : n, tb == Trans::N ? n : k);
+        Matrix c(m, n), want(m, n);
+        fill_uniform(a.view(), rng);
+        fill_uniform(b.view(), rng);
+        fill_uniform(c.view(), rng);
+        ref_gemm_view(ta, tb, alpha, a.view(), b.view(), beta, c.view(),
+                      want.view());
+        set_kernel_path(KernelPath::kBlocked);
+        gemm(ta, tb, alpha, a.view(), b.view(), beta, c.view());
+        set_kernel_path(KernelPath::kAuto);
+        // Componentwise: |err| <= O(k) * eps with |a|,|b| <= 1 entries.
+        const double tol = 40.0 * (k + 4) * 2.2e-16 *
+                               (std::abs(alpha) + 1e-30) +
+                           4.0 * 2.2e-16 * std::abs(beta);
+        for (int j = 0; j < n; ++j)
+          for (int i = 0; i < m; ++i)
+            ASSERT_NEAR(c(i, j), want(i, j), tol)
+                << "m=" << m << " n=" << n << " k=" << k
+                << " ta=" << (ta == Trans::N ? "N" : "T")
+                << " tb=" << (tb == Trans::N ? "N" : "T")
+                << " alpha=" << alpha << " beta=" << beta;
+      }
+    }
+  }
+}
+
+// Sub-views with ld > rows must pack and write back correctly.
+TEST(GemmOracle, BlockedHandlesPaddedLeadingDimensions) {
+  KernelPathGuard guard;
+  Rng rng(101);
+  const int m = 67, n = 51, k = 70;
+  Matrix pa(m + 9, k + 3), pb(n + 5, k + 7), pc(m + 11, n + 2);
+  fill_uniform(pa.view(), rng);
+  fill_uniform(pb.view(), rng);
+  fill_uniform(pc.view(), rng);
+  auto a = pa.block(4, 2, m, k);    // ld = m + 9
+  auto b = pb.block(3, 5, n, k);    // op(B) = B^T, ld = n + 5
+  auto c = pc.block(7, 1, m, n);    // ld = m + 11
+  Matrix want(m, n);
+  ref_gemm_view(Trans::N, Trans::T, -0.5, a, b, 1.0, c, want.view());
+  set_kernel_path(KernelPath::kBlocked);
+  gemm(Trans::N, Trans::T, -0.5, a, b, 1.0, c);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) ASSERT_NEAR(c(i, j), want(i, j), 1e-12);
+  // Padding rows/cols of the parents must be untouched outside the view;
+  // spot-check the first parent column below the view.
+  EXPECT_EQ(pc(7 + m, 1), pc(7 + m, 1));  // no ASan/UBSan trip is the test
+}
+
+// ----------------------------------------------- BLAS NaN/Inf semantics ----
+
+// Reference BLAS computes 0 * NaN = NaN; the seed's `if (w == 0) continue`
+// shortcuts silently swallowed non-finite operands. Both kernel paths must
+// propagate them.
+TEST(NanPropagation, GemmPropagatesNanThroughZeroWeight) {
+  KernelPathGuard guard;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const KernelPath path : {KernelPath::kUnblocked, KernelPath::kBlocked}) {
+    set_kernel_path(path);
+    Matrix a(5, 2), b(2, 3), c(5, 3);
+    a.fill(1.0);
+    a(2, 0) = nan;
+    b.fill(0.0);     // B == 0, so every weight alpha*b is zero
+    c.fill(7.0);
+    gemm(Trans::N, Trans::N, 1.0, a.view(), b.view(), 1.0, c.view());
+    for (int j = 0; j < 3; ++j)
+      EXPECT_TRUE(std::isnan(c(2, j))) << "path did not propagate NaN";
+    // Rows without NaN stay finite (0 contribution added).
+    EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+  }
+}
+
+TEST(NanPropagation, GemmInfTimesZeroIsNan) {
+  KernelPathGuard guard;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const KernelPath path : {KernelPath::kUnblocked, KernelPath::kBlocked}) {
+    set_kernel_path(path);
+    Matrix a(4, 1), b(2, 1), c(4, 2);  // op(B) = B^T is 1 x 2
+    a.fill(inf);
+    b.fill(0.0);
+    c.fill(0.0);
+    gemm(Trans::N, Trans::T, 1.0, a.view(), b.view(), 0.0, c.view());
+    for (int j = 0; j < 2; ++j)
+      for (int i = 0; i < 4; ++i) EXPECT_TRUE(std::isnan(c(i, j)));
+  }
+}
+
+TEST(NanPropagation, SyrkPropagatesNan) {
+  KernelPathGuard guard;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const KernelPath path : {KernelPath::kUnblocked, KernelPath::kBlocked}) {
+    set_kernel_path(path);
+    Matrix a(6, 2), c(6, 6);
+    a.fill(0.0);          // row j weights are all zero
+    a(4, 0) = nan;        // NaN in another row of the same column
+    c.fill(1.0);
+    syrk(Uplo::Lower, Trans::N, 1.0, a.view(), 1.0, c.view());
+    // c(4, j) for j <= 4 accumulates a(4,p)*a(j,p) = NaN * 0 = NaN.
+    for (int j = 0; j <= 4; ++j) EXPECT_TRUE(std::isnan(c(4, j)));
+  }
+}
+
+TEST(NanPropagation, TrsmPropagatesNanThroughZeroOffdiagonal) {
+  KernelPathGuard guard;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const KernelPath path : {KernelPath::kUnblocked, KernelPath::kBlocked}) {
+    set_kernel_path(path);
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(1, 0) = 0.0;  // zero multiplier of the NaN column
+    a(1, 1) = 1.0;
+    Matrix b(3, 2);
+    for (int i = 0; i < 3; ++i) {
+      b(i, 0) = nan;
+      b(i, 1) = 1.0;
+    }
+    // X * A^T = B forward-substitutes X(:,1) -= X(:,0) * a(1,0) = NaN * 0.
+    trsm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0, a.view(),
+         b.view());
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(std::isnan(b(i, 1)));
+  }
+}
+
+// ------------------------------------- blocked-vs-reference equivalence ----
+
+TEST(BlockedPath, SyrkMatchesUnblocked) {
+  KernelPathGuard guard;
+  Rng rng(61);
+  for (const Trans ta : {Trans::N, Trans::T}) {
+    for (const Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      const int n = 150, k = 131;
+      Matrix a(ta == Trans::N ? n : k, ta == Trans::N ? k : n);
+      fill_uniform(a.view(), rng);
+      Matrix c(n, n), cu(n, n);
+      fill_uniform(c.view(), rng);
+      cu = c;
+      set_kernel_path(KernelPath::kBlocked);
+      syrk(uplo, ta, -1.0, a.view(), 0.5, c.view());
+      set_kernel_path(KernelPath::kUnblocked);
+      syrk(uplo, ta, -1.0, a.view(), 0.5, cu.view());
+      set_kernel_path(KernelPath::kAuto);
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i)
+          ASSERT_NEAR(c(i, j), cu(i, j), 1e-11) << "uplo/ta mismatch";
+    }
+  }
+}
+
+TEST(BlockedPath, TrsmMatchesUnblockedAllVariants) {
+  KernelPathGuard guard;
+  Rng rng(62);
+  const int m = 137, n = 75;
+  for (const Side side : {Side::Left, Side::Right}) {
+    for (const Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (const Trans ta : {Trans::N, Trans::T}) {
+        for (const Diag diag : {Diag::NonUnit, Diag::Unit}) {
+          const int na = side == Side::Left ? m : n;
+          Matrix a(na, na);
+          fill_uniform(a.view(), rng, 0.01, 0.5);
+          for (int j = 0; j < na; ++j) a(j, j) = 2.0 + j * 0.01;
+          Matrix b(m, n), bu(m, n);
+          fill_uniform(b.view(), rng);
+          bu = b;
+          set_kernel_path(KernelPath::kBlocked);
+          trsm(side, uplo, ta, diag, 1.5, a.view(), b.view());
+          set_kernel_path(KernelPath::kUnblocked);
+          trsm(side, uplo, ta, diag, 1.5, a.view(), bu.view());
+          set_kernel_path(KernelPath::kAuto);
+          const double scale = frob_norm(bu.view());
+          EXPECT_LT(frob_diff(b.view(), bu.view()), 1e-10 * (1.0 + scale));
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockedPath, PotrfMatchesUnblocked) {
+  KernelPathGuard guard;
+  Rng rng(63);
+  for (const Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+    const int n = 200;
+    Matrix a = random_spd(n, rng);
+    Matrix lb = a, lu = a;
+    set_kernel_path(KernelPath::kBlocked);
+    potrf(uplo, lb.view());
+    set_kernel_path(KernelPath::kUnblocked);
+    potrf(uplo, lu.view());
+    set_kernel_path(KernelPath::kAuto);
+    EXPECT_LT(frob_diff(lb.view(), lu.view()),
+              1e-11 * (1.0 + frob_norm(lu.view())));
+  }
+}
+
+TEST(BlockedPath, ChargesModelFlopsExactlyOnce) {
+  KernelPathGuard guard;
+  set_kernel_path(KernelPath::kBlocked);
+  const int n = 160, k = 96;
+  Rng rng(64);
+  Matrix a(n, k), c(n, n);
+  fill_uniform(a.view(), rng);
+  ptlr::flops::Counter::reset();
+  syrk(Uplo::Lower, Trans::N, 1.0, a.view(), 0.0, c.view());
+  EXPECT_DOUBLE_EQ(ptlr::flops::Counter::total(),
+                   static_cast<double>(n) * n * k);
+  Matrix t(n, n);
+  fill_uniform(t.view(), rng, 0.1, 1.0);
+  for (int j = 0; j < n; ++j) t(j, j) = 3.0;
+  Matrix b(n, 80);
+  fill_uniform(b.view(), rng);
+  ptlr::flops::Counter::reset();
+  trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, t.view(),
+       b.view());
+  EXPECT_DOUBLE_EQ(ptlr::flops::Counter::total(),
+                   static_cast<double>(n) * n * 80);
+  Matrix spd = random_spd(n, rng);
+  ptlr::flops::Counter::reset();
+  potrf(Uplo::Lower, spd.view());
+  // The recursion subtracts then re-adds the TRSM/SYRK models through the
+  // accumulating counter, so cancellation is exact only up to rounding.
+  EXPECT_NEAR(ptlr::flops::Counter::total(),
+              static_cast<double>(n) * n * n / 3.0, 1.0);
 }
 
 // ---------------------------------------------------------------- SYRK ----
@@ -226,6 +510,19 @@ TEST(Potrf, ThrowsOnIndefiniteWithPivotIndex) {
     FAIL() << "expected NumericalError";
   } catch (const ptlr::NumericalError& e) {
     EXPECT_EQ(e.info(), 4);  // 1-based index of the failing pivot
+  }
+}
+
+TEST(Potrf, ReportsGlobalPivotIndexPastFirstBlock) {
+  // Indefinite entry beyond the recursion's first diagonal block: the
+  // 1-based pivot index must be global, not block-local.
+  Matrix a = identity(130);
+  a(100, 100) = -1.0;
+  try {
+    potrf(Uplo::Lower, a.view());
+    FAIL() << "expected NumericalError";
+  } catch (const ptlr::NumericalError& e) {
+    EXPECT_EQ(e.info(), 101);
   }
 }
 
