@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "obs/report.hpp"
 #include "tlr/tlr_matrix.hpp"
 
 using namespace ptlr;
@@ -28,6 +29,7 @@ int main() {
               static_cast<double>(s0.max) / sc.b,
               (s0.max - s0.avg) / sc.b);
   std::cout << ascii_heatmap(nt, initial_field, sc.b) << "\n";
+  std::cout << obs::to_ascii(obs::rank_histogram(a)) << "\n";
 
   core::CholeskyConfig cfg;
   cfg.acc = {sc.tol, 1 << 30};
@@ -41,6 +43,7 @@ int main() {
               "maxrank %d\n",
               res.band_size, s1.min, s1.avg, s1.max);
   std::cout << ascii_heatmap(nt, final_field, sc.b) << "\n";
+  std::cout << obs::to_ascii(obs::rank_histogram(a)) << "\n";
 
   // (c) rank variation (final - initial); densified band shows as b-k.
   std::vector<double> variation(initial_field.size(), -1.0);

@@ -10,6 +10,7 @@
 #include "compress/compress.hpp"
 #include "dense/util.hpp"
 #include "hcore/kernels.hpp"
+#include "obs/report.hpp"
 #include "tlr/allocator.hpp"
 
 using namespace ptlr;
@@ -35,6 +36,12 @@ int main() {
     const double new_mb = static_cast<double>(a.footprint_elements()) * mb;
     t.row().cell(static_cast<long long>(n)).cell(dense_mb, 4)
         .cell(prev_mb, 4).cell(new_mb, 4).cell(prev_mb / new_mb, 3);
+    if (n == sc.n * 2) {
+      // Cross-check the largest row against the obs-layer reporter (the
+      // same numbers, as the structured artifact tools consume).
+      std::printf("\n%s\n",
+                  obs::to_ascii(obs::memory_report(a, sc.b / 2)).c_str());
+    }
   }
   t.print(std::cout);
 

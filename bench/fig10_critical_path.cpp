@@ -46,6 +46,20 @@ int main() {
         .cell(cp.stats.model_flops / all.stats.model_flops, 3);
   }
   t.print(std::cout);
+
+  // Measured counterpart: critical path of a real shared-memory run,
+  // weighted by recorded task durations instead of the cost model.
+  {
+    CholeskyConfig rcfg;
+    rcfg.acc = {sc.tol, 1 << 30};
+    rcfg.band_size = 0;
+    rcfg.nthreads = sc.threads;
+    rcfg.record_trace = true;
+    auto res = factorize(real, &prob, rcfg);
+    std::printf("\nmeasured DAG (shared-memory, N = %d, %d threads):\n%s",
+                sc.n, sc.threads, obs::to_ascii(res.critical_path).c_str());
+  }
+
   std::printf("\nShape check vs paper: No_TLR_GEMM is a small fraction of "
               "the flops yet a\nlarge share of the time-to-solution (little "
               "parallelism near the diagonal),\nand the time ratio DROPS as "

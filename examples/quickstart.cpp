@@ -2,12 +2,20 @@
 // with the auto-tuned BAND-DENSE-TLR Cholesky, and solve a linear system.
 //
 //   $ ./quickstart [n] [tile_size]
+//
+// Observability: set PTLR_TRACE=1 to record a structured trace of the
+// factorization; a Chrome trace_event JSON is written to PTLR_TRACE_FILE
+// (default ptlr_trace.json) alongside per-kernel counters, the rank
+// histogram and the memory report.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/cholesky.hpp"
 #include "core/solve.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace ptlr;
@@ -17,6 +25,10 @@ int main(int argc, char** argv) {
 
   std::printf("PTLR quickstart: st-3D-exp covariance, N = %d, b = %d, "
               "accuracy %.0e\n", n, b, eps);
+
+  // Observability opt-in (PTLR_TRACE=1): zero overhead when off.
+  obs::enable_from_env();
+  const bool traced = obs::enabled();
 
   // 1. The covariance matrix problem: Matérn theta = (1, 0.1, 0.5) on a
   //    Morton-ordered 3D point cloud (the paper's st-3D-exp).
@@ -40,11 +52,33 @@ int main(int argc, char** argv) {
   cfg.acc = acc;
   cfg.band_size = 0;
   cfg.nthreads = 2;
+  cfg.record_trace = traced;
   auto result = core::factorize(sigma, &problem, cfg);
   std::printf("factorized in %.3f s (auto-tuned BAND_SIZE = %d, "
               "%.2f Gflop model)\n",
               result.factor_seconds, result.band_size,
               result.model_flops / 1e9);
+
+  if (traced) {
+    const std::string path = obs::write_chrome_trace_from_env();
+    std::printf("\n%s", obs::counters_ascii().c_str());
+    std::printf("\n%s", obs::to_ascii(obs::rank_histogram(sigma)).c_str());
+    std::printf("\n%s",
+                obs::to_ascii(obs::memory_report(sigma, b / 2)).c_str());
+    std::printf("\n%s", obs::to_ascii(result.critical_path).c_str());
+    std::printf("\ntrace written to %s (open in chrome://tracing)\n",
+                path.c_str());
+    // Machine-readable artifacts next to the trace for tooling/CI.
+    const std::string stem =
+        path.size() > 5 && path.rfind(".json") == path.size() - 5
+            ? path.substr(0, path.size() - 5)
+            : path;
+    obs::write_text_file(stem + "_counters.json", obs::counters_json());
+    obs::write_text_file(stem + "_ranks.json",
+                         obs::to_json(obs::rank_histogram(sigma)));
+    obs::write_text_file(stem + "_memory.json",
+                         obs::to_json(obs::memory_report(sigma, b / 2)));
+  }
 
   // 4. Solve Sigma x = z and check the residual.
   Rng rng(0);

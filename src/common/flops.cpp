@@ -3,6 +3,7 @@
 namespace ptlr::flops {
 
 std::atomic<std::int64_t> Counter::total_{0};
+thread_local double Counter::tl_flops_ = 0.0;
 
 double model(Kernel kernel, std::int64_t b_, std::int64_t rank_) noexcept {
   const double b = static_cast<double>(b_);

@@ -59,12 +59,22 @@ inline double syrk(std::int64_t n, std::int64_t k) noexcept {
 
 /// Process-wide measured flop counter. Kernels call add() with the flops
 /// they actually performed; harnesses snapshot and reset around regions.
+///
+/// Besides the global total, every add() also feeds a per-thread double
+/// accumulator. The observability layer (src/obs) resets it at task start
+/// and reads it at task end, attributing the charges of one task body to
+/// its kernel class *exactly*: within a task the accumulator starts at
+/// zero, so the small-magnitude double sums (including the +x/-x
+/// correction pairs of the recursive dense kernels) incur no rounding and
+/// the per-task value is bitwise the closed-form model for the dense
+/// kernels. The global int64 total is unchanged for back-compat.
 class Counter {
  public:
-  /// Charge `f` flops to the global counter.
+  /// Charge `f` flops to the global counter and the thread accumulator.
   static void add(double f) noexcept {
     total_.fetch_add(static_cast<std::int64_t>(f),
                      std::memory_order_relaxed);
+    tl_flops_ += f;
   }
 
   /// Current total since the last reset().
@@ -77,8 +87,16 @@ class Counter {
     total_.store(0, std::memory_order_relaxed);
   }
 
+  /// Flops charged by this thread since reset_thread_flops(), summed in
+  /// double precision (no int64 truncation).
+  static double thread_flops() noexcept { return tl_flops_; }
+
+  /// Zero this thread's accumulator (called at task_begin).
+  static void reset_thread_flops() noexcept { tl_flops_ = 0.0; }
+
  private:
   static std::atomic<std::int64_t> total_;
+  static thread_local double tl_flops_;
 };
 
 /// RAII region: captures the counter delta across its lifetime.

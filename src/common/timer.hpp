@@ -6,6 +6,14 @@
 namespace ptlr {
 
 /// Monotonic wall-clock timer. Construction starts the clock.
+///
+/// Durations MUST come from std::chrono::steady_clock: trace timestamps
+/// and makespans are differences of these readings, and a system_clock
+/// base would let an NTP step or DST change produce negative or wildly
+/// wrong durations mid-run. The static_assert locks the choice in (a
+/// platform where steady_clock lies about being steady fails to compile
+/// rather than corrupting traces); test_common.cpp holds the behavioural
+/// regression test.
 class WallTimer {
  public:
   WallTimer() : start_(clock::now()) {}
@@ -23,6 +31,9 @@ class WallTimer {
 
  private:
   using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady,
+                "WallTimer requires a monotonic clock: durations must "
+                "survive wall-clock adjustments");
   clock::time_point start_;
 };
 

@@ -1,6 +1,9 @@
 #include "core/cholesky.hpp"
 
+#include <string>
+
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace ptlr::core {
 
@@ -38,6 +41,17 @@ CholeskyResult factorize(tlr::TlrMatrix& a,
   rt::TaskGraph g = build_cholesky_graph(a, opt, &result.stats);
   result.model_flops = result.stats.model_flops;
 
+  // Run metadata rides along in the structured trace file so an exported
+  // trace is self-describing.
+  if (obs::enabled()) {
+    obs::set_metadata("n", std::to_string(a.n()));
+    obs::set_metadata("tile_size", std::to_string(a.tile_size()));
+    obs::set_metadata("band_size", std::to_string(result.band_size));
+    obs::set_metadata("nthreads", std::to_string(cfg.nthreads));
+    obs::set_metadata("tolerance", std::to_string(cfg.acc.tol));
+    obs::set_metadata("tasks", std::to_string(result.stats.tasks));
+  }
+
   flops::Region flop_region;
   rt::ExecOptions exec_opts;
   exec_opts.record_trace = cfg.record_trace;
@@ -45,6 +59,9 @@ CholeskyResult factorize(tlr::TlrMatrix& a,
   result.exec = rt::execute(g, cfg.nthreads, exec_opts);
   result.factor_seconds = result.exec.seconds;
   result.measured_flops = flop_region.flops();
+  if (cfg.record_trace) {
+    result.critical_path = obs::critical_path(g, result.exec.trace);
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "core/cholesky_graph.hpp"
 #include "core/cost_model.hpp"
 #include "core/rank_map.hpp"
+#include "obs/report.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/simulator.hpp"
 
@@ -45,6 +46,8 @@ struct CholeskyResult {
   GraphStats stats;
   BandTuneResult tuning;      ///< populated when band_size was auto
   rt::ExecResult exec;        ///< trace when record_trace
+  /// Measured-duration critical path (populated when record_trace).
+  obs::CriticalPathReport critical_path;
 };
 
 /// Factorize `a` in place (lower Cholesky). If `regen` is given, band tiles

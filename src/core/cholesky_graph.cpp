@@ -149,6 +149,8 @@ class Builder {
     t.name = "potrf(" + std::to_string(k) + ")";
     t.kind = static_cast<int>(Kernel::kPotrf1);
     t.panel = k;
+    t.ti = k;
+    t.tj = k;
     t.priority = prio(k, 12.0);
     t.owner = owner(k, k);
     t.device_class = 1;  // dense critical-path kernel
@@ -175,6 +177,8 @@ class Builder {
     t.name = "trsm(" + std::to_string(i) + "," + std::to_string(k) + ")";
     t.kind = static_cast<int>(kernel);
     t.panel = k;
+    t.ti = i;
+    t.tj = k;
     t.priority = prio(k, 8.0);
     t.owner = owner(i, k);
     t.device_class = dense_tile ? 1 : 0;
@@ -201,6 +205,8 @@ class Builder {
     t.name = "syrk(" + std::to_string(i) + "," + std::to_string(k) + ")";
     t.kind = static_cast<int>(kernel);
     t.panel = k;
+    t.ti = i;
+    t.tj = i;
     t.priority = prio(k, 6.0);
     t.owner = owner(i, i);
     t.device_class = dense_a ? 1 : 0;
@@ -246,6 +252,8 @@ class Builder {
              std::to_string(k) + ")";
     t.kind = static_cast<int>(kernel);
     t.panel = k;
+    t.ti = i;
+    t.tj = j;
     t.priority = prio(k, cd ? 4.0 : 0.0);
     t.owner = owner(i, j);
     t.device_class = kernel == Kernel::kGemm1 ? 1 : 0;
@@ -274,15 +282,19 @@ class Builder {
     DataKey token;
     int proc;
     int panel;
+    int ti, tj;  ///< whole-tile coordinates (inherited by sub-tasks)
     double priority;
   };
 
   Group open_group(const char* what, int panel, int i, int j, double boost) {
-    Group grp{next_token(), owner(i, j), panel, prio(panel, boost)};
+    Group grp{next_token(), owner(i, j), panel, i, j, prio(panel, boost)};
     TaskInfo s;
     s.name = std::string(what) + "_split(" + std::to_string(i) + "," +
              std::to_string(j) + ")";
+    s.kind = -1;  // structural task, no kernel class
     s.panel = panel;
+    s.ti = i;
+    s.tj = j;
     s.priority = grp.priority + 1.0;
     s.owner = grp.proc;
     add(std::move(s), {}, {tile_key(i, j), grp.token});
@@ -294,7 +306,10 @@ class Builder {
     TaskInfo m;
     m.name = std::string(what) + "_merge(" + std::to_string(i) + "," +
              std::to_string(j) + ")";
+    m.kind = -1;  // structural task, no kernel class
     m.panel = grp.panel;
+    m.ti = i;
+    m.tj = j;
     m.priority = grp.priority;
     m.owner = grp.proc;
     m.output_bytes = tile_bytes(i, j);
@@ -307,6 +322,8 @@ class Builder {
     t.name = std::move(name);
     t.kind = static_cast<int>(kind);
     t.panel = grp.panel;
+    t.ti = grp.ti;
+    t.tj = grp.tj;
     t.priority = grp.priority;
     t.owner = grp.proc;
     t.device_class = 1;  // recursion only targets dense region-(1) kernels

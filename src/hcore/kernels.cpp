@@ -4,6 +4,7 @@
 
 #include "dense/blas.hpp"
 #include "dense/lapack.hpp"
+#include "obs/trace.hpp"
 #include "tlr/allocator.hpp"
 
 namespace ptlr::hcore {
@@ -14,10 +15,25 @@ using dense::MatrixView;
 using dense::Trans;
 using flops::Kernel;
 
+namespace {
+
+// Report the kernel the dispatch actually selected (and, for low-rank
+// operands, the ranks flowing through it) to the open observability span.
+// A single relaxed load when tracing is off.
+Kernel observed(Kernel k, int rank_in = -1, int rank_out = -1) {
+  if (obs::enabled()) {
+    obs::annotate_kernel(static_cast<int>(k));
+    if (rank_in >= 0 || rank_out >= 0) obs::annotate_ranks(rank_in, rank_out);
+  }
+  return k;
+}
+
+}  // namespace
+
 flops::Kernel potrf(Tile& akk) {
   PTLR_CHECK(akk.is_dense(), "(1)-POTRF needs a dense diagonal tile");
   dense::potrf(dense::Uplo::Lower, akk.dense_data().view());
-  return Kernel::kPotrf1;
+  return observed(Kernel::kPotrf1);
 }
 
 flops::Kernel trsm(const Tile& akk, Tile& amk) {
@@ -27,7 +43,7 @@ flops::Kernel trsm(const Tile& akk, Tile& amk) {
     // (1)-TRSM: X · L^T = A, i.e. right-solve against the lower factor.
     dense::trsm(dense::Side::Right, dense::Uplo::Lower, Trans::T,
                 dense::Diag::NonUnit, 1.0, l, amk.dense_data().view());
-    return Kernel::kTrsm1;
+    return observed(Kernel::kTrsm1);
   }
   // (4)-TRSM: (U V^T) L^-T = U (L^-1 V)^T — solve L X = V in place.
   compress::LowRankFactor& f = amk.lr();
@@ -35,7 +51,7 @@ flops::Kernel trsm(const Tile& akk, Tile& amk) {
     dense::trsm(dense::Side::Left, dense::Uplo::Lower, Trans::N,
                 dense::Diag::NonUnit, 1.0, l, f.v.view());
   }
-  return Kernel::kTrsm4;
+  return observed(Kernel::kTrsm4, f.rank(), f.rank());
 }
 
 flops::Kernel syrk(const Tile& amk, Tile& amm) {
@@ -45,7 +61,7 @@ flops::Kernel syrk(const Tile& amk, Tile& amm) {
     // (1)-SYRK.
     dense::syrk(dense::Uplo::Lower, Trans::N, -1.0,
                 amk.dense_data().view(), 1.0, c);
-    return Kernel::kSyrk1;
+    return observed(Kernel::kSyrk1);
   }
   // (3)-SYRK: C -= U (V^T V) U^T.
   const compress::LowRankFactor& f = amk.lr();
@@ -63,7 +79,7 @@ flops::Kernel syrk(const Tile& amk, Tile& amm) {
     // but the tile is stored dense; update it fully for simplicity.
     dense::gemm(Trans::N, Trans::T, -1.0, t1, f.u.view(), 1.0, c);
   }
-  return Kernel::kSyrk3;
+  return observed(Kernel::kSyrk3, f.rank(), /*rank_out=*/-1);
 }
 
 namespace {
@@ -89,6 +105,8 @@ void append_and_recompress(Tile& cmn, ConstMatrixView up, ConstMatrixView vp,
   c.u = std::move(u2);
   c.v = std::move(v2);
   const int knew = compress::recompress(c, acc);
+  // Observability: one recompression, concatenated rank in, rounded out.
+  obs::record_compression(kc + kp, knew);
   // Adaptive on-demand densification (Section IX future work): if the
   // recompressed rank crossed the admissible ratio, low-rank arithmetic on
   // this tile has stopped paying off — roll it back to dense now. Later
@@ -111,7 +129,7 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
       // (1)-GEMM.
       dense::gemm(Trans::N, Trans::T, -1.0, amk.dense_data().view(),
                   ank.dense_data().view(), 1.0, c);
-      return Kernel::kGemm1;
+      return observed(Kernel::kGemm1);
     }
     if (a_d) {
       // C -= A (U_B V_B^T)^T = A V_B U_B^T. Cannot arise in a pure band
@@ -125,7 +143,7 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
                     b.v.view(), 0.0, t.view());
         dense::gemm(Trans::N, Trans::T, -1.0, t.view(), b.u.view(), 1.0, c);
       }
-      return Kernel::kGemm2;
+      return observed(Kernel::kGemm2, b.rank(), /*rank_out=*/-1);
     }
     const compress::LowRankFactor& a = amk.lr();
     const int ka = a.rank();
@@ -140,7 +158,7 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
                     a.v.view(), 0.0, t);
         dense::gemm(Trans::N, Trans::T, -1.0, a.u.view(), t, 1.0, c);
       }
-      return Kernel::kGemm2;
+      return observed(Kernel::kGemm2, ka, /*rank_out=*/-1);
     }
     // (3)-GEMM: C -= U_A (V_A^T V_B) U_B^T.
     const compress::LowRankFactor& b = ank.lr();
@@ -157,7 +175,7 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
       dense::gemm(Trans::N, Trans::N, 1.0, a.u.view(), w, 0.0, t);
       dense::gemm(Trans::N, Trans::T, -1.0, t, b.u.view(), 1.0, c);
     }
-    return Kernel::kGemm3;
+    return observed(Kernel::kGemm3, std::max(ka, kb), /*rank_out=*/-1);
   }
 
   // Low-rank output. In a pure band structure A[m][k] is always low-rank
@@ -168,7 +186,7 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
     amn.densify();
     dense::gemm(Trans::N, Trans::T, -1.0, amk.dense_data().view(),
                 ank.dense_data().view(), 1.0, amn.dense_data().view());
-    return Kernel::kGemm1;
+    return observed(Kernel::kGemm1);
   }
   if (a_d) {
     // P = A V_B U_B^T: rank-k_B update of the low-rank C.
@@ -178,8 +196,9 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
       dense::gemm(Trans::N, Trans::N, 1.0, amk.dense_data().view(),
                   b.v.view(), 0.0, up.view());
       append_and_recompress(amn, up.view(), b.u.view(), acc);
+      return observed(Kernel::kGemm5, b.rank(), amn.rank());
     }
-    return Kernel::kGemm5;
+    return observed(Kernel::kGemm5, b.rank(), amn.rank());
   }
   const compress::LowRankFactor& a = amk.lr();
   const int ka = a.rank();
@@ -192,7 +211,7 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
                   a.v.view(), 0.0, vp.view());
       append_and_recompress(amn, a.u.view(), vp.view(), acc);
     }
-    return Kernel::kGemm5;
+    return observed(Kernel::kGemm5, ka, amn.rank());
   }
   // (6)-GEMM (HCORE_DGEMM): P = U_A (V_A^T V_B) U_B^T, represented on the
   // smaller rank side.
@@ -214,7 +233,7 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
       append_and_recompress(amn, a.u.view(), vp.view(), acc);
     }
   }
-  return Kernel::kGemm6;
+  return observed(Kernel::kGemm6, std::max(ka, kb), amn.rank());
 }
 
 double gemm_model_flops(bool a_dense, bool b_dense, bool c_dense,

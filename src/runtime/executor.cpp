@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace ptlr::rt {
 
@@ -127,6 +128,11 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
       }
 
       perturber.maybe_stall();
+      // Observability span hook: bracket the body so the obs layer can
+      // attribute the flops the kernels charge (and the ranks they
+      // annotate) to this task. One relaxed load when tracing is off.
+      const bool obs_on = obs::enabled();
+      if (obs_on) obs::task_begin();
       const long long s0 = seq_clock.fetch_add(1, std::memory_order_relaxed);
       const double t0 = timer.seconds();
       try {
@@ -139,6 +145,11 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
       }
       const double t1 = timer.seconds();
       const long long s1 = seq_clock.fetch_add(1, std::memory_order_relaxed);
+      if (obs_on) {
+        const TaskInfo& info = g.info(task);
+        obs::task_end(info.name, info.kind, info.panel, info.ti, info.tj,
+                      wid, static_cast<long long>(info.output_bytes));
+      }
       if (opts.record_trace) {
         auto& ev = trace[static_cast<std::size_t>(task)];
         ev.task = task;

@@ -1,6 +1,7 @@
 #include "runtime/mailbox.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace ptlr::rt::dist {
 
@@ -18,9 +19,15 @@ void Communicator::send(int from, int to, std::uint64_t tag,
   // (to another tag or another rank) can overtake it.
   perturber_.maybe_delay_delivery();
   if (from != to) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.messages++;
-    stats_.bytes += static_cast<long long>(payload.size());
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.messages++;
+      stats_.bytes += static_cast<long long>(payload.size());
+    }
+    // Observability: comm event in the sender's lane (self-sends excluded,
+    // matching the Stats convention above).
+    if (obs::enabled())
+      obs::record_comm(from, to, static_cast<long long>(payload.size()));
   }
   Box& box = boxes_[static_cast<std::size_t>(to)];
   {

@@ -33,8 +33,9 @@ constexpr DataKey make_key(std::uint32_t kind, std::uint32_t i,
 /// User-facing task description.
 struct TaskInfo {
   std::string name;               ///< e.g. "potrf(3)"
-  int kind = 0;                   ///< user tag (kernel enum value)
+  int kind = 0;                   ///< user tag (kernel enum value; -1 none)
   int panel = -1;                 ///< panel index k (for priorities, Fig. 9)
+  int ti = -1, tj = -1;           ///< output tile coordinates (tracing)
   double priority = 0.0;          ///< larger runs earlier among ready tasks
   std::function<void()> fn;       ///< real body (empty for simulation-only)
   double duration = 0.0;          ///< modelled execution seconds (simulator)

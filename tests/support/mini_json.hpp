@@ -1,0 +1,52 @@
+// Minimal JSON parser for test assertions (golden-trace schema checks).
+//
+// Test-only: supports the full JSON grammar the obs layer emits (objects,
+// arrays, strings with \uXXXX escapes, numbers, booleans, null) with
+// ptlr::Error diagnostics carrying the offset of the first malformed byte.
+// Not a general-purpose library — no streaming, no duplicate-key policy
+// beyond last-wins, numbers always parsed as double.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ptlr::testing::json {
+
+/// A parsed JSON value (tagged union over the standard seven types, with
+/// true/false folded into kBool).
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+
+  /// True iff this is an object with key `k`.
+  [[nodiscard]] bool has(const std::string& k) const;
+
+  /// Member access; throws ptlr::Error when not an object or key missing.
+  [[nodiscard]] const Value& at(const std::string& k) const;
+
+  /// Element access; throws ptlr::Error when not an array or out of range.
+  [[nodiscard]] const Value& at(std::size_t i) const;
+};
+
+/// Parse `text` as one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws ptlr::Error on malformed input.
+Value parse(const std::string& text);
+
+/// Read and parse a file. Throws ptlr::Error on I/O or parse failure.
+Value parse_file(const std::string& path);
+
+}  // namespace ptlr::testing::json

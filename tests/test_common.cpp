@@ -1,13 +1,17 @@
-// Unit tests for ptlr::common — Morton codes, flop models, table output.
+// Unit tests for ptlr::common — Morton codes, flop models, table output,
+// wall-clock timing.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/flops.hpp"
 #include "common/morton.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 
 namespace m = ptlr::morton;
 namespace fl = ptlr::flops;
@@ -120,6 +124,32 @@ TEST(Flops, CounterAccumulatesAndResets) {
   EXPECT_DOUBLE_EQ(r.flops(), 500.0);
   fl::Counter::reset();
   EXPECT_DOUBLE_EQ(fl::Counter::total(), 0.0);
+}
+
+TEST(Timer, ReadingsAreMonotoneNonNegative) {
+  // Regression lock for the steady_clock requirement (also enforced at
+  // compile time by the static_assert in timer.hpp): repeated readings
+  // never go backwards, which a wall-clock base could not guarantee
+  // across NTP steps.
+  ptlr::WallTimer t;
+  double prev = t.seconds();
+  EXPECT_GE(prev, 0.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double now = t.seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Timer, MeasuresElapsedTimeAndResets) {
+  ptlr::WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);  // sleep may overshoot, never undershoot by 25%
+  EXPECT_LT(s, 10.0);
+  EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, 1.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), s);
 }
 
 TEST(Rng, Deterministic) {

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a PTLR Chrome trace_event JSON file (docs/observability.md).
+
+Checks the schema contract the obs layer promises:
+  * top-level object with a "traceEvents" array;
+  * every event carries name/ph/pid/tid (and ts unless it is "M" metadata);
+  * every task span ("ph" == "X") has dur >= 0 and the full args payload
+    (kind, kernel, panel, i, j, flops, bytes, rank_in, rank_out);
+  * timestamps are monotone non-decreasing within each (pid, tid) lane;
+  * flops are non-negative and kind stays within the Table I range.
+
+Usage:
+  check_trace.py TRACE.json [--expect-tasks N] [--require-metadata]
+
+Exits 0 when the trace is valid, 1 with a diagnostic otherwise — CI runs it
+against a traced example (the trace-smoke job).
+"""
+import argparse
+import json
+import sys
+
+TASK_ARG_KEYS = (
+    "kind", "kernel", "panel", "i", "j", "flops", "bytes",
+    "rank_in", "rank_out",
+)
+NUM_KERNELS = 10  # Table I classes; -1 marks structural (split/merge) tasks
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--expect-tasks", type=int, default=None,
+                    help="exact number of task spans the trace must hold")
+    ap.add_argument("--require-metadata", action="store_true",
+                    help="require the run_metadata instant event")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+
+    tasks = comms = 0
+    saw_metadata = False
+    last_ts = {}
+    for idx, ev in enumerate(events):
+        where = f"event #{idx}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"{where}: missing {key!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        if "ts" not in ev:
+            fail(f"{where}: missing 'ts'")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: bad ts {ts!r}")
+        if ev["name"] == "run_metadata":
+            saw_metadata = True
+            continue
+        lane = (ev["pid"], ev["tid"])
+        if lane in last_ts and ts < last_ts[lane]:
+            fail(f"{where}: ts {ts} goes backwards in lane {lane}")
+        last_ts[lane] = ts
+        if ph == "i":
+            comms += 1
+            continue
+        if ph != "X":
+            fail(f"{where}: unexpected phase {ph!r}")
+        tasks += 1
+        if ev.get("dur", -1) < 0:
+            fail(f"{where}: task span without non-negative dur")
+        trace_args = ev.get("args")
+        if not isinstance(trace_args, dict):
+            fail(f"{where}: task span without args")
+        for key in TASK_ARG_KEYS:
+            if key not in trace_args:
+                fail(f"{where}: args missing {key!r}")
+        if not -1 <= trace_args["kind"] < NUM_KERNELS:
+            fail(f"{where}: kind {trace_args['kind']} out of range")
+        if trace_args["flops"] < 0:
+            fail(f"{where}: negative flops")
+
+    if args.require_metadata and not saw_metadata:
+        fail("run_metadata event missing")
+    if args.expect_tasks is not None and tasks != args.expect_tasks:
+        fail(f"expected {args.expect_tasks} task spans, found {tasks}")
+    if tasks == 0:
+        fail("trace holds no task spans")
+
+    print(f"check_trace: OK: {tasks} task spans, {comms} comm events, "
+          f"{len(last_ts)} lanes"
+          + (", run metadata present" if saw_metadata else ""))
+
+
+if __name__ == "__main__":
+    main()
