@@ -58,6 +58,15 @@ int main(int argc, char** argv) {
               "%.2f Gflop model)\n",
               result.factor_seconds, result.band_size,
               result.model_flops / 1e9);
+  // Resilience accounting (PTLR_FAULTS / PTLR_WATCHDOG_MS, see
+  // docs/robustness.md): report whatever the recovery machinery did.
+  if (result.recovery.total() > 0) {
+    std::printf("recovery: %s\n", result.recovery.to_string().c_str());
+  }
+  if (result.restarts > 0) {
+    std::printf("shift-and-restart: %d restart(s), final shift %.3e\n",
+                result.restarts, result.shift);
+  }
 
   if (traced) {
     const std::string path = obs::write_chrome_trace_from_env();

@@ -18,6 +18,16 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+/// A failure that is expected to clear on retry: an injected fault, a
+/// simulated allocation failure, a detected-and-recoverable corruption.
+/// The executor's recovery path (runtime/executor.cpp) restores the task's
+/// output snapshot and re-runs the body on this type only; every other
+/// exception stays fatal.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& msg) : Error(msg) {}
+};
+
 /// Thrown when a numerical algorithm fails (e.g. POTRF on a non-SPD matrix).
 class NumericalError : public Error {
  public:

@@ -1,5 +1,8 @@
 #include "core/cholesky.hpp"
 
+#include <cmath>
+#include <limits>
+#include <optional>
 #include <string>
 
 #include "common/timer.hpp"
@@ -11,6 +14,7 @@ CholeskyResult factorize(tlr::TlrMatrix& a,
                          const stars::CovarianceProblem* regen,
                          const CholeskyConfig& cfg) {
   CholeskyResult result;
+  const resil::RecoveryStats recovery_before = resil::snapshot();
 
   // Step 1: BAND_SIZE — auto-tuned from the initial rank distribution
   // (Algorithm 1) or forced by the caller.
@@ -56,12 +60,67 @@ CholeskyResult factorize(tlr::TlrMatrix& a,
   rt::ExecOptions exec_opts;
   exec_opts.record_trace = cfg.record_trace;
   exec_opts.perturb = cfg.perturb;
-  result.exec = rt::execute(g, cfg.nthreads, exec_opts);
+  exec_opts.faults = cfg.faults;
+  exec_opts.retry = cfg.retry;
+  exec_opts.watchdog = cfg.watchdog;
+
+  // Shift-and-restart needs a pristine copy to refactorize from (an
+  // aborted attempt leaves `a` partially overwritten) and the diagonal
+  // scale for the automatic shift. Both are paid only when the policy is
+  // armed.
+  const bool shift_policy = cfg.breakdown.action ==
+                            resil::BreakdownPolicy::Action::kShiftAndRestart;
+  std::optional<tlr::TlrMatrix> backup;
+  double mean_diag = 1.0;
+  if (shift_policy) {
+    backup = a;
+    double sum = 0.0;
+    long long count = 0;
+    for (int i = 0; i < a.nt(); ++i) {
+      const dense::Matrix& d = a.at(i, i).dense_data();
+      for (int r = 0; r < d.rows(); ++r) {
+        sum += std::abs(d(r, r));
+        ++count;
+      }
+    }
+    if (count > 0 && sum > 0.0) mean_diag = sum / static_cast<double>(count);
+  }
+
+  for (;;) {
+    try {
+      result.exec = rt::execute(g, cfg.nthreads, exec_opts);
+      break;
+    } catch (const NumericalError& e) {
+      if (!shift_policy || result.restarts >= cfg.breakdown.max_restarts)
+        throw;
+      // Grow the shift geometrically from the configured (or automatic)
+      // base, restore the pristine matrix, bump its diagonal, and rebuild
+      // the graph — tile formats may have mutated during the failed run.
+      const double base =
+          cfg.breakdown.shift > 0.0
+              ? cfg.breakdown.shift
+              : std::sqrt(std::numeric_limits<double>::epsilon()) * mean_diag;
+      result.shift =
+          result.restarts == 0 ? base : result.shift * cfg.breakdown.growth;
+      result.restarts++;
+      a = *backup;
+      for (int i = 0; i < a.nt(); ++i) {
+        dense::Matrix& d = a.at(i, i).dense_data();
+        for (int r = 0; r < d.rows(); ++r) d(r, r) += result.shift;
+      }
+      resil::note(resil::ResilienceEvent::kShiftRestart,
+                  "shift " + std::to_string(result.shift) + " after " +
+                      e.what());
+      g = build_cholesky_graph(a, opt, &result.stats);
+      result.model_flops = result.stats.model_flops;
+    }
+  }
   result.factor_seconds = result.exec.seconds;
   result.measured_flops = flop_region.flops();
   if (cfg.record_trace) {
     result.critical_path = obs::critical_path(g, result.exec.trace);
   }
+  result.recovery = resil::diff(recovery_before, resil::snapshot());
   return result;
 }
 

@@ -13,6 +13,9 @@
 #include "core/cost_model.hpp"
 #include "core/rank_map.hpp"
 #include "obs/report.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/stats.hpp"
+#include "resilience/watchdog.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/simulator.hpp"
 
@@ -33,6 +36,17 @@ struct CholeskyConfig {
   /// same factorization across adversarial schedules. Numerics must not
   /// depend on it — the schedule-independence property tests assert so.
   rt::PerturbConfig perturb = rt::PerturbConfig::from_env();
+  /// Fault injection for the worker pool (see resilience/fault.hpp).
+  /// Recovery must be exact: a faulted run's factor is bitwise identical
+  /// to a fault-free run's, which the resilience tests assert.
+  resil::FaultConfig faults = resil::FaultConfig::from_env();
+  /// Retry policy for transient task failures.
+  resil::RetryPolicy retry;
+  /// Stall watchdog for the worker pool (PTLR_WATCHDOG_MS).
+  resil::WatchdogConfig watchdog = resil::WatchdogConfig::from_env();
+  /// What to do when POTRF hits a non-positive pivot (numerical
+  /// breakdown): fail, or shift the diagonal and refactorize.
+  resil::BreakdownPolicy breakdown;
 };
 
 /// Outcome of a shared-memory factorization.
@@ -48,6 +62,13 @@ struct CholeskyResult {
   rt::ExecResult exec;        ///< trace when record_trace
   /// Measured-duration critical path (populated when record_trace).
   obs::CriticalPathReport critical_path;
+  /// Recovery events over the whole factorization (injected faults,
+  /// retries, shift restarts, dense fallbacks, watchdog fires).
+  resil::RecoveryStats recovery;
+  /// Shift-and-restart outcome: restarts taken and the diagonal shift the
+  /// returned factor corresponds to (0 when the first attempt succeeded).
+  int restarts = 0;
+  double shift = 0.0;
 };
 
 /// Factorize `a` in place (lower Cholesky). If `regen` is given, band tiles

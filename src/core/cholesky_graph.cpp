@@ -5,6 +5,7 @@
 #include "dense/blas.hpp"
 #include "dense/lapack.hpp"
 #include "hcore/kernels.hpp"
+#include "tlr/io.hpp"
 
 namespace ptlr::core {
 
@@ -121,6 +122,26 @@ class Builder {
     if (CostModel::is_dense_kernel(kernel)) stats_.model_flops_dense += f;
   }
 
+  // Declare tile (i, j) as the task's (sole) output so the executor's
+  // recovery layer can snapshot/restore it around fault-injected attempts.
+  // Only whole-tile tasks get hooks: recursive sub-tasks write blocks of a
+  // tile other sub-tasks update concurrently, so a whole-tile restore
+  // would clobber their work — they stay non-recoverable by design.
+  void attach_output(TaskInfo& t, int i, int j) {
+    if (mat_ == nullptr) return;
+    auto* m = mat_;
+    rt::TaskOutput out;
+    out.save = [m, i, j] { return tlr::tile_to_bytes(m->at(i, j)); };
+    out.restore = [m, i, j](const std::vector<char>& bytes) {
+      m->at(i, j) = tlr::tile_from_bytes(bytes);
+    };
+    out.finite = [m, i, j] { return m->at(i, j).payload_finite(); };
+    out.poison = [m, i, j](std::uint64_t h) {
+      return m->at(i, j).poison_payload(h);
+    };
+    t.outputs.push_back(std::move(out));
+  }
+
   rt::TaskId add(TaskInfo info, std::initializer_list<DataKey> reads,
                  std::initializer_list<DataKey> writes) {
     stats_.tasks++;
@@ -158,7 +179,22 @@ class Builder {
     t.output_bytes = tile_bytes(k, k);
     if (mat_ != nullptr) {
       auto* m = mat_;
-      t.fn = [m, k] { hcore::potrf(m->at(k, k)); };
+      // Rebase a breakdown's pivot index from in-tile (1-based) to global
+      // (1-based) so the driver's shift-and-restart policy can report
+      // where the factorization failed, independent of tiling.
+      const int b = b_;
+      t.fn = [m, k, b] {
+        try {
+          hcore::potrf(m->at(k, k));
+        } catch (const NumericalError& e) {
+          const std::int64_t pivot =
+              static_cast<std::int64_t>(k) * b + e.info();
+          throw NumericalError("cholesky breakdown: non-positive global "
+                               "pivot " + std::to_string(pivot),
+                               pivot);
+        }
+      };
+      attach_output(t, k, k);
     }
     add(std::move(t), {}, {tile_key(k, k)});
     stats_.tasks_band++;
@@ -187,6 +223,7 @@ class Builder {
     if (mat_ != nullptr) {
       auto* m = mat_;
       t.fn = [m, k, i] { hcore::trsm(m->at(k, k), m->at(i, k)); };
+      attach_output(t, i, k);
     }
     add(std::move(t), {tile_key(k, k)}, {tile_key(i, k)});
     if (dense_tile) stats_.tasks_band++;
@@ -215,6 +252,7 @@ class Builder {
     if (mat_ != nullptr) {
       auto* m = mat_;
       t.fn = [m, k, i] { hcore::syrk(m->at(i, k), m->at(i, i)); };
+      attach_output(t, i, i);
     }
     add(std::move(t), {tile_key(i, k)}, {tile_key(i, i)});
     stats_.tasks_band++;
@@ -265,6 +303,7 @@ class Builder {
       t.fn = [m, k, i, j, acc] {
         hcore::gemm(m->at(i, k), m->at(j, k), m->at(i, j), acc);
       };
+      attach_output(t, i, j);
     }
     add(std::move(t), {tile_key(i, k), tile_key(j, k)}, {tile_key(i, j)});
     if (cd) stats_.tasks_band++;
@@ -344,10 +383,20 @@ class Builder {
                               flops::potrf(gr.sz[kk]));
         if (m != nullptr) {
           const SubGrid grc = gr;
-          t.fn = [m, k, kk, grc] {
+          const int b = b_;
+          t.fn = [m, k, kk, grc, b] {
             auto v = m->at(k, k).dense_data().block(grc.off[kk], grc.off[kk],
                                                     grc.sz[kk], grc.sz[kk]);
-            dense::potrf(dense::Uplo::Lower, v);
+            try {
+              dense::potrf(dense::Uplo::Lower, v);
+            } catch (const NumericalError& e) {
+              // Rebase: tile offset plus sub-block offset, 1-based global.
+              const long long pivot =
+                  static_cast<long long>(k) * b + grc.off[kk] + e.info();
+              throw NumericalError("cholesky breakdown: non-positive global "
+                                   "pivot " + std::to_string(pivot),
+                                   pivot);
+            }
           };
         }
         add(std::move(t), {grp.token}, {sub_key(k, k, kk, kk)});

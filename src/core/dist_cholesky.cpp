@@ -147,6 +147,7 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
           std::move(a.at(i, j));
     }
 
+  const resil::RecoveryStats recovery_before = resil::snapshot();
   rt::dist::Communicator comm(nranks);
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(nranks));
@@ -170,6 +171,7 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
   }
   DistCholeskyResult result;
   result.seconds = timer.seconds();
+  result.recovery = resil::diff(recovery_before, resil::snapshot());
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "compress/compress.hpp"
+#include "resilience/stats.hpp"
 #include "runtime/distribution.hpp"
 #include "runtime/mailbox.hpp"
 #include "tlr/tlr_matrix.hpp"
@@ -25,6 +26,9 @@ namespace ptlr::core {
 struct DistCholeskyResult {
   double seconds = 0.0;
   rt::dist::Communicator::Stats comm;  ///< real messages/bytes exchanged
+  /// Recovery events over this run (message drops/duplicates injected by
+  /// the communicator's fault config, and their recoveries).
+  resil::RecoveryStats recovery;
 };
 
 /// Factorize `a` in place with `nranks` ranks (one thread each) owning

@@ -5,6 +5,7 @@
 #include "dense/blas.hpp"
 #include "dense/lapack.hpp"
 #include "obs/trace.hpp"
+#include "resilience/stats.hpp"
 #include "tlr/allocator.hpp"
 
 namespace ptlr::hcore {
@@ -107,6 +108,19 @@ void append_and_recompress(Tile& cmn, ConstMatrixView up, ConstMatrixView vp,
   const int knew = compress::recompress(c, acc);
   // Observability: one recompression, concatenated rank in, rounded out.
   obs::record_compression(kc + kp, knew);
+  // Numerical breakdown of the compression assumption: recompress truncates
+  // at tol only and never enforces the rank cap, so a tile whose numerical
+  // rank exceeds maxrank would silently keep an over-cap representation
+  // (or, worse, a capped code path would truncate it and corrupt the
+  // factor). Fall back to exact dense storage instead — no accuracy loss,
+  // and every later kernel dispatches on the new format automatically.
+  if (knew > acc.maxrank) {
+    cmn.densify();
+    resil::note(resil::ResilienceEvent::kDenseFallback,
+                "rank " + std::to_string(knew) + " exceeds maxrank " +
+                    std::to_string(acc.maxrank));
+    return;
+  }
   // Adaptive on-demand densification (Section IX future work): if the
   // recompressed rank crossed the admissible ratio, low-rank arithmetic on
   // this tile has stopped paying off — roll it back to dense now. Later

@@ -72,6 +72,7 @@ struct State {
   std::atomic<long long> compress_count{0};
   std::atomic<long long> compress_rank_in{0};
   std::atomic<long long> compress_rank_out{0};
+  std::atomic<long long> resilience[kNumResilienceEvents] = {};
 };
 
 State& state() {
@@ -142,6 +143,12 @@ void Counters::record_compression(int rank_in, int rank_out) noexcept {
   s.compress_rank_out.fetch_add(rank_out, std::memory_order_relaxed);
 }
 
+void Counters::record_resilience(ResilienceEvent ev) noexcept {
+  const int i = static_cast<int>(ev);
+  if (i < 0 || i >= kNumResilienceEvents) return;
+  state().resilience[i].fetch_add(1, std::memory_order_relaxed);
+}
+
 std::vector<KernelCounterRow> Counters::kernel_rows() {
   std::vector<KernelCounterRow> rows;
   for (int k = 0; k < flops::kNumKernels; ++k) {
@@ -168,6 +175,14 @@ CompressionCounters Counters::compressions() {
           s.compress_rank_out.load(std::memory_order_relaxed)};
 }
 
+ResilienceCounters Counters::resilience() {
+  const State& s = state();
+  ResilienceCounters r;
+  for (int i = 0; i < kNumResilienceEvents; ++i)
+    r.counts[i] = s.resilience[i].load(std::memory_order_relaxed);
+  return r;
+}
+
 double Counters::total_flops() {
   double t = 0.0;
   for (int k = -1; k < flops::kNumKernels; ++k)
@@ -183,6 +198,24 @@ void Counters::reset() noexcept {
   s.compress_count.store(0, std::memory_order_relaxed);
   s.compress_rank_in.store(0, std::memory_order_relaxed);
   s.compress_rank_out.store(0, std::memory_order_relaxed);
+  for (auto& c : s.resilience) c.store(0, std::memory_order_relaxed);
+}
+
+const char* resilience_event_name(ResilienceEvent ev) noexcept {
+  switch (ev) {
+    case ResilienceEvent::kFaultException: return "fault_exception";
+    case ResilienceEvent::kFaultAlloc: return "fault_alloc";
+    case ResilienceEvent::kFaultPoison: return "fault_poison";
+    case ResilienceEvent::kMsgDrop: return "msg_drop";
+    case ResilienceEvent::kMsgDup: return "msg_dup";
+    case ResilienceEvent::kRetry: return "retry";
+    case ResilienceEvent::kTaskRecovered: return "task_recovered";
+    case ResilienceEvent::kMsgRecovered: return "msg_recovered";
+    case ResilienceEvent::kShiftRestart: return "shift_restart";
+    case ResilienceEvent::kDenseFallback: return "dense_fallback";
+    case ResilienceEvent::kWatchdogFire: return "watchdog_fire";
+  }
+  return "unknown";
 }
 
 const char* kernel_name(int kind) noexcept {
@@ -205,7 +238,9 @@ std::string counters_ascii() {
   const auto rows = Counters::kernel_rows();
   const auto cm = Counters::comm();
   const auto cp = Counters::compressions();
-  if (rows.empty() && cm.messages == 0 && cp.count == 0) return {};
+  const auto rs = Counters::resilience();
+  if (rows.empty() && cm.messages == 0 && cp.count == 0 && rs.total() == 0)
+    return {};
 
   Table t({"kernel", "count", "gflops", "MB out", "rk-in min/mean/max",
            "rk-out min/mean/max"});
@@ -236,6 +271,16 @@ std::string counters_ascii() {
        << " -> "
        << static_cast<double>(cp.rank_out_sum) / static_cast<double>(cp.count)
        << ")\n";
+  if (rs.total() > 0) {
+    os << "resilience:";
+    for (int i = 0; i < kNumResilienceEvents; ++i) {
+      if (rs.counts[i] == 0) continue;
+      os << ' '
+         << resilience_event_name(static_cast<ResilienceEvent>(i)) << '='
+         << rs.counts[i];
+    }
+    os << '\n';
+  }
   return os.str();
 }
 
@@ -243,6 +288,7 @@ std::string counters_json() {
   const auto rows = Counters::kernel_rows();
   const auto cm = Counters::comm();
   const auto cp = Counters::compressions();
+  const auto rs = Counters::resilience();
   std::ostringstream os;
   os.precision(17);  // doubles round-trip exactly
   os << "{\"kernels\": [";
@@ -264,7 +310,14 @@ std::string counters_json() {
      << ", \"bytes\": " << cm.bytes
      << "}, \"compressions\": {\"count\": " << cp.count
      << ", \"rank_in_sum\": " << cp.rank_in_sum
-     << ", \"rank_out_sum\": " << cp.rank_out_sum << "}}";
+     << ", \"rank_out_sum\": " << cp.rank_out_sum
+     << "}, \"resilience\": {";
+  for (int i = 0; i < kNumResilienceEvents; ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << resilience_event_name(static_cast<ResilienceEvent>(i))
+       << "\": " << rs.counts[i];
+  }
+  os << "}}";
   return os.str();
 }
 

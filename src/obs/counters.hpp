@@ -57,6 +57,40 @@ struct CompressionCounters {
   long long rank_out_sum = 0;   ///< rounded ranks leaving
 };
 
+/// Vocabulary of recovery events the resilience layer (src/resilience)
+/// reports: injected faults, the recoveries that answered them, and the
+/// driver-level policies (shift-and-restart, dense fallback, watchdog).
+/// Shared by the trace instant-events and the counter channel so a trace
+/// and its counters always agree on names.
+enum class ResilienceEvent : int {
+  kFaultException = 0,  ///< injected transient task-body exception
+  kFaultAlloc,          ///< injected (simulated) tile-allocation failure
+  kFaultPoison,         ///< injected NaN poisoning of an output tile
+  kMsgDrop,             ///< injected mailbox message drop
+  kMsgDup,              ///< injected mailbox message duplication
+  kRetry,               ///< task retried after restoring its snapshot
+  kTaskRecovered,       ///< retried task completed successfully
+  kMsgRecovered,        ///< dropped message retransmitted to a receiver
+  kShiftRestart,        ///< diagonal shift applied, factorization restarted
+  kDenseFallback,       ///< tile fell back to dense on maxrank overflow
+  kWatchdogFire,        ///< watchdog converted a stall into an error
+};
+constexpr int kNumResilienceEvents =
+    static_cast<int>(ResilienceEvent::kWatchdogFire) + 1;
+
+/// Per-event totals of the resilience channel.
+struct ResilienceCounters {
+  long long counts[kNumResilienceEvents] = {};
+  [[nodiscard]] long long of(ResilienceEvent ev) const {
+    return counts[static_cast<int>(ev)];
+  }
+  [[nodiscard]] long long total() const {
+    long long t = 0;
+    for (const long long c : counts) t += c;
+    return t;
+  }
+};
+
 /// Process-wide registry; all methods are static and thread-safe.
 class Counters {
  public:
@@ -71,6 +105,7 @@ class Counters {
 
   static void record_comm(long long bytes) noexcept;
   static void record_compression(int rank_in, int rank_out) noexcept;
+  static void record_resilience(ResilienceEvent ev) noexcept;
 
   /// Rows of every class with at least one recorded task, ordered by kind
   /// (uncategorized last).
@@ -82,6 +117,7 @@ class Counters {
 
   static CommCounters comm();
   static CompressionCounters compressions();
+  static ResilienceCounters resilience();
 
   /// Sum of measured flops over every class.
   static double total_flops();
@@ -93,6 +129,11 @@ class Counters {
 /// Short name of a kernel class ("(1)-POTRF", ..., "other" for -1 or
 /// out-of-range values), matching the Table I labels.
 const char* kernel_name(int kind) noexcept;
+
+/// Short snake_case name of a resilience event ("fault_exception", ...,
+/// "watchdog_fire"), used as the trace instant-event name and the counter
+/// key in counters_json().
+const char* resilience_event_name(ResilienceEvent ev) noexcept;
 
 /// Human-readable ASCII table of the kernel rows + comm/compression lines
 /// (Table-I style artifact; empty string when nothing was recorded).

@@ -211,6 +211,33 @@ void record_compression(int rank_in, int rank_out) {
   Counters::record_compression(rank_in, rank_out);
 }
 
+namespace {
+
+// Stable per-thread lane id for the resilience pid: spans within one
+// thread's buffer are appended in timestamp order, so giving each thread
+// its own tid keeps every (pid, tid) lane monotone — the invariant
+// tools/check_trace.py enforces.
+int thread_lane_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+void record_resilience(ResilienceEvent ev, const std::string& detail) {
+  if (!enabled()) return;
+  Span s;
+  s.name = resilience_event_name(ev);
+  s.detail = detail;
+  s.cat = SpanCat::kResil;
+  s.kind = static_cast<int>(ev);
+  s.worker = thread_lane_id();
+  s.t0 = s.t1 = now_seconds();
+  thread_buffer().spans.push_back(std::move(s));
+  Counters::record_resilience(ev);
+}
+
 void set_metadata(const std::string& key, const std::string& value) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -271,9 +298,26 @@ void write_chrome_trace(const std::string& path) {
   sep();
   os << R"(  {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, )"
      << R"("args": {"name": "ptlr comm"}})";
+  sep();
+  os << R"(  {"name": "process_name", "ph": "M", "pid": 2, "tid": 0, )"
+     << R"("args": {"name": "ptlr resilience"}})";
 
   for (const Span& s : spans) {
     sep();
+    if (s.cat == SpanCat::kResil) {
+      // Recovery instant-event: the "event" arg repeats the canonical name
+      // so tooling need not parse the display name.
+      os << R"(  {"name": ")";
+      json_escape(os, s.name);
+      os << R"(", "cat": "resilience", "ph": "i", "s": "t", "pid": 2, )"
+         << R"("tid": )" << s.worker << R"(, "ts": )" << s.t0 * 1e6
+         << R"(, "args": {"event": ")";
+      json_escape(os, s.name);
+      os << R"(", "detail": ")";
+      json_escape(os, s.detail);
+      os << R"("}})";
+      continue;
+    }
     const int pid = s.cat == SpanCat::kComm ? 1 : 0;
     const char* ph = s.cat == SpanCat::kComm ? "i" : "X";
     os << R"(  {"name": ")";

@@ -33,17 +33,21 @@
 #include <string>
 #include <vector>
 
+#include "obs/counters.hpp"
+
 namespace ptlr::obs {
 
 /// What a span describes; becomes the "cat" field of the Chrome event.
 enum class SpanCat : int {
-  kTask = 0,  ///< an executed task body (executor lane, pid 0)
-  kComm = 1,  ///< a mailbox message deposit (rank lane, pid 1)
+  kTask = 0,   ///< an executed task body (executor lane, pid 0)
+  kComm = 1,   ///< a mailbox message deposit (rank lane, pid 1)
+  kResil = 2,  ///< a recovery event (resilience lane, pid 2)
 };
 
 /// One recorded event.
 struct Span {
   std::string name;    ///< task name, e.g. "gemm(5,3,1)", or "send"
+  std::string detail;  ///< free-form detail (resilience events only)
   SpanCat cat = SpanCat::kTask;
   int kind = -1;       ///< kernel class (flops::Kernel value; -1 = other)
   int panel = -1;      ///< Cholesky panel index k
@@ -121,6 +125,15 @@ void record_comm(int from, int to, long long bytes);
 /// Record one recompression: `rank_in` before (concatenated factor),
 /// `rank_out` after rounding. Counter-only. No-op when disabled.
 void record_compression(int rank_in, int rank_out);
+
+/// Record one recovery event (counters.hpp vocabulary): an instant span in
+/// the resilience lane (pid 2, one tid per recording thread so lane
+/// timestamps stay monotone) plus the resilience counter channel. `detail`
+/// is free-form context ("task trsm(3,1) attempt 1", "tag 0x4...").
+/// Drivers should prefer resil::note() (src/resilience), which also feeds
+/// the always-on RecoveryStats; this hook is the obs half. No-op when
+/// disabled.
+void record_resilience(ResilienceEvent ev, const std::string& detail);
 
 // -------------------------------------------------------------- metadata
 

@@ -1,0 +1,138 @@
+#include "resilience/fault.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ptlr::resil {
+
+namespace {
+
+// splitmix64 finalizer: the same mixer perturb.cpp uses, applied here as a
+// stateless hash so every site draws an independent, schedule-invariant
+// value.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix(mix(mix(a) ^ b) ^ c);
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  PTLR_CHECK(end != nullptr && *end == '\0' && p >= 0.0 && p <= 1.0,
+             "PTLR_FAULTS: bad probability for '" + key + "': " + value);
+  return p;
+}
+
+}  // namespace
+
+FaultConfig FaultConfig::parse(const char* spec) {
+  FaultConfig cfg;
+  if (spec == nullptr || spec[0] == '\0') return cfg;
+
+  // Bare integer: a seed with the default probabilities.
+  {
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(spec, &end, 10);
+    if (end != nullptr && *end == '\0') return with_seed(seed);
+  }
+
+  cfg.enabled = true;
+  std::string s(spec);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string item = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    PTLR_CHECK(eq != std::string::npos,
+               "PTLR_FAULTS: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      char* end = nullptr;
+      cfg.seed = std::strtoull(value.c_str(), &end, 10);
+      PTLR_CHECK(end != nullptr && *end == '\0',
+                 "PTLR_FAULTS: bad seed: " + value);
+    } else if (key == "task") {
+      cfg.task_exception_probability = parse_probability(key, value);
+    } else if (key == "alloc") {
+      cfg.alloc_failure_probability = parse_probability(key, value);
+    } else if (key == "poison") {
+      cfg.poison_probability = parse_probability(key, value);
+    } else if (key == "drop") {
+      cfg.message_drop_probability = parse_probability(key, value);
+    } else if (key == "dup") {
+      cfg.message_duplicate_probability = parse_probability(key, value);
+    } else {
+      throw Error("PTLR_FAULTS: unknown key '" + key + "'");
+    }
+  }
+  return cfg;
+}
+
+FaultConfig FaultConfig::from_env() {
+  return parse(std::getenv("PTLR_FAULTS"));
+}
+
+double FaultInjector::roll(std::uint64_t site, std::uint64_t salt) const {
+  const std::uint64_t h = hash3(cfg_.seed, site, salt);
+  // Top 53 bits → uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Salts separate the fault classes so one site's draws are independent.
+namespace {
+constexpr std::uint64_t kSaltTask = 0x7461736Bull;    // "task"
+constexpr std::uint64_t kSaltAlloc = 0x616C6C6Full;   // "allo"
+constexpr std::uint64_t kSaltPoison = 0x706F6973ull;  // "pois"
+constexpr std::uint64_t kSaltWhere = 0x77686572ull;   // "wher"
+constexpr std::uint64_t kSaltDrop = 0x64726F70ull;    // "drop"
+constexpr std::uint64_t kSaltDup = 0x64757021ull;     // "dup!"
+}  // namespace
+
+bool FaultInjector::task_exception(std::uint64_t task, int attempt) const {
+  if (!cfg_.enabled || attempt != 0) return false;
+  return roll(task, kSaltTask) < cfg_.task_exception_probability;
+}
+
+bool FaultInjector::alloc_failure(std::uint64_t task, int attempt) const {
+  if (!cfg_.enabled || attempt != 0) return false;
+  return roll(task, kSaltAlloc) < cfg_.alloc_failure_probability;
+}
+
+std::optional<std::uint64_t> FaultInjector::poison(std::uint64_t task,
+                                                   int attempt) const {
+  if (!cfg_.enabled || attempt != 0) return std::nullopt;
+  if (roll(task, kSaltPoison) >= cfg_.poison_probability) return std::nullopt;
+  return hash3(cfg_.seed, task, kSaltWhere);
+}
+
+bool FaultInjector::drop_message(std::uint64_t tag, int from, int to) const {
+  if (!cfg_.enabled) return false;
+  const std::uint64_t site =
+      mix(tag) ^ (static_cast<std::uint64_t>(from) << 32 |
+                  static_cast<std::uint64_t>(static_cast<unsigned>(to)));
+  return roll(site, kSaltDrop) < cfg_.message_drop_probability;
+}
+
+bool FaultInjector::duplicate_message(std::uint64_t tag, int from,
+                                      int to) const {
+  if (!cfg_.enabled) return false;
+  const std::uint64_t site =
+      mix(tag) ^ (static_cast<std::uint64_t>(from) << 32 |
+                  static_cast<std::uint64_t>(static_cast<unsigned>(to)));
+  return roll(site, kSaltDup) < cfg_.message_duplicate_probability;
+}
+
+}  // namespace ptlr::resil

@@ -1,0 +1,107 @@
+// Recovery accounting and policy knobs for the resilience layer.
+//
+// Two consumers need to know what the recovery machinery did:
+//   * the observability layer, when enabled, wants trace instant-events
+//     and counters (obs::record_resilience);
+//   * the drivers ALWAYS want exact numbers — the acceptance criterion
+//     "injected == recovered, factor bitwise identical" cannot depend on
+//     whether tracing happened to be on.
+// resil::note() feeds both: an always-on process-global atomic registry
+// (read via snapshot()/diff() into a RecoveryStats block that drivers
+// embed in their results) plus the obs channel when that is enabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/counters.hpp"
+
+namespace ptlr::resil {
+
+using obs::ResilienceEvent;
+
+/// Per-event recovery totals for one run (a snapshot() diff). Embedded in
+/// CholeskyResult / DistCholeskyResult / ExecResult.
+struct RecoveryStats {
+  long long counts[obs::kNumResilienceEvents] = {};
+
+  [[nodiscard]] long long of(ResilienceEvent ev) const {
+    return counts[static_cast<int>(ev)];
+  }
+  [[nodiscard]] long long total() const {
+    long long t = 0;
+    for (const long long c : counts) t += c;
+    return t;
+  }
+
+  // Named accessors for the common questions.
+  [[nodiscard]] long long faults_injected() const {
+    return of(ResilienceEvent::kFaultException) +
+           of(ResilienceEvent::kFaultAlloc) + of(ResilienceEvent::kFaultPoison);
+  }
+  [[nodiscard]] long long retries() const {
+    return of(ResilienceEvent::kRetry);
+  }
+  [[nodiscard]] long long tasks_recovered() const {
+    return of(ResilienceEvent::kTaskRecovered);
+  }
+  [[nodiscard]] long long messages_dropped() const {
+    return of(ResilienceEvent::kMsgDrop);
+  }
+  [[nodiscard]] long long messages_duplicated() const {
+    return of(ResilienceEvent::kMsgDup);
+  }
+  [[nodiscard]] long long messages_recovered() const {
+    return of(ResilienceEvent::kMsgRecovered);
+  }
+  [[nodiscard]] long long shifts() const {
+    return of(ResilienceEvent::kShiftRestart);
+  }
+  [[nodiscard]] long long dense_fallbacks() const {
+    return of(ResilienceEvent::kDenseFallback);
+  }
+  [[nodiscard]] long long watchdog_fires() const {
+    return of(ResilienceEvent::kWatchdogFire);
+  }
+
+  /// One line per nonzero event ("retry=3 task_recovered=3"); empty string
+  /// when nothing happened.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// How the executor retries tasks that fail with ptlr::TransientError.
+struct RetryPolicy {
+  int max_retries = 3;   ///< attempts beyond the first; 0 disables recovery
+  long long backoff_us = 50;  ///< sleep before retry r is backoff_us << r
+};
+
+/// What the Cholesky driver does when blocked POTRF reports a non-positive
+/// pivot (ptlr::NumericalError with the global pivot index).
+struct BreakdownPolicy {
+  enum class Action {
+    kFail,             ///< propagate the NumericalError (default)
+    kShiftAndRestart,  ///< add a diagonal shift and refactorize
+  };
+  Action action = Action::kFail;
+  /// Initial diagonal shift. 0 = automatic: scaled from the mean |diagonal|
+  /// of the input matrix.
+  double shift = 0.0;
+  /// Multiplier applied to the shift after each failed restart.
+  double growth = 10.0;
+  /// Restarts before giving up and propagating the breakdown.
+  int max_restarts = 3;
+};
+
+/// Record one recovery event: always counts into the process-global
+/// registry (read via snapshot()/diff()), and additionally emits an obs
+/// trace instant-event + counter when obs::enabled(). `detail` is free-form
+/// context for the trace ("task trsm(3,1)", "pivot 417").
+void note(ResilienceEvent ev, const std::string& detail = {});
+
+/// Current totals of the always-on registry (process lifetime).
+RecoveryStats snapshot();
+
+/// after - before, element-wise: the events of one bracketed run.
+RecoveryStats diff(const RecoveryStats& before, const RecoveryStats& after);
+
+}  // namespace ptlr::resil

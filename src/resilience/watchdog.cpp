@@ -1,0 +1,17 @@
+#include "resilience/watchdog.hpp"
+
+#include <cstdlib>
+
+namespace ptlr::resil {
+
+WatchdogConfig WatchdogConfig::from_env() {
+  WatchdogConfig cfg;
+  const char* v = std::getenv("PTLR_WATCHDOG_MS");
+  if (v == nullptr || v[0] == '\0') return cfg;
+  char* end = nullptr;
+  const long long ms = std::strtoll(v, &end, 10);
+  if (end != nullptr && *end == '\0' && ms > 0) cfg.deadline_ms = ms;
+  return cfg;
+}
+
+}  // namespace ptlr::resil

@@ -1,10 +1,12 @@
 #include "runtime/executor.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <queue>
+#include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
@@ -82,6 +84,14 @@ class ReadyPool {
   std::vector<ReadyTask> bag_;
 };
 
+// Per-task lifecycle for the watchdog's state dump.
+enum TaskState : std::uint8_t {
+  kStatePending = 0,
+  kStateReady = 1,
+  kStateRunning = 2,
+  kStateDone = 3,
+};
+
 }  // namespace
 
 ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
@@ -91,27 +101,48 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
   ExecResult result;
   if (n == 0) return result;
 
+  const resil::RecoveryStats recovery_before = resil::snapshot();
   Perturber perturber(opts.perturb);
+  const resil::FaultInjector injector(opts.faults);
   std::vector<std::atomic<int>> pending(static_cast<std::size_t>(n));
+  std::vector<std::atomic<std::uint8_t>> state(static_cast<std::size_t>(n));
   ReadyPool ready(perturber);
   std::mutex mu;
   std::condition_variable cv;
   int remaining = n;
   std::exception_ptr first_error;
+  // Fail-fast drain: once an unrecoverable error (or the watchdog) sets
+  // this, workers stop popping — pending tasks are skipped and the pool
+  // exits promptly instead of grinding through the rest of the graph.
+  std::atomic<bool> cancelled{false};
+  std::atomic<long long> completed{0};
+  std::atomic<bool> watchdog_fired{false};
 
   {
     std::lock_guard<std::mutex> lock(mu);
     for (TaskId t = 0; t < n; ++t) {
       pending[static_cast<std::size_t>(t)].store(g.num_predecessors(t),
                                                  std::memory_order_relaxed);
-      if (g.num_predecessors(t) == 0)
+      state[static_cast<std::size_t>(t)].store(kStatePending,
+                                               std::memory_order_relaxed);
+      if (g.num_predecessors(t) == 0) {
         ready.push(g.info(t).priority, t);
+        state[static_cast<std::size_t>(t)].store(kStateReady,
+                                                 std::memory_order_relaxed);
+      }
     }
   }
 
   std::vector<TraceEvent> trace;
   if (opts.record_trace) trace.resize(static_cast<std::size_t>(n));
   std::atomic<long long> seq_clock{0};
+
+  auto fail = [&](std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!first_error) first_error = err;
+    cancelled.store(true, std::memory_order_release);
+    cv.notify_all();
+  };
 
   WallTimer timer;
   auto worker = [&](int wid) {
@@ -120,47 +151,116 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
       {
         std::unique_lock<std::mutex> lock(mu);
         cv.wait(lock, [&] {
-          return !ready.empty() || remaining == 0 || first_error != nullptr;
+          return !ready.empty() || remaining == 0 ||
+                 cancelled.load(std::memory_order_acquire);
         });
-        if (remaining == 0 || first_error != nullptr) return;
+        if (remaining == 0 || cancelled.load(std::memory_order_acquire))
+          return;
         if (ready.empty()) continue;
         task = ready.pop();
       }
+      state[static_cast<std::size_t>(task)].store(kStateRunning,
+                                                  std::memory_order_relaxed);
 
       perturber.maybe_stall();
+      const TaskInfo& info = g.info(task);
+      // Only tasks that declared their outputs are fault-targets: recovery
+      // needs the snapshots, and tasks without output hooks (the recursive
+      // sub-block tasks, which alias one tile's storage across concurrent
+      // writers) cannot be safely restored.
+      const bool inject = injector.enabled() && !info.outputs.empty() &&
+                          opts.retry.max_retries > 0;
+      std::vector<std::vector<char>> snapshots;
+      if (inject) {
+        snapshots.reserve(info.outputs.size());
+        for (const TaskOutput& out : info.outputs)
+          snapshots.push_back(out.save ? out.save() : std::vector<char>{});
+      }
+      const std::uint64_t site = static_cast<std::uint64_t>(task);
+
       // Observability span hook: bracket the body so the obs layer can
       // attribute the flops the kernels charge (and the ranks they
       // annotate) to this task. One relaxed load when tracing is off.
+      // Retries re-open the span, so only the successful attempt's flops
+      // are charged and the exactness contract of the counters holds.
       const bool obs_on = obs::enabled();
-      if (obs_on) obs::task_begin();
       const long long s0 = seq_clock.fetch_add(1, std::memory_order_relaxed);
       const double t0 = timer.seconds();
-      try {
-        if (g.info(task).fn) g.info(task).fn();
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!first_error) first_error = std::current_exception();
-        cv.notify_all();
-        return;
+      int attempt = 0;
+      for (;;) {
+        try {
+          if (obs_on) obs::task_begin();
+          if (inject) {
+            if (injector.task_exception(site, attempt)) {
+              resil::note(resil::ResilienceEvent::kFaultException, info.name);
+              throw TransientError("injected transient fault in " + info.name);
+            }
+            if (injector.alloc_failure(site, attempt)) {
+              resil::note(resil::ResilienceEvent::kFaultAlloc, info.name);
+              throw TransientError("injected tile-allocation failure in " +
+                                   info.name);
+            }
+          }
+          if (info.fn) info.fn();
+          if (inject) {
+            if (const auto h = injector.poison(site, attempt)) {
+              for (const TaskOutput& out : info.outputs) {
+                if (out.poison && out.poison(*h)) {
+                  resil::note(resil::ResilienceEvent::kFaultPoison, info.name);
+                  break;
+                }
+              }
+            }
+            for (const TaskOutput& out : info.outputs) {
+              if (out.finite && !out.finite())
+                throw TransientError("non-finite output detected in " +
+                                     info.name);
+            }
+          }
+          break;  // attempt succeeded
+        } catch (const TransientError&) {
+          if (!inject || attempt >= opts.retry.max_retries) {
+            fail(std::current_exception());
+            return;
+          }
+          for (std::size_t i = 0; i < info.outputs.size(); ++i) {
+            if (info.outputs[i].restore)
+              info.outputs[i].restore(snapshots[i]);
+          }
+          resil::note(resil::ResilienceEvent::kRetry,
+                      info.name + " attempt " + std::to_string(attempt + 1));
+          if (opts.retry.backoff_us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                opts.retry.backoff_us << attempt));
+          }
+          ++attempt;
+        } catch (...) {
+          fail(std::current_exception());
+          return;
+        }
       }
+      if (attempt > 0)
+        resil::note(resil::ResilienceEvent::kTaskRecovered, info.name);
       const double t1 = timer.seconds();
       const long long s1 = seq_clock.fetch_add(1, std::memory_order_relaxed);
       if (obs_on) {
-        const TaskInfo& info = g.info(task);
         obs::task_end(info.name, info.kind, info.panel, info.ti, info.tj,
                       wid, static_cast<long long>(info.output_bytes));
       }
       if (opts.record_trace) {
         auto& ev = trace[static_cast<std::size_t>(task)];
         ev.task = task;
-        ev.kind = g.info(task).kind;
-        ev.panel = g.info(task).panel;
+        ev.kind = info.kind;
+        ev.panel = info.panel;
         ev.worker = wid;
         ev.start = t0;
         ev.end = t1;
         ev.seq_start = s0;
         ev.seq_end = s1;
       }
+      state[static_cast<std::size_t>(task)].store(kStateDone,
+                                                  std::memory_order_relaxed);
+      completed.fetch_add(1, std::memory_order_relaxed);
 
       // Release successors; collect newly-ready tasks under the lock.
       perturber.maybe_stall();
@@ -171,6 +271,8 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
           if (pending[static_cast<std::size_t>(s)].fetch_sub(
                   1, std::memory_order_acq_rel) == 1) {
             ready.push(g.info(s).priority, s);
+            state[static_cast<std::size_t>(s)].store(
+                kStateReady, std::memory_order_relaxed);
             notify = true;
           }
         }
@@ -180,12 +282,93 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
     }
   };
 
+  // Watchdog: a monitor thread over the completed-task counter. If no task
+  // completes for the configured deadline the run is wedged (deadlocked
+  // body, lost wakeup, livelock); the watchdog converts the hang into a
+  // descriptive error with a dump of where every task stood.
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  std::thread wd_thread;
+  if (opts.watchdog.enabled()) {
+    wd_thread = std::thread([&] {
+      const auto deadline = opts.watchdog.deadline();
+      auto tick = deadline / 4;
+      if (tick < std::chrono::milliseconds(1))
+        tick = std::chrono::milliseconds(1);
+      long long last = -1;
+      auto last_progress = std::chrono::steady_clock::now();
+      std::unique_lock<std::mutex> lock(wd_mu);
+      for (;;) {
+        if (wd_cv.wait_for(lock, tick, [&] { return wd_stop; })) return;
+        const long long done = completed.load(std::memory_order_relaxed);
+        const auto now = std::chrono::steady_clock::now();
+        if (done != last) {
+          last = done;
+          last_progress = now;
+          continue;
+        }
+        if (now - last_progress < deadline) continue;
+        if (cancelled.load(std::memory_order_acquire)) return;
+
+        // Stalled: dump task states, cancel, unblock whatever we can.
+        std::ostringstream os;
+        os << "watchdog: no task completed for " << opts.watchdog.deadline_ms
+           << " ms (" << done << "/" << n << " tasks done)";
+        const char* labels[] = {"pending", "ready", "running"};
+        for (const std::uint8_t st :
+             {kStateRunning, kStateReady, kStatePending}) {
+          long long count = 0;
+          std::string names;
+          for (TaskId t = 0; t < n; ++t) {
+            if (state[static_cast<std::size_t>(t)].load(
+                    std::memory_order_relaxed) != st)
+              continue;
+            ++count;
+            if (count <= 16) {
+              if (!names.empty()) names += ", ";
+              names += g.info(t).name;
+            }
+          }
+          os << "; " << labels[st] << " (" << count << ")";
+          if (count > 0) os << ": " << names;
+          if (count > 16) os << ", ...";
+        }
+        resil::note(resil::ResilienceEvent::kWatchdogFire, os.str());
+        watchdog_fired.store(true, std::memory_order_release);
+        fail(std::make_exception_ptr(Error(os.str())));
+        if (opts.on_stall) opts.on_stall();
+        return;
+      }
+    });
+  }
+
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(nthreads));
   for (int w = 0; w < nthreads; ++w) pool.emplace_back(worker, w);
   for (auto& th : pool) th.join();
+  if (wd_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mu);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    wd_thread.join();
+  }
 
-  if (first_error) std::rethrow_exception(first_error);
+  result.recovery = resil::diff(recovery_before, resil::snapshot());
+  if (first_error) {
+    // A watchdog-cancelled run flushes the obs trace before throwing so
+    // the post-mortem timeline survives the error path.
+    if (watchdog_fired.load(std::memory_order_acquire) && obs::enabled()) {
+      try {
+        obs::write_chrome_trace_from_env();
+      } catch (...) {
+        // the stall error below is the more useful diagnostic
+      }
+    }
+    std::rethrow_exception(first_error);
+  }
   result.seconds = timer.seconds();
   result.trace = std::move(trace);
   return result;

@@ -4,6 +4,11 @@
 // for distributed-scale studies.
 #pragma once
 
+#include <functional>
+
+#include "resilience/fault.hpp"
+#include "resilience/stats.hpp"
+#include "resilience/watchdog.hpp"
 #include "runtime/perturb.hpp"
 #include "runtime/taskgraph.hpp"
 #include "runtime/trace.hpp"
@@ -14,6 +19,9 @@ namespace ptlr::rt {
 struct ExecResult {
   double seconds = 0.0;              ///< wall-clock makespan
   std::vector<TraceEvent> trace;     ///< one event per executed task
+  /// Recovery events observed while this run executed (process-global
+  /// snapshot diff: injected faults, retries, recoveries, watchdog fires).
+  resil::RecoveryStats recovery;
 };
 
 /// Options of a shared-memory run.
@@ -27,12 +35,32 @@ struct ExecOptions {
   /// priority inversions and worker stalls. Defaults honour
   /// PTLR_PERTURB_SEED so failing seeds replay without a recompile.
   PerturbConfig perturb = PerturbConfig::from_env();
+  /// Fault injection (see resilience/fault.hpp): transient task-body
+  /// exceptions, simulated allocation failures, NaN output poisoning.
+  /// Defaults honour PTLR_FAULTS. Only tasks that declare TaskOutputs are
+  /// ever targeted, and recovery restores their snapshots, so an injected
+  /// run's factor is bitwise identical to a fault-free run's.
+  resil::FaultConfig faults = resil::FaultConfig::from_env();
+  /// Bounded-backoff retry of ptlr::TransientError failures.
+  resil::RetryPolicy retry;
+  /// Stall watchdog: if no task completes for the deadline, the run is
+  /// cancelled and a descriptive ptlr::Error carrying a dump of
+  /// ready/running/pending task names is thrown (after flushing the obs
+  /// trace, when enabled). Defaults honour PTLR_WATCHDOG_MS.
+  resil::WatchdogConfig watchdog = resil::WatchdogConfig::from_env();
+  /// Invoked (once, off-lock) when the watchdog fires, before waiting for
+  /// workers to exit. Wire this to whatever can unblock stuck task bodies —
+  /// e.g. Communicator::abort() when bodies block on mailbox receives.
+  std::function<void()> on_stall;
 };
 
 /// Execute every task in `g` respecting its dependencies, using `nthreads`
 /// worker threads. Among ready tasks, higher TaskInfo::priority runs first
-/// (unless perturbation inverts it). Exceptions thrown by task bodies are
-/// captured and rethrown on the calling thread after the pool drains.
+/// (unless perturbation inverts it). ptlr::TransientError failures of
+/// tasks with declared outputs are recovered by snapshot-restore + retry
+/// (opts.retry); any other exception cancels the run — pending tasks are
+/// skipped, the pool drains promptly, and the first error is rethrown on
+/// the calling thread.
 ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts);
 
 /// Back-compat convenience overload.

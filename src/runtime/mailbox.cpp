@@ -1,13 +1,31 @@
 #include "runtime/mailbox.hpp"
 
+#include <chrono>
+#include <sstream>
+
 #include "common/error.hpp"
 #include "obs/trace.hpp"
+#include "resilience/stats.hpp"
 
 namespace ptlr::rt::dist {
 
-Communicator::Communicator(int nranks, const PerturbConfig& perturb)
+namespace {
+
+std::string describe(int rank, std::uint64_t tag) {
+  std::ostringstream os;
+  os << "rank " << rank << ", tag 0x" << std::hex << tag;
+  return os.str();
+}
+
+}  // namespace
+
+Communicator::Communicator(int nranks, const PerturbConfig& perturb,
+                           const resil::FaultConfig& faults,
+                           const resil::WatchdogConfig& watchdog)
     : nranks_(nranks),
       perturber_(perturb),
+      injector_(faults),
+      watchdog_(watchdog),
       boxes_(static_cast<std::size_t>(nranks)) {
   PTLR_CHECK(nranks >= 1, "need at least one rank");
 }
@@ -29,30 +47,87 @@ void Communicator::send(int from, int to, std::uint64_t tag,
     if (obs::enabled())
       obs::record_comm(from, to, static_cast<long long>(payload.size()));
   }
+
+  Msg msg;
+  msg.id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  msg.payload = std::move(payload);
+  // Fault decisions hash (tag, from, to), not the send order, so a seed
+  // drops/duplicates the same messages in every schedule.
+  const bool drop = injector_.drop_message(tag, from, to);
+  const bool dup = !drop && injector_.duplicate_message(tag, from, to);
+
   Box& box = boxes_[static_cast<std::size_t>(to)];
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.slots[tag].push(std::move(payload));
+    if (drop) {
+      resil::note(resil::ResilienceEvent::kMsgDrop, describe(to, tag));
+      box.dead_letters[tag].push(std::move(msg));
+    } else if (dup) {
+      resil::note(resil::ResilienceEvent::kMsgDup, describe(to, tag));
+      box.slots[tag].push(msg);  // same id twice; receiver dedups
+      box.slots[tag].push(std::move(msg));
+    } else {
+      box.slots[tag].push(std::move(msg));
+    }
   }
+  // Notify even for a dropped message: a receiver already blocked on the
+  // tag must wake to run the dead-letter recovery below.
   box.cv.notify_all();
 }
 
 std::vector<char> Communicator::recv(int rank, std::uint64_t tag) {
   PTLR_CHECK(rank >= 0 && rank < nranks_, "recv on invalid rank");
   Box& box = boxes_[static_cast<std::size_t>(rank)];
+  const auto wait_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(box.mu);
-  box.cv.wait(lock, [&] {
-    if (aborted_.load(std::memory_order_acquire)) return true;
-    const auto it = box.slots.find(tag);
-    return it != box.slots.end() && !it->second.empty();
-  });
-  const auto it = box.slots.find(tag);
-  if (it == box.slots.end() || it->second.empty()) {
-    throw Error("communicator aborted while waiting for a message");
+  for (;;) {
+    if (aborted_.load(std::memory_order_acquire))
+      throw Error("communicator aborted while waiting for a message (" +
+                  describe(rank, tag) + ")");
+
+    // Drain the slot until a message with a fresh id appears; injected
+    // duplicates are discarded here.
+    if (auto it = box.slots.find(tag); it != box.slots.end()) {
+      while (!it->second.empty()) {
+        Msg msg = std::move(it->second.front());
+        it->second.pop();
+        if (box.delivered.insert(msg.id).second) return std::move(msg.payload);
+      }
+    }
+
+    // Dead-letter recovery: the receiver is blocked on a tag nothing fresh
+    // arrived for — exactly the condition under which a real runtime's
+    // receiver would detect the gap and request retransmission. Requeue
+    // every parked message for the tag and retry the drain.
+    if (auto dl = box.dead_letters.find(tag);
+        dl != box.dead_letters.end() && !dl->second.empty()) {
+      while (!dl->second.empty()) {
+        resil::note(resil::ResilienceEvent::kMsgRecovered,
+                    describe(rank, tag));
+        box.slots[tag].push(std::move(dl->second.front()));
+        dl->second.pop();
+      }
+      continue;
+    }
+
+    if (!watchdog_.enabled()) {
+      box.cv.wait(lock);
+      continue;
+    }
+    // Deadline-aware wait: slice the sleep so an abort or a requeued
+    // message is seen promptly, and convert a wait past the deadline into
+    // a descriptive error instead of a silent hang.
+    const auto now = std::chrono::steady_clock::now();
+    const auto waited = now - wait_start;
+    if (waited >= watchdog_.deadline()) {
+      const std::string what =
+          "watchdog: receive waited " + std::to_string(watchdog_.deadline_ms) +
+          " ms with no message (" + describe(rank, tag) + ")";
+      resil::note(resil::ResilienceEvent::kWatchdogFire, what);
+      throw Error(what);
+    }
+    box.cv.wait_for(lock, watchdog_.deadline() - waited);
   }
-  std::vector<char> out = std::move(it->second.front());
-  it->second.pop();
-  return out;
 }
 
 void Communicator::abort() {

@@ -16,8 +16,11 @@
 #include <map>
 #include <mutex>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
+#include "resilience/fault.hpp"
+#include "resilience/watchdog.hpp"
 #include "runtime/perturb.hpp"
 
 namespace ptlr::rt::dist {
@@ -40,9 +43,23 @@ class Communicator {
   /// arrive out of their send order — the reordering a real network is
   /// allowed to do and the in-process FIFO would otherwise hide. Defaults
   /// honour PTLR_PERTURB_SEED, like the executor.
-  explicit Communicator(int nranks,
-                        const PerturbConfig& perturb =
-                            PerturbConfig::from_env());
+  ///
+  /// `faults` (see resilience/fault.hpp, defaults honour PTLR_FAULTS) can
+  /// drop or duplicate deposits. Both are recovered transparently: every
+  /// message travels in an id-stamped envelope, receivers deduplicate by
+  /// id, and a dropped message is parked in a dead-letter queue until a
+  /// blocked receiver detects the gap and requeues it (deterministic
+  /// detect-and-retransmit) — so delivered payloads are identical to a
+  /// fault-free run's.
+  ///
+  /// `watchdog` (defaults honour PTLR_WATCHDOG_MS) bounds every blocking
+  /// receive: a wait past the deadline throws a descriptive ptlr::Error
+  /// naming the rank and tag instead of hanging forever.
+  explicit Communicator(
+      int nranks, const PerturbConfig& perturb = PerturbConfig::from_env(),
+      const resil::FaultConfig& faults = resil::FaultConfig::from_env(),
+      const resil::WatchdogConfig& watchdog =
+          resil::WatchdogConfig::from_env());
 
   [[nodiscard]] int nranks() const { return nranks_; }
 
@@ -50,7 +67,8 @@ class Communicator {
   void send(int from, int to, std::uint64_t tag, std::vector<char> payload);
 
   /// Block until a message with `tag` is available for `rank`; pop it.
-  /// Throws ptlr::Error if the communicator was aborted while waiting.
+  /// Throws ptlr::Error if the communicator was aborted while waiting, or
+  /// if the watchdog deadline passes with no message.
   std::vector<char> recv(int rank, std::uint64_t tag);
 
   /// Wake every blocked receiver with an error — called by a rank that
@@ -66,14 +84,28 @@ class Communicator {
   [[nodiscard]] Stats stats() const;
 
  private:
+  /// Envelope: payload plus a communicator-unique id so receivers can
+  /// discard injected duplicates.
+  struct Msg {
+    std::uint64_t id = 0;
+    std::vector<char> payload;
+  };
   struct Box {
     std::mutex mu;
     std::condition_variable cv;
-    std::map<std::uint64_t, std::queue<std::vector<char>>> slots;
+    std::map<std::uint64_t, std::queue<Msg>> slots;
+    /// Injected-drop parking lot, per tag; requeued into `slots` by the
+    /// first receiver that waits on the tag and finds it empty.
+    std::map<std::uint64_t, std::queue<Msg>> dead_letters;
+    /// Ids already handed to a receiver (duplicate suppression).
+    std::unordered_set<std::uint64_t> delivered;
   };
   int nranks_;
   Perturber perturber_;
+  resil::FaultInjector injector_;
+  resil::WatchdogConfig watchdog_;
   std::vector<Box> boxes_;
+  std::atomic<std::uint64_t> next_msg_id_{1};
   std::atomic<bool> aborted_{false};
   mutable std::mutex stats_mu_;
   Stats stats_;

@@ -30,6 +30,27 @@ constexpr DataKey make_key(std::uint32_t kind, std::uint32_t i,
          static_cast<DataKey>(j & 0xFFFFFF);
 }
 
+/// One output datum of a task, described to the runtime's recovery layer.
+/// A task that declares its outputs becomes recoverable: before a
+/// fault-injected attempt the executor snapshots every output via `save`,
+/// and a transient failure restores the snapshots with `restore` and
+/// re-runs the body — producing a factor bitwise identical to a fault-free
+/// run. Tasks whose outputs alias other concurrent tasks' data (the
+/// recursive sub-block tasks, which share one tile's storage) must NOT
+/// declare outputs; the executor never injects into or retries them.
+struct TaskOutput {
+  /// Serialize the output's current contents.
+  std::function<std::vector<char>()> save;
+  /// Overwrite the output from a `save` snapshot.
+  std::function<void(const std::vector<char>&)> restore;
+  /// True iff every payload value is finite (NaN/Inf corruption scan).
+  std::function<bool()> finite;
+  /// Corrupt one payload value chosen from hash `h` with a NaN; returns
+  /// false when there is nothing to corrupt (e.g. a rank-0 tile), in which
+  /// case the injector does not count a fault. Test-only hook.
+  std::function<bool(std::uint64_t)> poison;
+};
+
 /// User-facing task description.
 struct TaskInfo {
   std::string name;               ///< e.g. "potrf(3)"
@@ -45,6 +66,9 @@ struct TaskInfo {
   /// 1 = prefers an accelerator when the node has one (dense Level-3
   /// kernels on the critical path — the paper's GPU future work).
   int device_class = 0;
+  /// Outputs for snapshot/restore recovery; empty = not recoverable (the
+  /// executor skips such tasks when injecting faults). See TaskOutput.
+  std::vector<TaskOutput> outputs;
 };
 
 /// A dependency-resolved DAG of tasks.

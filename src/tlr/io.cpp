@@ -1,10 +1,19 @@
 #include "tlr/io.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 
 namespace ptlr::tlr {
+
+// Robustness contract: these readers consume untrusted bytes (files on
+// disk, wire payloads of the distributed layer, anything the corruption
+// fuzzer in tests/test_tlr.cpp produces). Corrupt input of every kind —
+// truncation, bit flips, oversized dimensions — must surface as
+// ptlr::Error; in particular, every size field is bounds-checked against
+// the actual input size BEFORE any allocation it controls, so a flipped
+// length byte cannot OOM the process.
 
 namespace {
 
@@ -20,11 +29,13 @@ void write_f64(std::ostream& os, double v) {
 std::uint64_t read_u64(std::istream& is) {
   std::uint64_t v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  PTLR_CHECK(is.good(), "truncated input");
   return v;
 }
 double read_f64(std::istream& is) {
   double v = 0;
   is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  PTLR_CHECK(is.good(), "truncated input");
   return v;
 }
 
@@ -35,14 +46,23 @@ void write_matrix(std::ostream& os, const dense::Matrix& m) {
            static_cast<std::streamsize>(m.size() * sizeof(double)));
 }
 
-dense::Matrix read_matrix(std::istream& is) {
-  const auto rows = static_cast<int>(read_u64(is));
-  const auto cols = static_cast<int>(read_u64(is));
-  PTLR_CHECK(rows >= 0 && cols >= 0 && rows < (1 << 24) && cols < (1 << 24),
+/// `budget` is the total input size; the declared payload must fit between
+/// the current stream position and the end before the matrix is allocated.
+dense::Matrix read_matrix(std::istream& is, std::uint64_t budget) {
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  PTLR_CHECK(rows < (1u << 24) && cols < (1u << 24),
              "corrupt matrix header");
-  dense::Matrix m(rows, cols);
-  is.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  const std::uint64_t bytes = rows * cols * sizeof(double);
+  const auto pos = static_cast<std::uint64_t>(is.tellg());
+  PTLR_CHECK(pos <= budget && bytes <= budget - pos,
+             "matrix payload exceeds input size");
+  dense::Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  if (bytes > 0) {
+    is.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(bytes));
+    PTLR_CHECK(is.good(), "truncated input");
+  }
   return m;
 }
 
@@ -75,32 +95,64 @@ void save(const TlrMatrix& m, const std::string& path) {
 TlrMatrix load(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   PTLR_CHECK(is.good(), "cannot open for reading: " + path);
+  is.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+  PTLR_CHECK(is.good(), "cannot read: " + path);
+
   PTLR_CHECK(read_u64(is) == kMagic, "not a PTLR matrix file: " + path);
   PTLR_CHECK(read_u64(is) == kVersion, "unsupported format version");
-  const auto n = static_cast<int>(read_u64(is));
-  const auto b = static_cast<int>(read_u64(is));
-  const auto band = static_cast<int>(read_u64(is));
+  const std::uint64_t n64 = read_u64(is);
+  const std::uint64_t b64 = read_u64(is);
+  const std::uint64_t band64 = read_u64(is);
   compress::Accuracy acc;
   acc.tol = read_f64(is);
-  acc.maxrank = static_cast<int>(read_u64(is));
+  const std::uint64_t maxrank64 = read_u64(is);
 
+  // Header sanity before any size-dependent allocation: dimensions must be
+  // structurally possible, and the implied tile table must fit the actual
+  // file (each tile record is at least tag + rows + cols = 24 bytes) — a
+  // bit-flipped n cannot allocate an O(nt²) tile table.
+  PTLR_CHECK(n64 >= 1 && n64 <= (1u << 30) && b64 >= 1 && b64 <= n64,
+             "corrupt dimension header");
+  PTLR_CHECK(std::isfinite(acc.tol) && acc.tol >= 0.0,
+             "corrupt accuracy header");
+  PTLR_CHECK(maxrank64 >= 1 && maxrank64 <= (1u << 30),
+             "corrupt maxrank header");
+  acc.maxrank = static_cast<int>(maxrank64);
+  const std::uint64_t nt64 = (n64 + b64 - 1) / b64;
+  const std::uint64_t ntiles = nt64 * (nt64 + 1) / 2;
+  PTLR_CHECK(ntiles <= file_size / 24, "file too small for tile table");
+  PTLR_CHECK(band64 <= nt64, "corrupt band size header");
+
+  const int n = static_cast<int>(n64);
+  const int b = static_cast<int>(b64);
   TlrMatrix m(n, b);
   for (int i = 0; i < m.nt(); ++i)
     for (int j = 0; j <= i; ++j) {
+      // Expected tile geometry from (n, b); stored dimensions that
+      // disagree are corruption, caught before the tile is accepted.
+      const int ri = std::min(b, n - i * b);
+      const int rj = std::min(b, n - j * b);
       const std::uint64_t tag = read_u64(is);
       PTLR_CHECK(tag <= 1, "corrupt tile tag");
       if (tag == 0) {
-        m.at(i, j) = Tile::make_dense(read_matrix(is));
+        dense::Matrix d = read_matrix(is, file_size);
+        PTLR_CHECK(d.rows() == ri && d.cols() == rj,
+                   "dense tile dimensions disagree with header");
+        m.at(i, j) = Tile::make_dense(std::move(d));
       } else {
-        dense::Matrix u = read_matrix(is);
-        dense::Matrix v = read_matrix(is);
+        dense::Matrix u = read_matrix(is, file_size);
+        dense::Matrix v = read_matrix(is, file_size);
+        PTLR_CHECK(u.rows() == ri && v.rows() == rj && u.cols() == v.cols(),
+                   "low-rank tile dimensions disagree with header");
         m.at(i, j) =
             Tile::make_lowrank({std::move(u), std::move(v)});
       }
       PTLR_CHECK(is.good(), "truncated file: " + path);
     }
   // Restore the metadata the constructor cannot take.
-  m.densify_band(band);  // formats already match; this records band_size
+  m.densify_band(static_cast<int>(band64));  // records band_size
   m.set_accuracy(acc);
   return m;
 }
@@ -129,14 +181,17 @@ std::uint64_t take_u64(const std::vector<char>& buf, std::size_t& pos) {
 }
 
 dense::Matrix take_matrix(const std::vector<char>& buf, std::size_t& pos) {
-  const auto rows = static_cast<int>(take_u64(buf, pos));
-  const auto cols = static_cast<int>(take_u64(buf, pos));
-  PTLR_CHECK(rows >= 0 && cols >= 0, "corrupt tile buffer");
-  dense::Matrix m(rows, cols);
-  const std::size_t bytes = m.size() * sizeof(double);
-  PTLR_CHECK(pos + bytes <= buf.size(), "truncated tile buffer");
-  std::memcpy(m.data(), buf.data() + pos, bytes);
-  pos += bytes;
+  const std::uint64_t rows = take_u64(buf, pos);
+  const std::uint64_t cols = take_u64(buf, pos);
+  PTLR_CHECK(rows < (1u << 24) && cols < (1u << 24), "corrupt tile buffer");
+  // Bound the declared payload by the actual buffer BEFORE allocating, in
+  // 64-bit arithmetic — a bit-flipped dimension must throw, not OOM.
+  const std::uint64_t bytes = rows * cols * sizeof(double);
+  PTLR_CHECK(bytes <= buf.size() - pos, "truncated tile buffer");
+  dense::Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  if (bytes > 0)
+    std::memcpy(m.data(), buf.data() + pos, static_cast<std::size_t>(bytes));
+  pos += static_cast<std::size_t>(bytes);
   return m;
 }
 

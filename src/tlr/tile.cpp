@@ -1,6 +1,21 @@
 #include "tlr/tile.hpp"
 
+#include <cmath>
+#include <limits>
+
 namespace ptlr::tlr {
+
+namespace {
+
+bool all_finite(const dense::Matrix& m) {
+  const double* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int Tile::rows() const {
   return is_dense() ? std::get<dense::Matrix>(storage_).rows()
@@ -45,6 +60,29 @@ const compress::LowRankFactor& Tile::lr() const {
 dense::Matrix Tile::to_dense() const {
   return is_dense() ? std::get<dense::Matrix>(storage_)
                     : std::get<compress::LowRankFactor>(storage_).to_dense();
+}
+
+bool Tile::payload_finite() const {
+  if (is_dense()) return all_finite(std::get<dense::Matrix>(storage_));
+  const auto& f = std::get<compress::LowRankFactor>(storage_);
+  return all_finite(f.u) && all_finite(f.v);
+}
+
+bool Tile::poison_payload(std::uint64_t h) {
+  dense::Matrix* target = nullptr;
+  if (is_dense()) {
+    target = &std::get<dense::Matrix>(storage_);
+  } else {
+    auto& f = std::get<compress::LowRankFactor>(storage_);
+    // Alternate factors by one hash bit; fall through to the other when
+    // the chosen one is empty.
+    target = (h & 1) != 0 || f.v.size() == 0 ? &f.u : &f.v;
+    if (target->size() == 0) target = &f.v;
+  }
+  if (target == nullptr || target->size() == 0) return false;
+  target->data()[(h >> 1) % target->size()] =
+      std::numeric_limits<double>::quiet_NaN();
+  return true;
 }
 
 void Tile::densify() {

@@ -2,6 +2,7 @@
 // BAND-DENSE-TLR algorithm moves between formats (Section V).
 #pragma once
 
+#include <cstdint>
 #include <variant>
 
 #include "compress/compress.hpp"
@@ -50,6 +51,17 @@ class Tile {
 
   /// Materialize as a dense matrix (copy).
   [[nodiscard]] dense::Matrix to_dense() const;
+
+  /// True iff every stored value (dense entries, or both low-rank factors)
+  /// is finite — the corruption scan the executor's recovery layer runs
+  /// over task outputs under fault injection.
+  [[nodiscard]] bool payload_finite() const;
+
+  /// Overwrite one stored value, chosen from hash `h`, with a quiet NaN.
+  /// Returns false when there is nothing to corrupt (zero-element payload,
+  /// e.g. a rank-0 low-rank tile). Fault-injection hook; never called in
+  /// production paths.
+  bool poison_payload(std::uint64_t h);
 
   /// In-place format transitions.
   void densify();

@@ -1,7 +1,9 @@
 // Unit tests for ptlr::tlr — memory pool, tiles, TLR matrix container.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <thread>
 
 #include "dense/util.hpp"
@@ -367,6 +369,137 @@ TEST(TlrIo, TileByteRoundTrip) {
 
 TEST(TlrIo, TileFromGarbageThrows) {
   EXPECT_THROW(tile_from_bytes({'x', 'y'}), ptlr::Error);
+}
+
+// ------------------------------------------- corruption fuzzing ----
+
+// Deterministic corruption fuzzer over save() output, exercising the
+// robustness contract documented in tlr/io.cpp: corrupt input of every
+// kind — truncation, single-bit flips, oversized size fields — must
+// surface as ptlr::Error or load cleanly. Never a crash, and never an
+// allocation driven by an unvalidated size field (the ASan leg would
+// catch the former; the header bounds checks prevent the latter).
+
+namespace {
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A small saved matrix with both dense and low-rank tiles.
+std::vector<char> saved_matrix_bytes(const std::string& path) {
+  auto prob = test_problem(48, 7);
+  auto m = TlrMatrix::from_problem(prob, 16, {1e-4, 8}, 1);
+  save(m, path);
+  return slurp(path);
+}
+
+void poke_u64(std::vector<char>& bytes, std::size_t off, std::uint64_t v) {
+  ASSERT_LE(off + sizeof(v), bytes.size());
+  std::memcpy(bytes.data() + off, &v, sizeof(v));
+}
+
+}  // namespace
+
+TEST(TlrIoFuzz, EveryTruncationThrows) {
+  const std::string path = "/tmp/ptlr_fuzz_trunc.bin";
+  const std::vector<char> good = saved_matrix_bytes(path);
+  ASSERT_GT(good.size(), 64u);
+  // The format has no trailing slack: every strict prefix is missing bytes
+  // the loader needs, so every truncation must throw (and must not OOM on
+  // a tile-table allocation the file cannot back).
+  for (std::size_t len = 0; len < good.size();
+       len += (len < 64 ? 1 : 7)) {  // every header byte, then stride
+    spit(path, {good.begin(), good.begin() + static_cast<long>(len)});
+    EXPECT_THROW(load(path), ptlr::Error) << "prefix length " << len;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TlrIoFuzz, SingleBitFlipsAreContained) {
+  const std::string path = "/tmp/ptlr_fuzz_flip.bin";
+  const std::vector<char> good = saved_matrix_bytes(path);
+  long long threw = 0, loaded = 0;
+  for (std::size_t pos = 0; pos < good.size();
+       pos += (pos < 64 ? 1 : 5)) {
+    for (const int bit : {0, 6}) {
+      std::vector<char> bad = good;
+      bad[pos] = static_cast<char>(bad[pos] ^ (1 << bit));
+      spit(path, bad);
+      try {
+        auto m = load(path);  // flips inside payload doubles load fine
+        (void)m;
+        ++loaded;
+      } catch (const ptlr::Error&) {
+        ++threw;
+      }
+    }
+  }
+  // Both outcomes occur: structural flips throw, payload flips survive.
+  EXPECT_GT(threw, 0);
+  EXPECT_GT(loaded, 0);
+  std::remove(path.c_str());
+}
+
+TEST(TlrIoFuzz, OversizedSizeFieldsThrowBeforeAllocating) {
+  const std::string path = "/tmp/ptlr_fuzz_hdr.bin";
+  const std::vector<char> good = saved_matrix_bytes(path);
+  // Header layout: magic(0) version(8) n(16) b(24) band(32) tol(40)
+  // maxrank(48); the first tile record (tag, rows, cols) starts at 56.
+  const auto expect_reject = [&](std::size_t off, std::uint64_t v) {
+    std::vector<char> bad = good;
+    poke_u64(bad, off, v);
+    spit(path, bad);
+    EXPECT_THROW(load(path), ptlr::Error)
+        << "offset " << off << " value " << v;
+  };
+  expect_reject(16, 0);                  // n = 0
+  expect_reject(16, 1ull << 40);         // n huge → tile table would explode
+  expect_reject(24, 0);                  // b = 0
+  expect_reject(24, 1ull << 40);         // b > n
+  expect_reject(32, 1ull << 40);         // band > nt
+  expect_reject(48, 0);                  // maxrank = 0
+  expect_reject(48, 1ull << 40);         // maxrank huge
+  expect_reject(64, 1ull << 23);         // tile rows: payload exceeds file
+  expect_reject(64, 1ull << 60);         // tile rows: fails the dim bound
+  std::remove(path.c_str());
+}
+
+TEST(TlrIoFuzz, TileBufferCorruptionIsContained) {
+  Rng rng(23);
+  auto lr = dense::random_lowrank(16, 16, 4, 1.0, rng);
+  auto f = compress::compress(lr.view(), {1e-10, 1 << 30});
+  const std::vector<char> good = tile_to_bytes(
+      Tile::make_lowrank(std::move(*f)));
+
+  // Every strict prefix is missing needed bytes.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    const std::vector<char> cut(good.begin(),
+                                good.begin() + static_cast<long>(len));
+    EXPECT_THROW(tile_from_bytes(cut), ptlr::Error) << "prefix " << len;
+  }
+  // Bit flips: Error or clean parse, nothing else. Oversized dimension
+  // fields must be bounded by the buffer before any allocation.
+  long long threw = 0, parsed = 0;
+  for (std::size_t pos = 0; pos < good.size(); ++pos) {
+    std::vector<char> bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    try {
+      auto t = tile_from_bytes(bad);
+      (void)t;
+      ++parsed;
+    } catch (const ptlr::Error&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0);
+  EXPECT_GT(parsed, 0);
 }
 
 // -------------------------------------------- general TLR matrices ----

@@ -7,10 +7,14 @@ Checks the schema contract the obs layer promises:
   * every task span ("ph" == "X") has dur >= 0 and the full args payload
     (kind, kernel, panel, i, j, flops, bytes, rank_in, rank_out);
   * timestamps are monotone non-decreasing within each (pid, tid) lane;
-  * flops are non-negative and kind stays within the Table I range.
+  * flops are non-negative and kind stays within the Table I range;
+  * resilience instant-events (cat "resilience", the fault/retry/recovery
+    markers of docs/robustness.md) live in pid 2 and carry a known event
+    name in both the display name and args.event.
 
 Usage:
   check_trace.py TRACE.json [--expect-tasks N] [--require-metadata]
+                 [--min-resilience N]
 
 Exits 0 when the trace is valid, 1 with a diagnostic otherwise — CI runs it
 against a traced example (the trace-smoke job).
@@ -25,6 +29,15 @@ TASK_ARG_KEYS = (
 )
 NUM_KERNELS = 10  # Table I classes; -1 marks structural (split/merge) tasks
 
+# Canonical recovery event names (obs/counters.hpp, ResilienceEvent).
+RESILIENCE_EVENTS = frozenset((
+    "fault_exception", "fault_alloc", "fault_poison",
+    "msg_drop", "msg_dup",
+    "retry", "task_recovered", "msg_recovered",
+    "shift_restart", "dense_fallback", "watchdog_fire",
+))
+RESILIENCE_PID = 2
+
 
 def fail(msg):
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
@@ -38,6 +51,8 @@ def main():
                     help="exact number of task spans the trace must hold")
     ap.add_argument("--require-metadata", action="store_true",
                     help="require the run_metadata instant event")
+    ap.add_argument("--min-resilience", type=int, default=None,
+                    help="minimum number of resilience instant events")
     args = ap.parse_args()
 
     try:
@@ -52,7 +67,7 @@ def main():
     if not isinstance(events, list):
         fail("traceEvents is not an array")
 
-    tasks = comms = 0
+    tasks = comms = resil = 0
     saw_metadata = False
     last_ts = {}
     for idx, ev in enumerate(events):
@@ -78,7 +93,22 @@ def main():
             fail(f"{where}: ts {ts} goes backwards in lane {lane}")
         last_ts[lane] = ts
         if ph == "i":
-            comms += 1
+            if ev.get("cat") == "resilience":
+                if ev["pid"] != RESILIENCE_PID:
+                    fail(f"{where}: resilience event outside pid "
+                         f"{RESILIENCE_PID}")
+                if ev["name"] not in RESILIENCE_EVENTS:
+                    fail(f"{where}: unknown resilience event "
+                         f"{ev['name']!r}")
+                res_args = ev.get("args")
+                if not isinstance(res_args, dict) or "event" not in res_args:
+                    fail(f"{where}: resilience event without args.event")
+                if res_args["event"] != ev["name"]:
+                    fail(f"{where}: args.event {res_args['event']!r} "
+                         f"disagrees with name {ev['name']!r}")
+                resil += 1
+            else:
+                comms += 1
             continue
         if ph != "X":
             fail(f"{where}: unexpected phase {ph!r}")
@@ -100,11 +130,14 @@ def main():
         fail("run_metadata event missing")
     if args.expect_tasks is not None and tasks != args.expect_tasks:
         fail(f"expected {args.expect_tasks} task spans, found {tasks}")
+    if args.min_resilience is not None and resil < args.min_resilience:
+        fail(f"expected at least {args.min_resilience} resilience events, "
+             f"found {resil}")
     if tasks == 0:
         fail("trace holds no task spans")
 
     print(f"check_trace: OK: {tasks} task spans, {comms} comm events, "
-          f"{len(last_ts)} lanes"
+          f"{resil} resilience events, {len(last_ts)} lanes"
           + (", run metadata present" if saw_metadata else ""))
 
 
