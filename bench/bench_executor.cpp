@@ -1,0 +1,205 @@
+// Machine-readable task-throughput microbenchmark of the executor engines.
+//
+// Times raw scheduling overhead — empty-body and ~microsecond-body task
+// graphs — on the central single-lock priority queue vs the work-stealing
+// engine (PTLR_SCHED notwithstanding: each run forces its engine through
+// ExecOptions::sched). Three shapes:
+//
+//   * independent_empty — N root tasks, no edges, empty bodies: pure
+//     pop/complete cost, the headline tasks/second number.
+//   * independent_spin  — same shape, ~1 µs spin bodies: how much of the
+//     scheduler's overhead still shows once tasks do minimal work.
+//   * forkjoin_empty    — repeated wide fork-joins with empty bodies:
+//     exercises the dependency-release path and wakeups, not just pops.
+//
+// Output: BENCH_executor.json (override with PTLR_BENCH_OUT or argv[1]),
+// one record per (shape, ntasks, threads, sched) with seconds and
+// tasks/second, plus a ws/central speedup summary per configuration.
+// PTLR_BENCH_SCALE=small shrinks the task counts for CI smoke runs;
+// default sweeps 10k..1M. Note: at 1 thread a ws request legitimately
+// resolves to the central engine (see runtime/scheduler.hpp), so the
+// 1-thread rows measure the central queue's uncontended baseline twice.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "runtime/executor.hpp"
+
+using namespace ptlr;
+
+namespace {
+
+struct Result {
+  const char* shape;
+  int ntasks;
+  int threads;
+  const char* sched;
+  double seconds;
+  double tasks_per_sec;
+  long long steals;
+};
+
+rt::TaskGraph independent(int n, int spin_iters) {
+  rt::TaskGraph g;
+  for (int i = 0; i < n; ++i) {
+    rt::TaskInfo t;
+    t.name = "t";  // shared name: graph build stays cheap at 1M tasks
+    if (spin_iters > 0) {
+      t.fn = [spin_iters] {
+        volatile double acc = 1.0;
+        for (int k = 0; k < spin_iters; ++k) acc = acc * 1.0000001 + 1e-9;
+      };
+    } else {
+      t.fn = [] {};
+    }
+    g.add_task(std::move(t), {}, {});
+  }
+  return g;
+}
+
+rt::TaskGraph forkjoin(int stages, int fanout) {
+  rt::TaskGraph g;
+  std::uint32_t key = 0;
+  std::vector<rt::DataKey> prev;  // the previous barrier's output
+  for (int s = 0; s < stages; ++s) {
+    std::vector<rt::DataKey> mids;
+    for (int f = 0; f < fanout; ++f) {
+      rt::TaskInfo t;
+      t.name = "m";
+      t.fn = [] {};
+      const std::vector<rt::DataKey> out{rt::make_key(1, key++, 0)};
+      g.add_task(std::move(t), prev, out);
+      mids.push_back(out[0]);
+    }
+    rt::TaskInfo t;
+    t.name = "b";
+    t.fn = [] {};
+    const std::vector<rt::DataKey> out{rt::make_key(1, key++, 0)};
+    g.add_task(std::move(t), mids, out);
+    prev = out;
+  }
+  return g;
+}
+
+// Best-of-reps wall time for one full graph execution.
+double time_best(rt::TaskGraph& g, int threads, const rt::ExecOptions& opts,
+                 int reps, long long* steals) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    const auto res = rt::execute(g, threads, opts);
+    const double s = t.seconds();
+    if (s < best) {
+      best = s;
+      *steals = res.sched.steals;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_executor.json";
+  if (const char* env = std::getenv("PTLR_BENCH_OUT")) out_path = env;
+  if (argc > 1) out_path = argv[1];
+
+  std::vector<int> sizes = {10000, 100000, 1000000};
+  const char* scale_env = std::getenv("PTLR_BENCH_SCALE");
+  const std::string scale =
+      scale_env != nullptr ? scale_env : std::string("default");
+  if (scale == "small") sizes = {10000, 50000};
+  if (scale == "large") sizes = {10000, 100000, 1000000, 4000000};
+
+  rt::ExecOptions base;
+  base.record_trace = false;
+  base.validate = false;  // timing the engines, not the graph checker
+  base.perturb = rt::PerturbConfig{};
+  base.faults = resil::FaultConfig{};
+  base.watchdog = resil::WatchdogConfig{};
+
+  std::vector<Result> results;
+  std::printf("%-18s %9s %8s %8s %12s %14s %8s\n", "shape", "ntasks",
+              "threads", "sched", "seconds", "tasks/s", "steals");
+
+  struct Shape {
+    const char* name;
+    int spin;     // spin iterations; <0 marks the fork-join shape
+  };
+  const Shape shapes[] = {
+      {"independent_empty", 0},
+      {"independent_spin", 400},  // ~1 µs dependent-FMA chain
+      {"forkjoin_empty", -1},
+  };
+
+  for (const Shape& shape : shapes) {
+    for (const int n : sizes) {
+      rt::TaskGraph g =
+          shape.spin >= 0
+              ? independent(n, shape.spin)
+              // fanout 15 + barrier per stage → same task budget
+              : forkjoin(n / 16, 15);
+      const int ntasks = g.size();
+      // Sub-millisecond configs need more best-of samples to converge on
+      // the true floor (thread spawn + OS jitter dominate single reps).
+      const int reps = ntasks >= 500000 ? 2 : (ntasks <= 10000 ? 9 : 3);
+      for (const int threads : {1, 2}) {
+        for (const rt::SchedulerKind k : {rt::SchedulerKind::kCentral,
+                                          rt::SchedulerKind::kWorkStealing}) {
+          auto opts = base;
+          opts.sched = k;
+          long long steals = 0;
+          const double secs = time_best(g, threads, opts, reps, &steals);
+          const char* name = rt::scheduler_name(k);
+          results.push_back({shape.name, ntasks, threads, name, secs,
+                             ntasks / secs, steals});
+          std::printf("%-18s %9d %8d %8s %12.6f %14.0f %8lld\n", shape.name,
+                      ntasks, threads, name, secs, ntasks / secs, steals);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"executor\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n  \"results\": [\n", scale.c_str());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"shape\": \"%s\", \"ntasks\": %d, \"threads\": %d, "
+                 "\"sched\": \"%s\", \"seconds\": %.6e, "
+                 "\"tasks_per_sec\": %.0f, \"steals\": %lld}%s\n",
+                 r.shape, r.ntasks, r.threads, r.sched, r.seconds,
+                 r.tasks_per_sec, r.steals,
+                 i + 1 < results.size() ? "," : "");
+  }
+  // ws/central speedup per (shape, ntasks, threads).
+  std::fprintf(f, "  ],\n  \"speedup_ws_over_central\": [\n");
+  bool first = true;
+  for (const Result& r : results) {
+    if (std::string(r.sched) != "ws") continue;
+    for (const Result& c : results) {
+      if (std::string(c.sched) == "central" &&
+          std::string(c.shape) == r.shape && c.ntasks == r.ntasks &&
+          c.threads == r.threads) {
+        std::fprintf(
+            f, "%s    {\"shape\": \"%s\", \"ntasks\": %d, \"threads\": %d, "
+               "\"x\": %.2f}",
+            first ? "" : ",\n", r.shape, r.ntasks, r.threads,
+            c.seconds / r.seconds);
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -4,9 +4,9 @@
 
 #include "dense/blas.hpp"
 #include "dense/lapack.hpp"
+#include "hcore/scratch.hpp"
 #include "obs/trace.hpp"
 #include "resilience/stats.hpp"
-#include "tlr/allocator.hpp"
 
 namespace ptlr::hcore {
 
@@ -69,11 +69,12 @@ flops::Kernel syrk(const Tile& amk, Tile& amm) {
   const int k = f.rank();
   if (k > 0) {
     const int b = f.rows();
-    auto& pool = tlr::MemoryPool::global();
-    auto wbuf = pool.acquire(static_cast<std::size_t>(k) * k +
-                             static_cast<std::size_t>(b) * k);
-    MatrixView w(wbuf.data(), k, k, k);
-    MatrixView t1(wbuf.data() + static_cast<std::size_t>(k) * k, b, k, b);
+    ScratchArena& ar = ScratchArena::local();
+    const ScratchArena::Frame frame(ar);
+    double* wbuf = ar.alloc(static_cast<std::size_t>(k) * k +
+                            static_cast<std::size_t>(b) * k);
+    MatrixView w(wbuf, k, k, k);
+    MatrixView t1(wbuf + static_cast<std::size_t>(k) * k, b, k, b);
     dense::gemm(Trans::T, Trans::N, 1.0, f.v.view(), f.v.view(), 0.0, w);
     dense::gemm(Trans::N, Trans::N, 1.0, f.u.view(), w, 0.0, t1);
     // Only the lower triangle of the diagonal tile is referenced later,
@@ -137,6 +138,10 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
                    const Accuracy& acc) {
   const bool a_d = amk.is_dense(), b_d = ank.is_dense(),
              c_d = amn.is_dense();
+  // All temporaries below die with this invocation; the thread-local
+  // arena hands the same bytes to the next GEMM on this worker.
+  ScratchArena& ar = ScratchArena::local();
+  const ScratchArena::Frame frame(ar);
   if (c_d) {
     MatrixView c = amn.dense_data().view();
     if (a_d && b_d) {
@@ -152,10 +157,12 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
       const compress::LowRankFactor& b = ank.lr();
       if (b.rank() > 0) {
         const int bm = amk.dense_data().rows();
-        Matrix t(bm, b.rank());
+        const int kb = b.rank();
+        MatrixView t(ar.alloc(static_cast<std::size_t>(bm) * kb), bm, kb,
+                     bm);
         dense::gemm(Trans::N, Trans::N, 1.0, amk.dense_data().view(),
-                    b.v.view(), 0.0, t.view());
-        dense::gemm(Trans::N, Trans::T, -1.0, t.view(), b.u.view(), 1.0, c);
+                    b.v.view(), 0.0, t);
+        dense::gemm(Trans::N, Trans::T, -1.0, t, b.u.view(), 1.0, c);
       }
       return observed(Kernel::kGemm2, b.rank(), /*rank_out=*/-1);
     }
@@ -165,9 +172,8 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
       // (2)-GEMM: C -= U_A (B V_A)^T.
       if (ka > 0) {
         const int bn = ank.dense_data().rows();
-        auto buf = tlr::MemoryPool::global().acquire(
-            static_cast<std::size_t>(bn) * ka);
-        MatrixView t(buf.data(), bn, ka, bn);
+        MatrixView t(ar.alloc(static_cast<std::size_t>(bn) * ka), bn, ka,
+                     bn);
         dense::gemm(Trans::N, Trans::N, 1.0, ank.dense_data().view(),
                     a.v.view(), 0.0, t);
         dense::gemm(Trans::N, Trans::T, -1.0, a.u.view(), t, 1.0, c);
@@ -179,12 +185,10 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
     const int kb = b.rank();
     if (ka > 0 && kb > 0) {
       const int bm = a.rows();
-      auto buf = tlr::MemoryPool::global().acquire(
-          static_cast<std::size_t>(ka) * kb +
-          static_cast<std::size_t>(bm) * kb);
-      MatrixView w(buf.data(), ka, kb, ka);
-      MatrixView t(buf.data() + static_cast<std::size_t>(ka) * kb, bm, kb,
-                   bm);
+      double* buf = ar.alloc(static_cast<std::size_t>(ka) * kb +
+                             static_cast<std::size_t>(bm) * kb);
+      MatrixView w(buf, ka, kb, ka);
+      MatrixView t(buf + static_cast<std::size_t>(ka) * kb, bm, kb, bm);
       dense::gemm(Trans::T, Trans::N, 1.0, a.v.view(), b.v.view(), 0.0, w);
       dense::gemm(Trans::N, Trans::N, 1.0, a.u.view(), w, 0.0, t);
       dense::gemm(Trans::N, Trans::T, -1.0, t, b.u.view(), 1.0, c);
@@ -206,10 +210,13 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
     // P = A V_B U_B^T: rank-k_B update of the low-rank C.
     const compress::LowRankFactor& b = ank.lr();
     if (b.rank() > 0) {
-      Matrix up(amk.dense_data().rows(), b.rank());
+      const int bm = amk.dense_data().rows();
+      const int kb = b.rank();
+      MatrixView up(ar.alloc(static_cast<std::size_t>(bm) * kb), bm, kb,
+                    bm);
       dense::gemm(Trans::N, Trans::N, 1.0, amk.dense_data().view(),
-                  b.v.view(), 0.0, up.view());
-      append_and_recompress(amn, up.view(), b.u.view(), acc);
+                  b.v.view(), 0.0, up);
+      append_and_recompress(amn, up, b.u.view(), acc);
       return observed(Kernel::kGemm5, b.rank(), amn.rank());
     }
     return observed(Kernel::kGemm5, b.rank(), amn.rank());
@@ -220,10 +227,11 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
     // (5)-GEMM: P = U_A (B V_A)^T, rank ka.
     if (ka > 0) {
       const int bn = ank.dense_data().rows();
-      Matrix vp(bn, ka);
+      MatrixView vp(ar.alloc(static_cast<std::size_t>(bn) * ka), bn, ka,
+                    bn);
       dense::gemm(Trans::N, Trans::N, 1.0, ank.dense_data().view(),
-                  a.v.view(), 0.0, vp.view());
-      append_and_recompress(amn, a.u.view(), vp.view(), acc);
+                  a.v.view(), 0.0, vp);
+      append_and_recompress(amn, a.u.view(), vp, acc);
     }
     return observed(Kernel::kGemm5, ka, amn.rank());
   }
@@ -232,19 +240,19 @@ flops::Kernel gemm(const Tile& amk, const Tile& ank, Tile& amn,
   const compress::LowRankFactor& b = ank.lr();
   const int kb = b.rank();
   if (ka > 0 && kb > 0) {
-    Matrix w(ka, kb);
-    dense::gemm(Trans::T, Trans::N, 1.0, a.v.view(), b.v.view(), 0.0,
-                w.view());
+    MatrixView w(ar.alloc(static_cast<std::size_t>(ka) * kb), ka, kb, ka);
+    dense::gemm(Trans::T, Trans::N, 1.0, a.v.view(), b.v.view(), 0.0, w);
     if (kb <= ka) {
-      Matrix up(a.rows(), kb);
-      dense::gemm(Trans::N, Trans::N, 1.0, a.u.view(), w.view(), 0.0,
-                  up.view());
-      append_and_recompress(amn, up.view(), b.u.view(), acc);
+      const int m = a.rows();
+      MatrixView up(ar.alloc(static_cast<std::size_t>(m) * kb), m, kb, m);
+      dense::gemm(Trans::N, Trans::N, 1.0, a.u.view(), w, 0.0, up);
+      append_and_recompress(amn, up, b.u.view(), acc);
     } else {
-      Matrix vp(b.rows(), ka);
-      dense::gemm(Trans::N, Trans::T, 1.0, b.u.view(), w.view(), 0.0,
-                  vp.view());
-      append_and_recompress(amn, a.u.view(), vp.view(), acc);
+      const int nn = b.rows();
+      MatrixView vp(ar.alloc(static_cast<std::size_t>(nn) * ka), nn, ka,
+                    nn);
+      dense::gemm(Trans::N, Trans::T, 1.0, b.u.view(), w, 0.0, vp);
+      append_and_recompress(amn, a.u.view(), vp, acc);
     }
   }
   return observed(Kernel::kGemm6, std::max(ka, kb), amn.rank());

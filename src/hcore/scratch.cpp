@@ -1,0 +1,72 @@
+#include "hcore/scratch.hpp"
+
+#include <algorithm>
+
+namespace ptlr::hcore {
+
+namespace {
+// First chunk: 32 KiB of doubles — covers the temporaries of small-block
+// kernels without a second allocation; larger working sets double up.
+constexpr std::size_t kMinChunkDoubles = 4096;
+}  // namespace
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+double* ScratchArena::alloc(std::size_t n) {
+  stats_.alloc_calls++;
+  // Advance through existing chunks before allocating a new one, so the
+  // reserve built in earlier frames is reused, not abandoned.
+  while (cur_ < chunks_.size()) {
+    Chunk& c = chunks_[cur_];
+    if (c.size - off_ >= n) {
+      double* p = c.data.get() + off_;
+      off_ += n;
+      return p;
+    }
+    ++cur_;
+    off_ = 0;
+  }
+  std::size_t grow = chunks_.empty() ? kMinChunkDoubles
+                                     : chunks_.back().size * 2;
+  grow = std::max(grow, n);
+  chunks_.push_back({std::make_unique<double[]>(grow), grow});
+  stats_.chunk_allocs++;
+  stats_.bytes_reserved += grow * sizeof(double);
+  cur_ = chunks_.size() - 1;
+  double* p = chunks_[cur_].data.get();
+  off_ = n;
+  return p;
+}
+
+void ScratchArena::unwind(std::size_t chunk, std::size_t off) {
+  cur_ = chunk;
+  off_ = off;
+  if (--depth_ == 0 && chunks_.size() > 1) coalesce();
+}
+
+void ScratchArena::coalesce() {
+  // Fragmented across several chunks: replace them with one chunk sized
+  // for the whole reserve, so the next task's frame never allocates.
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  chunks_.clear();
+  chunks_.push_back({std::make_unique<double[]>(total), total});
+  stats_.chunk_allocs++;
+  stats_.bytes_reserved = total * sizeof(double);
+  cur_ = 0;
+  off_ = 0;
+}
+
+ScratchArena::Stats ScratchArena::stats() const { return stats_; }
+
+void ScratchArena::reset() {
+  chunks_.clear();
+  cur_ = 0;
+  off_ = 0;
+  stats_.bytes_reserved = 0;
+}
+
+}  // namespace ptlr::hcore

@@ -1,17 +1,23 @@
 #include "runtime/executor.hpp"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
+#include "runtime/ws_deque.hpp"
 
 namespace ptlr::rt {
 
@@ -30,9 +36,10 @@ struct ReadyOrder {
   }
 };
 
-// The set of ready tasks. Deterministic mode keeps the binary heap above;
-// chaos mode keeps a flat bag so pops can randomize tie-breaks or invert
-// priorities outright. Callers hold the pool mutex around every method.
+// The set of ready tasks of the CENTRAL scheduler. Deterministic mode
+// keeps the binary heap below; chaos mode keeps a flat bag so pops can
+// randomize tie-breaks or invert priorities outright. Callers hold the
+// pool mutex around every method.
 class ReadyPool {
  public:
   explicit ReadyPool(Perturber& perturber) : perturber_(perturber) {}
@@ -92,6 +99,80 @@ enum TaskState : std::uint8_t {
   kStateDone = 3,
 };
 
+// ------------------------------------------------ work-stealing pieces --
+
+/// One worker of the work-stealing engine. Owner-local counters are
+/// summed into SchedStats after the pool joins, so the hot path never
+/// touches a shared cache line for statistics.
+struct alignas(64) WsWorker {
+  std::array<WsDeque, kSchedBands> bands;
+  /// Cross-worker deposit slot for locality-directed placement. Touched
+  /// only when a release diverts a task to the worker that last wrote its
+  /// output tile (rare, and that worker is idle by construction), so the
+  /// mutex is effectively uncontended.
+  std::mutex inbox_mu;
+  std::vector<std::pair<int, TaskId>> inbox;
+  std::atomic<bool> inbox_nonempty{false};
+  /// Private sleep channel: a pusher wakes exactly one worker through its
+  /// own condition variable — no notify_all broadcast storms.
+  std::mutex sleep_mu;
+  std::condition_variable sleep_cv;
+  bool signalled = false;  // under sleep_mu
+  long long steals = 0;
+  long long diverted = 0;
+  long long wakeups = 0;
+  long long parks = 0;
+};
+
+/// Idle-worker bitmask. A worker advertises itself before sleeping; a
+/// pusher claims (clears) one bit and wakes only that worker. seq_cst on
+/// set/clear orders the bits against deque pushes, closing the classic
+/// sleep/wakeup race (see the worker loop).
+class IdleSet {
+ public:
+  explicit IdleSet(int n)
+      : words_(static_cast<std::size_t>((n + 63) / 64)) {}
+
+  void set(int w) {
+    words_[word(w)].fetch_or(bit(w), std::memory_order_seq_cst);
+  }
+
+  /// Clear w's bit; true iff it was set (i.e. this caller claimed it).
+  bool clear(int w) {
+    return (words_[word(w)].fetch_and(~bit(w), std::memory_order_seq_cst) &
+            bit(w)) != 0;
+  }
+
+  /// Claim any idle worker other than `exclude`; -1 when none.
+  int pick(int exclude) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t v = words_[i].load(std::memory_order_seq_cst);
+      while (v != 0) {
+        const int b = std::countr_zero(v);
+        const int w = static_cast<int>(i * 64) + b;
+        const std::uint64_t m = std::uint64_t{1} << b;
+        v &= ~m;
+        if (w == exclude) continue;
+        if ((words_[i].fetch_and(~m, std::memory_order_seq_cst) & m) != 0)
+          return w;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  static std::size_t word(int w) { return static_cast<std::size_t>(w) / 64; }
+  static std::uint64_t bit(int w) {
+    return std::uint64_t{1} << (static_cast<unsigned>(w) % 64);
+  }
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+constexpr std::uint64_t tile_key64(int i, int j) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+         static_cast<std::uint32_t>(j);
+}
+
 }  // namespace
 
 ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
@@ -104,193 +185,171 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
   const resil::RecoveryStats recovery_before = resil::snapshot();
   Perturber perturber(opts.perturb);
   const resil::FaultInjector injector(opts.faults);
-  std::vector<std::atomic<int>> pending(static_cast<std::size_t>(n));
-  std::vector<std::atomic<std::uint8_t>> state(static_cast<std::size_t>(n));
-  ReadyPool ready(perturber);
-  std::mutex mu;
-  std::condition_variable cv;
-  int remaining = n;
-  std::exception_ptr first_error;
-  // Fail-fast drain: once an unrecoverable error (or the watchdog) sets
-  // this, workers stop popping — pending tasks are skipped and the pool
-  // exits promptly instead of grinding through the rest of the graph.
-  std::atomic<bool> cancelled{false};
-  std::atomic<long long> completed{0};
-  std::atomic<bool> watchdog_fired{false};
+  const SchedulerKind sched =
+      resolve_scheduler(opts.sched, nthreads, perturber.enabled());
+  result.sched.scheduler = sched;
 
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    for (TaskId t = 0; t < n; ++t) {
-      pending[static_cast<std::size_t>(t)].store(g.num_predecessors(t),
-                                                 std::memory_order_relaxed);
+  // The per-task state stamps are consumed only by the watchdog's stall
+  // dump; without a watchdog the vector is not even allocated (every
+  // access below is gated on wd_on).
+  const bool wd_on = opts.watchdog.enabled();
+  std::vector<std::atomic<int>> pending(static_cast<std::size_t>(n));
+  std::vector<std::atomic<std::uint8_t>> state(
+      wd_on ? static_cast<std::size_t>(n) : 0);
+  for (TaskId t = 0; t < n; ++t) {
+    pending[static_cast<std::size_t>(t)].store(g.num_predecessors(t),
+                                               std::memory_order_relaxed);
+    if (wd_on)
       state[static_cast<std::size_t>(t)].store(kStatePending,
                                                std::memory_order_relaxed);
-      if (g.num_predecessors(t) == 0) {
-        ready.push(g.info(t).priority, t);
-        state[static_cast<std::size_t>(t)].store(kStateReady,
-                                                 std::memory_order_relaxed);
-      }
-    }
   }
 
   std::vector<TraceEvent> trace;
   if (opts.record_trace) trace.resize(static_cast<std::size_t>(n));
   std::atomic<long long> seq_clock{0};
-
-  auto fail = [&](std::exception_ptr err) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (!first_error) first_error = err;
-    cancelled.store(true, std::memory_order_release);
-    cv.notify_all();
-  };
+  std::atomic<long long> completed{0};
+  // Fail-fast drain: once an unrecoverable error (or the watchdog) sets
+  // this, workers stop popping — pending tasks are skipped and the pool
+  // exits promptly instead of grinding through the rest of the graph.
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> watchdog_fired{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  // Engine-specific: records the error, cancels the run, wakes every
+  // worker. Assigned below before any thread (watchdog included) starts.
+  std::function<void(std::exception_ptr)> fail;
 
   WallTimer timer;
-  auto worker = [&](int wid) {
-    for (;;) {
-      TaskId task = -1;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] {
-          return !ready.empty() || remaining == 0 ||
-                 cancelled.load(std::memory_order_acquire);
-        });
-        if (remaining == 0 || cancelled.load(std::memory_order_acquire))
-          return;
-        if (ready.empty()) continue;
-        task = ready.pop();
-      }
+
+  // Run one task's body: perturbation stall, fault injection with
+  // snapshot/restore retry, obs span, trace stamps. Shared verbatim by
+  // both engines so the resilience accounting (injected == retries ==
+  // recovered) and the trace/seq contracts cannot diverge between them.
+  // Returns false when the run is condemned (fail() already called).
+  auto run_task = [&](TaskId task, int wid) -> bool {
+    if (wd_on)
       state[static_cast<std::size_t>(task)].store(kStateRunning,
                                                   std::memory_order_relaxed);
+    perturber.maybe_stall();
+    const TaskInfo& info = g.info(task);
+    // Only tasks that declared their outputs are fault-targets: recovery
+    // needs the snapshots, and tasks without output hooks (the recursive
+    // sub-block tasks, which alias one tile's storage across concurrent
+    // writers) cannot be safely restored.
+    const bool inject = injector.enabled() && !info.outputs.empty() &&
+                        opts.retry.max_retries > 0;
+    std::vector<std::vector<char>> snapshots;
+    if (inject) {
+      snapshots.reserve(info.outputs.size());
+      for (const TaskOutput& out : info.outputs)
+        snapshots.push_back(out.save ? out.save() : std::vector<char>{});
+    }
+    const std::uint64_t site = static_cast<std::uint64_t>(task);
 
-      perturber.maybe_stall();
-      const TaskInfo& info = g.info(task);
-      // Only tasks that declared their outputs are fault-targets: recovery
-      // needs the snapshots, and tasks without output hooks (the recursive
-      // sub-block tasks, which alias one tile's storage across concurrent
-      // writers) cannot be safely restored.
-      const bool inject = injector.enabled() && !info.outputs.empty() &&
-                          opts.retry.max_retries > 0;
-      std::vector<std::vector<char>> snapshots;
-      if (inject) {
-        snapshots.reserve(info.outputs.size());
-        for (const TaskOutput& out : info.outputs)
-          snapshots.push_back(out.save ? out.save() : std::vector<char>{});
-      }
-      const std::uint64_t site = static_cast<std::uint64_t>(task);
-
-      // Observability span hook: bracket the body so the obs layer can
-      // attribute the flops the kernels charge (and the ranks they
-      // annotate) to this task. One relaxed load when tracing is off.
-      // Retries re-open the span, so only the successful attempt's flops
-      // are charged and the exactness contract of the counters holds.
-      const bool obs_on = obs::enabled();
-      const long long s0 = seq_clock.fetch_add(1, std::memory_order_relaxed);
-      const double t0 = timer.seconds();
-      int attempt = 0;
-      for (;;) {
-        try {
-          if (obs_on) obs::task_begin();
-          if (inject) {
-            if (injector.task_exception(site, attempt)) {
-              resil::note(resil::ResilienceEvent::kFaultException, info.name);
-              throw TransientError("injected transient fault in " + info.name);
-            }
-            if (injector.alloc_failure(site, attempt)) {
-              resil::note(resil::ResilienceEvent::kFaultAlloc, info.name);
-              throw TransientError("injected tile-allocation failure in " +
-                                   info.name);
-            }
+    // Observability span hook: bracket the body so the obs layer can
+    // attribute the flops the kernels charge (and the ranks they
+    // annotate) to this task. One relaxed load when tracing is off.
+    // Retries re-open the span, so only the successful attempt's flops
+    // are charged and the exactness contract of the counters holds.
+    const bool obs_on = obs::enabled();
+    const bool tracing = opts.record_trace;
+    long long s0 = -1;
+    double t0 = 0.0;
+    if (tracing) {
+      s0 = seq_clock.fetch_add(1, std::memory_order_relaxed);
+      t0 = timer.seconds();
+    }
+    int attempt = 0;
+    for (;;) {
+      try {
+        if (obs_on) obs::task_begin();
+        if (inject) {
+          if (injector.task_exception(site, attempt)) {
+            resil::note(resil::ResilienceEvent::kFaultException, info.name);
+            throw TransientError("injected transient fault in " + info.name);
           }
-          if (info.fn) info.fn();
-          if (inject) {
-            if (const auto h = injector.poison(site, attempt)) {
-              for (const TaskOutput& out : info.outputs) {
-                if (out.poison && out.poison(*h)) {
-                  resil::note(resil::ResilienceEvent::kFaultPoison, info.name);
-                  break;
-                }
+          if (injector.alloc_failure(site, attempt)) {
+            resil::note(resil::ResilienceEvent::kFaultAlloc, info.name);
+            throw TransientError("injected tile-allocation failure in " +
+                                 info.name);
+          }
+        }
+        if (info.fn) info.fn();
+        if (inject) {
+          if (const auto h = injector.poison(site, attempt)) {
+            for (const TaskOutput& out : info.outputs) {
+              if (out.poison && out.poison(*h)) {
+                resil::note(resil::ResilienceEvent::kFaultPoison, info.name);
+                break;
               }
             }
-            for (const TaskOutput& out : info.outputs) {
-              if (out.finite && !out.finite())
-                throw TransientError("non-finite output detected in " +
-                                     info.name);
-            }
           }
-          break;  // attempt succeeded
-        } catch (const TransientError&) {
-          if (!inject || attempt >= opts.retry.max_retries) {
-            fail(std::current_exception());
-            return;
+          for (const TaskOutput& out : info.outputs) {
+            if (out.finite && !out.finite())
+              throw TransientError("non-finite output detected in " +
+                                   info.name);
           }
-          for (std::size_t i = 0; i < info.outputs.size(); ++i) {
-            if (info.outputs[i].restore)
-              info.outputs[i].restore(snapshots[i]);
-          }
-          resil::note(resil::ResilienceEvent::kRetry,
-                      info.name + " attempt " + std::to_string(attempt + 1));
-          if (opts.retry.backoff_us > 0) {
-            std::this_thread::sleep_for(std::chrono::microseconds(
-                opts.retry.backoff_us << attempt));
-          }
-          ++attempt;
-        } catch (...) {
-          fail(std::current_exception());
-          return;
         }
+        break;  // attempt succeeded
+      } catch (const TransientError&) {
+        if (!inject || attempt >= opts.retry.max_retries) {
+          fail(std::current_exception());
+          return false;
+        }
+        for (std::size_t i = 0; i < info.outputs.size(); ++i) {
+          if (info.outputs[i].restore)
+            info.outputs[i].restore(snapshots[i]);
+        }
+        resil::note(resil::ResilienceEvent::kRetry,
+                    info.name + " attempt " + std::to_string(attempt + 1));
+        if (opts.retry.backoff_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(opts.retry.backoff_us << attempt));
+        }
+        ++attempt;
+      } catch (...) {
+        fail(std::current_exception());
+        return false;
       }
-      if (attempt > 0)
-        resil::note(resil::ResilienceEvent::kTaskRecovered, info.name);
+    }
+    if (attempt > 0)
+      resil::note(resil::ResilienceEvent::kTaskRecovered, info.name);
+    if (obs_on) {
+      obs::task_end(info.name, info.kind, info.panel, info.ti, info.tj, wid,
+                    static_cast<long long>(info.output_bytes));
+    }
+    if (tracing) {
       const double t1 = timer.seconds();
       const long long s1 = seq_clock.fetch_add(1, std::memory_order_relaxed);
-      if (obs_on) {
-        obs::task_end(info.name, info.kind, info.panel, info.ti, info.tj,
-                      wid, static_cast<long long>(info.output_bytes));
-      }
-      if (opts.record_trace) {
-        auto& ev = trace[static_cast<std::size_t>(task)];
-        ev.task = task;
-        ev.kind = info.kind;
-        ev.panel = info.panel;
-        ev.worker = wid;
-        ev.start = t0;
-        ev.end = t1;
-        ev.seq_start = s0;
-        ev.seq_end = s1;
-      }
+      auto& ev = trace[static_cast<std::size_t>(task)];
+      ev.task = task;
+      ev.kind = info.kind;
+      ev.panel = info.panel;
+      ev.worker = wid;
+      ev.start = t0;
+      ev.end = t1;
+      ev.seq_start = s0;
+      ev.seq_end = s1;
+    }
+    if (wd_on) {
       state[static_cast<std::size_t>(task)].store(kStateDone,
                                                   std::memory_order_relaxed);
       completed.fetch_add(1, std::memory_order_relaxed);
-
-      // Release successors; collect newly-ready tasks under the lock.
-      perturber.maybe_stall();
-      bool notify = false;
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        for (const TaskId s : g.successors(task)) {
-          if (pending[static_cast<std::size_t>(s)].fetch_sub(
-                  1, std::memory_order_acq_rel) == 1) {
-            ready.push(g.info(s).priority, s);
-            state[static_cast<std::size_t>(s)].store(
-                kStateReady, std::memory_order_relaxed);
-            notify = true;
-          }
-        }
-        if (--remaining == 0) notify = true;
-      }
-      if (notify) cv.notify_all();
     }
+    return true;
   };
 
   // Watchdog: a monitor thread over the completed-task counter. If no task
   // completes for the configured deadline the run is wedged (deadlocked
   // body, lost wakeup, livelock); the watchdog converts the hang into a
-  // descriptive error with a dump of where every task stood.
+  // descriptive error with a dump of where every task stood. Engine
+  // independent: it only reads `completed` and calls `fail`.
   std::mutex wd_mu;
   std::condition_variable wd_cv;
   bool wd_stop = false;
   std::thread wd_thread;
-  if (opts.watchdog.enabled()) {
+  auto start_watchdog = [&] {
+    if (!opts.watchdog.enabled()) return;
     wd_thread = std::thread([&] {
       const auto deadline = opts.watchdog.deadline();
       auto tick = deadline / 4;
@@ -341,12 +400,356 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
         return;
       }
     });
+  };
+
+  if (sched == SchedulerKind::kCentral) {
+    // ------------------------------------------- central priority queue --
+    ReadyPool ready(perturber);
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining = n;
+    for (TaskId t = 0; t < n; ++t) {
+      if (g.num_predecessors(t) == 0) {
+        ready.push(g.info(t).priority, t);
+        if (wd_on)
+          state[static_cast<std::size_t>(t)].store(kStateReady,
+                                                   std::memory_order_relaxed);
+      }
+    }
+
+    fail = [&](std::exception_ptr err) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = err;
+      }
+      cancelled.store(true, std::memory_order_release);
+      cv.notify_all();
+    };
+
+    auto worker = [&](int wid) {
+      for (;;) {
+        TaskId task = -1;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] {
+            return !ready.empty() || remaining == 0 ||
+                   cancelled.load(std::memory_order_acquire);
+          });
+          if (remaining == 0 || cancelled.load(std::memory_order_acquire))
+            return;
+          if (ready.empty()) continue;
+          task = ready.pop();
+        }
+        if (!run_task(task, wid)) return;
+
+        // Release successors; collect newly-ready tasks under the lock.
+        perturber.maybe_stall();
+        bool notify = false;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          for (const TaskId s : g.successors(task)) {
+            if (pending[static_cast<std::size_t>(s)].fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+              ready.push(g.info(s).priority, s);
+              if (wd_on)
+                state[static_cast<std::size_t>(s)].store(
+                    kStateReady, std::memory_order_relaxed);
+              notify = true;
+            }
+          }
+          if (--remaining == 0) notify = true;
+        }
+        if (notify) cv.notify_all();
+      }
+    };
+
+    start_watchdog();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nthreads));
+    for (int w = 0; w < nthreads; ++w) pool.emplace_back(worker, w);
+    for (auto& th : pool) th.join();
+  } else {
+    // ------------------------------------------- work-stealing engine ----
+    // Per-worker Chase–Lev deques in priority bands; dependency release is
+    // fully lock-free (the atomic `pending` counters gate readiness, the
+    // finishing worker pushes newly-ready successors straight onto its own
+    // deque); idle workers advertise themselves in a bitmask and get
+    // targeted notify_one wakeups instead of notify_all broadcasts.
+    const BandMap band_map = BandMap::from_graph(g);
+    // Flat graphs populate band 0 only; skip the guaranteed-empty bands in
+    // every pop/steal scan instead of paying three wasted reservation pops
+    // (each a store-load barrier) per task.
+    const int nbands = band_map.bands_used();
+    std::vector<std::unique_ptr<WsWorker>> ws(
+        static_cast<std::size_t>(nthreads));
+    for (auto& w : ws) w = std::make_unique<WsWorker>();
+    IdleSet idle(nthreads);
+    std::atomic<int> remaining{n};
+    std::atomic<bool> all_done{false};
+
+    // Locality table: output tile (ti, tj) → the worker that last wrote
+    // it. A released panel task is handed to that worker when it is idle,
+    // so POTRF/TRSM land where their tile is cache-hot.
+    std::unordered_map<std::uint64_t, int> tile_slot;
+    for (TaskId t = 0; t < n; ++t) {
+      const TaskInfo& ti = g.info(t);
+      if (ti.ti >= 0 && ti.tj >= 0)
+        tile_slot.emplace(tile_key64(ti.ti, ti.tj),
+                          static_cast<int>(tile_slot.size()));
+    }
+    std::vector<std::atomic<int>> last_writer(tile_slot.size());
+    for (auto& a : last_writer) a.store(-1, std::memory_order_relaxed);
+    auto slot_of = [&](const TaskInfo& info) -> int {
+      if (info.ti < 0 || info.tj < 0) return -1;
+      const auto it = tile_slot.find(tile_key64(info.ti, info.tj));
+      return it == tile_slot.end() ? -1 : it->second;
+    };
+
+    auto signal = [&](int w) {
+      WsWorker& ww = *ws[static_cast<std::size_t>(w)];
+      {
+        std::lock_guard<std::mutex> lk(ww.sleep_mu);
+        ww.signalled = true;
+      }
+      ww.sleep_cv.notify_one();
+    };
+    auto wake_all = [&] {
+      for (int w = 0; w < nthreads; ++w) signal(w);
+    };
+    // Claim one idle worker (if any) and wake exactly it.
+    auto wake_one_idle = [&](int self) -> bool {
+      const int w = idle.pick(self);
+      if (w < 0) return false;
+      signal(w);
+      ws[static_cast<std::size_t>(self)]->wakeups++;
+      return true;
+    };
+
+    fail = [&](std::exception_ptr err) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = err;
+      }
+      cancelled.store(true, std::memory_order_release);
+      wake_all();
+    };
+
+    // Make a newly-ready task runnable. Default: the finishing worker's
+    // own deque (the successor consumes what this worker just produced —
+    // locality for free). If the worker that last wrote the successor's
+    // output tile is idle, divert the task to it and wake exactly it.
+    // Returns 1 when the task landed on the caller's own deque (the
+    // caller may owe surplus wakeups), 0 when it was diverted.
+    auto push_ready = [&](int self, TaskId s) -> int {
+      if (wd_on)
+        state[static_cast<std::size_t>(s)].store(kStateReady,
+                                                 std::memory_order_relaxed);
+      const TaskInfo& si = g.info(s);
+      const int band = band_map.band(si.priority);
+      int pref = -1;
+      const int slot = slot_of(si);
+      if (slot >= 0)
+        pref = last_writer[static_cast<std::size_t>(slot)].load(
+            std::memory_order_relaxed);
+      if (pref < 0 && si.owner > 0 && nthreads > 1)
+        pref = si.owner % nthreads;
+      if (pref >= 0 && pref != self && pref < nthreads && idle.clear(pref)) {
+        WsWorker& pw = *ws[static_cast<std::size_t>(pref)];
+        {
+          std::lock_guard<std::mutex> lk(pw.inbox_mu);
+          pw.inbox.emplace_back(band, s);
+        }
+        pw.inbox_nonempty.store(true, std::memory_order_release);
+        signal(pref);
+        WsWorker& me = *ws[static_cast<std::size_t>(self)];
+        me.diverted++;
+        me.wakeups++;
+        return 0;
+      }
+      ws[static_cast<std::size_t>(self)]->bands[static_cast<std::size_t>(
+          band)].push(s);
+      return 1;
+    };
+
+    auto drain_inbox = [&](int self) {
+      WsWorker& me = *ws[static_cast<std::size_t>(self)];
+      if (!me.inbox_nonempty.load(std::memory_order_acquire)) return;
+      std::vector<std::pair<int, TaskId>> batch;
+      {
+        std::lock_guard<std::mutex> lk(me.inbox_mu);
+        batch.swap(me.inbox);
+        me.inbox_nonempty.store(false, std::memory_order_relaxed);
+      }
+      for (const auto& [band, s] : batch)
+        me.bands[static_cast<std::size_t>(band)].push(s);
+    };
+
+    auto pop_own = [&](int self) -> TaskId {
+      WsWorker& me = *ws[static_cast<std::size_t>(self)];
+      for (int b = nbands - 1; b >= 0; --b) {
+        const std::int32_t v = me.bands[static_cast<std::size_t>(b)].pop();
+        if (v >= 0) return v;
+      }
+      return -1;
+    };
+
+    // Scan the other workers' deques, highest band first; retry as long
+    // as any CAS aborted (work may remain behind a lost race).
+    auto try_steal = [&](int self) -> TaskId {
+      for (;;) {
+        bool aborted = false;
+        for (int d = 1; d < nthreads; ++d) {
+          const int v = (self + d) % nthreads;
+          WsWorker& victim = *ws[static_cast<std::size_t>(v)];
+          for (int b = nbands - 1; b >= 0; --b) {
+            const std::int32_t r =
+                victim.bands[static_cast<std::size_t>(b)].steal();
+            if (r >= 0) {
+              ws[static_cast<std::size_t>(self)]->steals++;
+              return r;
+            }
+            if (r == WsDeque::kAbort) aborted = true;
+          }
+        }
+        if (!aborted) return -1;
+      }
+    };
+
+    auto find_work = [&](int self) -> TaskId {
+      drain_inbox(self);
+      const TaskId t = pop_own(self);
+      if (t >= 0) return t;
+      return try_steal(self);
+    };
+
+    // Seed the roots round-robin (or at their owner hint) before any
+    // worker starts — single-threaded, so owner pushes are safe. Reverse
+    // id order: owner pops are LIFO, so pushing high ids first makes each
+    // worker start its roots in insertion order, matching the central
+    // queue's equal-priority tie-break.
+    {
+      int rr = 0;
+      for (TaskId t = n - 1; t >= 0; --t) {
+        if (g.num_predecessors(t) != 0) continue;
+        if (wd_on)
+          state[static_cast<std::size_t>(t)].store(kStateReady,
+                                                   std::memory_order_relaxed);
+        const TaskInfo& info = g.info(t);
+        const int w =
+            info.owner > 0 ? info.owner % nthreads : (rr++ % nthreads);
+        // push_prestart: the worker std::threads have not been created
+        // yet, so their construction publishes all of this at once — no
+        // per-root store-load barrier.
+        ws[static_cast<std::size_t>(w)]
+            ->bands[static_cast<std::size_t>(band_map.band(info.priority))]
+            .push_prestart(t);
+      }
+    }
+
+    auto worker = [&](int self) {
+      WsWorker& me = *ws[static_cast<std::size_t>(self)];
+      // Completions are counted locally and flushed to the shared
+      // `remaining` only when this worker runs dry — one atomic RMW per
+      // dry spell instead of one per task. Correct because the global
+      // count is only *needed* at the point some worker might park or the
+      // run might be over, and both of those pass through a failed
+      // find_work. Every park below is preceded by a flush.
+      long long local_done = 0;
+      const auto flush = [&]() -> bool {  // true: this flush ended the run
+        if (local_done == 0) return false;
+        const int prev = remaining.fetch_sub(static_cast<int>(local_done),
+                                             std::memory_order_acq_rel);
+        const bool last = prev == static_cast<int>(local_done);
+        local_done = 0;
+        if (last) {
+          all_done.store(true, std::memory_order_release);
+          wake_all();
+        }
+        return last;
+      };
+      for (;;) {
+        if (all_done.load(std::memory_order_acquire) ||
+            cancelled.load(std::memory_order_acquire))
+          return;
+        TaskId task = find_work(self);
+        if (task < 0) {
+          if (flush()) return;
+          // Spin briefly before parking. In phased graphs (fork-join
+          // stages, panel barriers) the gap between releases is shorter
+          // than a sleep/wake round trip, so paying a few yields here
+          // avoids a futex wake plus two context switches per phase.
+          for (int spin = 0; spin < 64 && task < 0; ++spin) {
+            if (all_done.load(std::memory_order_acquire) ||
+                cancelled.load(std::memory_order_acquire))
+              return;
+            std::this_thread::yield();
+            task = find_work(self);
+          }
+        }
+        if (task < 0) {
+          // Out of work. Advertise idleness FIRST, then re-scan: a push
+          // that raced with the first scan either happened before the bit
+          // became visible (this second scan finds it) or after (the
+          // pusher sees the bit and wakes us). seq_cst on both sides
+          // makes the two cases exhaustive — no lost wakeup.
+          idle.set(self);
+          task = find_work(self);
+          if (task < 0) {
+            me.parks++;
+            std::unique_lock<std::mutex> lk(me.sleep_mu);
+            me.sleep_cv.wait(lk, [&] {
+              return me.signalled ||
+                     all_done.load(std::memory_order_acquire) ||
+                     cancelled.load(std::memory_order_acquire);
+            });
+            me.signalled = false;
+            lk.unlock();
+            idle.clear(self);
+            continue;
+          }
+          idle.clear(self);
+        }
+
+        if (!run_task(task, self)) return;
+
+        // Remember who touched the output tile, then release successors —
+        // no lock anywhere on this path.
+        const int slot = slot_of(g.info(task));
+        if (slot >= 0)
+          last_writer[static_cast<std::size_t>(slot)].store(
+              self, std::memory_order_relaxed);
+        int pushed = 0;
+        for (const TaskId s : g.successors(task)) {
+          if (pending[static_cast<std::size_t>(s)].fetch_sub(
+                  1, std::memory_order_acq_rel) == 1)
+            pushed += push_ready(self, s);
+        }
+        // This worker pops one of its fresh pushes itself; the surplus can
+        // feed idle workers, one targeted wakeup each. Keying wakes off
+        // this release (not total deque backlog) is safe: a worker only
+        // parks after its steal scan saw every deque empty, so any backlog
+        // beyond these pushes was already visible to — and declined by —
+        // every currently-idle worker. It also means a pure task chain
+        // (pushed == 1) never touches the wake path at all.
+        for (int i = 1; i < pushed && wake_one_idle(self); ++i) {
+        }
+        ++local_done;
+      }
+    };
+
+    start_watchdog();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(nthreads));
+    for (int w = 0; w < nthreads; ++w) pool.emplace_back(worker, w);
+    for (auto& th : pool) th.join();
+    for (const auto& w : ws) {
+      result.sched.steals += w->steals;
+      result.sched.diverted += w->diverted;
+      result.sched.wakeups += w->wakeups;
+      result.sched.parks += w->parks;
+    }
   }
 
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(nthreads));
-  for (int w = 0; w < nthreads; ++w) pool.emplace_back(worker, w);
-  for (auto& th : pool) th.join();
   if (wd_thread.joinable()) {
     {
       std::lock_guard<std::mutex> lock(wd_mu);

@@ -10,6 +10,7 @@
 #include "resilience/stats.hpp"
 #include "resilience/watchdog.hpp"
 #include "runtime/perturb.hpp"
+#include "runtime/scheduler.hpp"
 #include "runtime/taskgraph.hpp"
 #include "runtime/trace.hpp"
 
@@ -22,6 +23,9 @@ struct ExecResult {
   /// Recovery events observed while this run executed (process-global
   /// snapshot diff: injected faults, retries, recoveries, watchdog fires).
   resil::RecoveryStats recovery;
+  /// Which engine ran, plus its steal/divert/wakeup/park counters (all
+  /// zero on the central engine).
+  SchedStats sched;
 };
 
 /// Options of a shared-memory run.
@@ -52,6 +56,10 @@ struct ExecOptions {
   /// workers to exit. Wire this to whatever can unblock stuck task bodies —
   /// e.g. Communicator::abort() when bodies block on mailbox receives.
   std::function<void()> on_stall;
+  /// Scheduler engine (see scheduler.hpp). kAuto consults PTLR_SCHED and
+  /// defaults to work-stealing; chaos mode and 1-thread runs always fall
+  /// back to the central queue regardless of this setting.
+  SchedulerKind sched = SchedulerKind::kAuto;
 };
 
 /// Execute every task in `g` respecting its dependencies, using `nthreads`

@@ -78,7 +78,11 @@ void Communicator::send(int from, int to, std::uint64_t tag,
 std::vector<char> Communicator::recv(int rank, std::uint64_t tag) {
   PTLR_CHECK(rank >= 0 && rank < nranks_, "recv on invalid rank");
   Box& box = boxes_[static_cast<std::size_t>(rank)];
-  const auto wait_start = std::chrono::steady_clock::now();
+  // One absolute deadline for the whole receive: the CV waits below sleep
+  // until a real wake (message, abort, requeue) or this point in time —
+  // no periodic polling wakeups, no drift from re-deriving the remainder.
+  const auto deadline_tp =
+      std::chrono::steady_clock::now() + watchdog_.deadline();
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
     if (aborted_.load(std::memory_order_acquire))
@@ -114,19 +118,17 @@ std::vector<char> Communicator::recv(int rank, std::uint64_t tag) {
       box.cv.wait(lock);
       continue;
     }
-    // Deadline-aware wait: slice the sleep so an abort or a requeued
-    // message is seen promptly, and convert a wait past the deadline into
-    // a descriptive error instead of a silent hang.
-    const auto now = std::chrono::steady_clock::now();
-    const auto waited = now - wait_start;
-    if (waited >= watchdog_.deadline()) {
+    // Deadline-aware wait: only declare the stall after the queues above
+    // were re-checked, so a message that arrived just before the deadline
+    // is still delivered rather than lost to a watchdog error.
+    if (std::chrono::steady_clock::now() >= deadline_tp) {
       const std::string what =
           "watchdog: receive waited " + std::to_string(watchdog_.deadline_ms) +
           " ms with no message (" + describe(rank, tag) + ")";
       resil::note(resil::ResilienceEvent::kWatchdogFire, what);
       throw Error(what);
     }
-    box.cv.wait_for(lock, watchdog_.deadline() - waited);
+    box.cv.wait_until(lock, deadline_tp);
   }
 }
 

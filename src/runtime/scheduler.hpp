@@ -1,0 +1,87 @@
+// Scheduler selection and shared policy pieces for the shared-memory
+// executor (see executor.cpp for the engines themselves).
+//
+// Two schedulers coexist:
+//
+//   * central — the original single-lock central priority queue. Exact
+//     priority order, sequentially consistent, and the only engine the
+//     Perturber can steer deterministically, so chaos mode (and therefore
+//     the seeded TSan perturbation sweeps) always runs on it.
+//   * ws — per-worker Chase–Lev deques with lock-free dependency release,
+//     priority bands, locality-directed placement and targeted wakeups.
+//     The default: task throughput no longer serializes on one mutex.
+//
+// PTLR_SCHED=central|ws selects the engine process-wide (A/B benchmarking
+// without a recompile); ExecOptions::sched overrides it per run.
+#pragma once
+
+#include <cstdint>
+
+namespace ptlr::rt {
+
+class TaskGraph;
+
+/// Which ready-task engine execute() uses.
+enum class SchedulerKind : std::uint8_t {
+  kAuto = 0,         ///< resolve from PTLR_SCHED (unset → work-stealing)
+  kCentral = 1,      ///< single-lock central priority queue
+  kWorkStealing = 2, ///< per-worker lock-free deques
+};
+
+/// Reads PTLR_SCHED: "central" or "ws"; unset/empty defaults to
+/// work-stealing. Any other value throws ptlr::Error (a typo silently
+/// changing the scheduler would invalidate an A/B experiment).
+SchedulerKind scheduler_from_env();
+
+/// The engine a run will actually use: kAuto consults PTLR_SCHED, then
+/// chaos mode and single-worker runs fall back to central — the Perturber
+/// owns the schedule there (seeded replays stay valid), and one worker
+/// has nobody to steal from but still wants exact priority order.
+SchedulerKind resolve_scheduler(SchedulerKind requested, int nthreads,
+                                bool perturb_enabled);
+
+/// Human-readable engine name ("central" / "ws") for reports and JSON.
+const char* scheduler_name(SchedulerKind k);
+
+/// Number of priority bands per worker deque. Tasks are binned by
+/// TaskInfo::priority; workers drain higher bands first, so critical-path
+/// panel tasks (POTRF/TRSM carry the larger priority boosts in the
+/// Cholesky graph) preempt the GEMM update soup without a total order —
+/// matching the PaRSEC priority scheme the paper relies on.
+inline constexpr int kSchedBands = 4;
+
+/// Linear priority→band binning computed once per run from the graph's
+/// priority range. A flat graph (all priorities equal) maps to band 0.
+class BandMap {
+ public:
+  static BandMap from_graph(const TaskGraph& g);
+
+  /// Band for a priority; 0 = lowest .. kSchedBands-1 = highest.
+  [[nodiscard]] int band(double priority) const {
+    if (flat_) return 0;
+    const double x = (priority - lo_) / (hi_ - lo_);
+    const int b = static_cast<int>(x * kSchedBands);
+    return b < 0 ? 0 : (b >= kSchedBands ? kSchedBands - 1 : b);
+  }
+
+  /// How many bands this graph can actually populate — 1 for a flat
+  /// graph, so pop/steal scans skip the guaranteed-empty upper bands.
+  [[nodiscard]] int bands_used() const { return flat_ ? 1 : kSchedBands; }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  bool flat_ = true;
+};
+
+/// Work-stealing engine counters, reported per run in ExecResult. All
+/// zero on the central engine.
+struct SchedStats {
+  SchedulerKind scheduler = SchedulerKind::kCentral;  ///< engine used
+  long long steals = 0;            ///< tasks taken from another worker
+  long long diverted = 0;          ///< releases routed to the locality hint
+  long long wakeups = 0;           ///< targeted single-worker wakeups
+  long long parks = 0;             ///< times a worker went to sleep
+};
+
+}  // namespace ptlr::rt

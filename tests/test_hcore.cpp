@@ -12,6 +12,7 @@
 #include "dense/lapack.hpp"
 #include "dense/util.hpp"
 #include "hcore/kernels.hpp"
+#include "hcore/scratch.hpp"
 #include "stars/problem.hpp"
 #include "tlr/tlr_matrix.hpp"
 
@@ -360,4 +361,75 @@ TEST(TlrCholesky, LooserAccuracyGivesLowerRanks) {
   auto tight = TlrMatrix::from_problem(prob, 32, {1e-8, 1 << 30}, 1);
   auto loose = TlrMatrix::from_problem(prob, 32, {1e-3, 1 << 30}, 1);
   EXPECT_LE(loose.rank_stats().avg, tight.rank_stats().avg);
+}
+
+// ------------------------------------------------------ scratch arena ----
+
+TEST(ScratchArena, FrameRewindReusesBytes) {
+  auto& ar = ScratchArena::local();
+  ar.reset();
+  double* first;
+  {
+    const ScratchArena::Frame f(ar);
+    first = ar.alloc(100);
+    first[0] = 1.0;
+  }
+  {
+    const ScratchArena::Frame f(ar);
+    double* again = ar.alloc(100);
+    EXPECT_EQ(again, first);  // same bytes, no new allocation
+  }
+  EXPECT_EQ(ar.stats().chunk_allocs, 1);
+}
+
+TEST(ScratchArena, NestedFramesUnwindInOrder) {
+  auto& ar = ScratchArena::local();
+  ar.reset();
+  const ScratchArena::Frame outer(ar);
+  double* a = ar.alloc(10);
+  {
+    const ScratchArena::Frame inner(ar);
+    double* b = ar.alloc(10);
+    EXPECT_NE(a, b);
+  }
+  double* c = ar.alloc(10);
+  EXPECT_EQ(c, a + 10);  // inner frame's bytes were rewound
+}
+
+TEST(ScratchArena, CoalescesToOneChunkAtSteadyState) {
+  auto& ar = ScratchArena::local();
+  ar.reset();
+  {
+    // Outgrow the first chunk on purpose: several chunks exist while the
+    // frame is live...
+    const ScratchArena::Frame f(ar);
+    for (int i = 0; i < 6; ++i) ar.alloc(4096);
+  }
+  // ...and the full unwind coalesced them, so a same-sized working set
+  // never allocates again.
+  const auto before = ar.stats();
+  {
+    const ScratchArena::Frame f(ar);
+    for (int i = 0; i < 6; ++i) ar.alloc(4096);
+  }
+  EXPECT_EQ(ar.stats().chunk_allocs, before.chunk_allocs);
+}
+
+TEST(ScratchArena, RepeatedKernelInvocationsStopAllocating) {
+  // The point of the arena: after the first few GEMMs on a worker, kernel
+  // temporaries come from the grown reserve — zero allocations per task.
+  Rng rng(99);
+  Tile a = lr_tile(kB, kB, kRank, rng);
+  Tile b = lr_tile(kB, kB, kRank, rng);
+  Tile c0 = Tile::make_dense(random_spd(kB, rng));
+  hcore::gemm(a, b, c0, kAcc);  // warm the arena
+  const auto before = ScratchArena::local().stats();
+  for (int i = 0; i < 10; ++i) {
+    Tile c = Tile::make_dense(random_spd(kB, rng));
+    hcore::gemm(a, b, c, kAcc);
+  }
+  const auto after = ScratchArena::local().stats();
+  EXPECT_EQ(after.chunk_allocs, before.chunk_allocs);
+  EXPECT_EQ(after.bytes_reserved, before.bytes_reserved);
+  EXPECT_GT(after.alloc_calls, before.alloc_calls);
 }
