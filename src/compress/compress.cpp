@@ -33,6 +33,7 @@ int truncation_rank(const std::vector<double>& s, double tol) {
 
 std::optional<LowRankFactor> compress(dense::ConstMatrixView a,
                                       const Accuracy& acc) {
+  PTLR_CHECK(dense::all_finite(a), "compress: non-finite input block");
   const int m = a.rows(), n = a.cols();
   const int cap = std::min({m, n, acc.maxrank});
   Matrix w = dense::to_matrix(a);

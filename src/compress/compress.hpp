@@ -13,11 +13,55 @@
 // (Section VII-B).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "compress/lowrank.hpp"
 
 namespace ptlr::compress {
+
+/// Compression backend selector (implementations in compress/methods.hpp
+/// and compress/adaptive.hpp; the enum lives here so the hot-path policy
+/// below can name a backend without a circular include).
+enum class Method { kCpqrSvd, kRsvd, kAca, kAdaptiveRsvd };
+
+/// Hot-path compression engine selection: which backend the LR GEMM
+/// recompression (and drivers that honour it) runs, plus the per-tile-class
+/// gates deciding when the adaptive randomized engine is worth its
+/// stochastic machinery. Parsed from PTLR_COMPRESS (docs/compression.md):
+///
+///   PTLR_COMPRESS=adaptive
+///   PTLR_COMPRESS=method=adaptive,seed=7,min_dim=96,min_rank=24,block=8
+///
+/// Methods: cpqr (deterministic QR+QR+SVD, the default), adaptive
+/// (randomized range sampling with CPQR+SVD fallback), rsvd, aca (initial
+/// compression only; recompression falls back to cpqr for both). A typo
+/// throws — a misspelt engine must not silently run the default.
+struct CompressPolicy {
+  Method method = Method::kCpqrSvd;
+  /// Base seed of the randomized engines. Hot-path call sites derive a
+  /// per-tile seed from it via site_seed() so results are schedule- and
+  /// thread-count-invariant (same contract as the fault injector).
+  std::uint64_t seed = 0x51AB5EEDull;
+  /// Tile-class gates: tiles with min(rows, cols) < min_dim or a
+  /// concatenated rank < min_rank skip the adaptive engine (the sketch
+  /// bookkeeping costs more than it saves on small operands).
+  int min_dim = 64;
+  int min_rank = 12;
+  /// Sketch growth block of the adaptive engine (columns per round).
+  int block = 16;
+
+  static CompressPolicy parse(const char* spec);
+  /// PTLR_COMPRESS, or the defaults when unset.
+  static CompressPolicy from_env();
+};
+
+/// Schedule-invariant per-site seed: a pure splitmix64 hash of
+/// (base, site, salt), the same construction resilience/fault.cpp uses so
+/// randomized compression at tile (i, j) in panel k draws the identical
+/// sketch no matter which worker runs it or in what order.
+std::uint64_t site_seed(std::uint64_t base, std::uint64_t site,
+                        std::uint64_t salt);
 
 /// Accuracy policy for compression/recompression.
 struct Accuracy {
@@ -32,6 +76,10 @@ struct Accuracy {
   /// densify_ratio · min(rows, cols) during the factorization is rolled
   /// back to dense on the spot. 0 disables the policy.
   double densify_ratio = 0.0;
+  /// Engine the hot-path recompression runs (default: deterministic
+  /// CPQR+SVD). Rides inside Accuracy so every existing recompression call
+  /// site inherits the selector without a signature change.
+  CompressPolicy policy{};
 };
 
 /// Compress a dense block to U·Vᵀ with ‖A − U·Vᵀ‖_F ≤ tol.

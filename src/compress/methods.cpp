@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compress/adaptive.hpp"
 #include "dense/blas.hpp"
 #include "dense/lapack.hpp"
 #include "dense/util.hpp"
@@ -17,6 +18,7 @@ const char* to_string(Method m) {
     case Method::kCpqrSvd: return "CPQR+SVD";
     case Method::kRsvd: return "RSVD";
     case Method::kAca: return "ACA";
+    case Method::kAdaptiveRsvd: return "ADAPTIVE-RSVD";
   }
   return "unknown";
 }
@@ -77,6 +79,7 @@ std::optional<LowRankFactor> rsvd_fixed(dense::ConstMatrixView a,
 std::optional<LowRankFactor> compress_rsvd(dense::ConstMatrixView a,
                                            const Accuracy& acc, Rng& rng,
                                            int oversample, int power_iters) {
+  PTLR_CHECK(dense::all_finite(a), "compress_rsvd: non-finite input block");
   const int m = a.rows(), n = a.cols();
   const int full = std::min(m, n);
   const int cap = std::min(full, acc.maxrank);
@@ -201,6 +204,7 @@ std::optional<LowRankFactor> compress_aca_oracle(
 
 std::optional<LowRankFactor> compress_aca(dense::ConstMatrixView a,
                                           const Accuracy& acc) {
+  PTLR_CHECK(dense::all_finite(a), "compress_aca: non-finite input block");
   return compress_aca_oracle(
       a.rows(), a.cols(), [&a](int i, int j) { return a(i, j); }, acc);
 }
@@ -212,6 +216,14 @@ std::optional<LowRankFactor> compress_with(Method method,
     case Method::kCpqrSvd: return compress(a, acc);
     case Method::kRsvd: return compress_rsvd(a, acc, rng);
     case Method::kAca: return compress_aca(a, acc);
+    case Method::kAdaptiveRsvd: {
+      // Fallback contract: when the estimator fails to certify the
+      // tolerance below the rank cap, the deterministic CPQR+SVD path
+      // decides — the adaptive engine never weakens the accuracy bound.
+      auto f = compress_adaptive_rsvd(a, acc, rng);
+      if (f) return f;
+      return compress(a, acc);
+    }
   }
   return std::nullopt;
 }

@@ -14,6 +14,14 @@
 //              selected rows/columns); the classical H-matrix compressor,
 //              cheapest when entry evaluation is cheap, heuristic error
 //              control (a recompression pass restores minimal rank).
+//
+// A fourth, kAdaptiveRsvd, lives in compress/adaptive.hpp: H2OPUS-TLR-style
+// incremental randomized range sampling with a stochastic error estimator
+// and a deterministic CPQR+SVD fallback. compress_with dispatches to it
+// like any other backend.
+//
+// Every backend validates its input: a tile containing NaN/Inf throws
+// ptlr::Error instead of silently truncating garbage into a factor.
 #pragma once
 
 #include <functional>
@@ -23,8 +31,7 @@
 
 namespace ptlr::compress {
 
-/// Compression backend selector.
-enum class Method { kCpqrSvd, kRsvd, kAca };
+// Method enum lives in compress/compress.hpp (next to the hot-path policy).
 
 /// Human-readable backend name.
 const char* to_string(Method m);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/timer.hpp"
+#include "compress/methods.hpp"
 #include "obs/trace.hpp"
 
 namespace ptlr::core {
@@ -39,6 +40,7 @@ CholeskyResult factorize(tlr::TlrMatrix& a,
   // Step 3: build and execute the dataflow graph.
   GraphOptions opt;
   opt.acc = cfg.acc;
+  opt.acc.policy = cfg.compress;
   opt.recursive_all = cfg.recursive_all;
   opt.recursive_potrf = cfg.recursive_potrf;
   opt.recursive_block = cfg.recursive_block;
@@ -53,6 +55,8 @@ CholeskyResult factorize(tlr::TlrMatrix& a,
     obs::set_metadata("band_size", std::to_string(result.band_size));
     obs::set_metadata("nthreads", std::to_string(cfg.nthreads));
     obs::set_metadata("tolerance", std::to_string(cfg.acc.tol));
+    obs::set_metadata("compress_method",
+                      compress::to_string(cfg.compress.method));
     obs::set_metadata("tasks", std::to_string(result.stats.tasks));
   }
 

@@ -299,7 +299,17 @@ class Builder {
     t.output_bytes = tile_bytes(i, j);
     if (mat_ != nullptr) {
       auto* m = mat_;
-      const auto acc = opt_.acc;
+      auto acc = opt_.acc;
+      // Schedule-invariant seed for the randomized recompression engines:
+      // a pure hash of (base seed, target tile, panel), fixed at graph
+      // construction — the sketch a tile's update draws does not depend on
+      // which worker runs it or in what order (per-tile update order is
+      // already serialized by the tile-key write dependencies).
+      acc.policy.seed = compress::site_seed(
+          acc.policy.seed,
+          static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(nt_) +
+              static_cast<std::uint64_t>(j),
+          static_cast<std::uint64_t>(k));
       t.fn = [m, k, i, j, acc] {
         hcore::gemm(m->at(i, k), m->at(j, k), m->at(i, j), acc);
       };

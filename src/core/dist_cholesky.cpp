@@ -116,7 +116,17 @@ class RankProgram {
         if (m == n) {
           hcore::syrk(panel(m), local(m, m));
         } else {
-          hcore::gemm(panel(m), panel(n), local(m, n), acc_);
+          // Same per-site seeding as the shared-memory graph builder so a
+          // distributed run's randomized recompressions match it tile for
+          // tile (rank placement is irrelevant to the draw).
+          compress::Accuracy acc = acc_;
+          acc.policy.seed = compress::site_seed(
+              acc.policy.seed,
+              static_cast<std::uint64_t>(m) *
+                      static_cast<std::uint64_t>(nt_) +
+                  static_cast<std::uint64_t>(n),
+              static_cast<std::uint64_t>(k));
+          hcore::gemm(panel(m), panel(n), local(m, n), acc);
         }
       }
     }

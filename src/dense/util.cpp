@@ -30,6 +30,16 @@ double frob_norm(ConstMatrixView a) {
   return std::sqrt(s);
 }
 
+bool all_finite(ConstMatrixView a) {
+  for (int j = 0; j < a.cols(); ++j) {
+    const double* c = a.col(j);
+    for (int i = 0; i < a.rows(); ++i) {
+      if (!std::isfinite(c[i])) return false;
+    }
+  }
+  return true;
+}
+
 double max_abs(ConstMatrixView a) {
   double s = 0.0;
   for (int j = 0; j < a.cols(); ++j) {

@@ -16,6 +16,10 @@ double max_abs(ConstMatrixView a);
 /// ||A - B||_F.
 double frob_diff(ConstMatrixView a, ConstMatrixView b);
 
+/// True iff every entry is finite (no NaN/Inf) — the input validation gate
+/// of the compression backends.
+bool all_finite(ConstMatrixView a);
+
 /// Deep copy helpers declared in matrix.hpp.
 // (to_matrix / copy are defined in util.cpp.)
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "compress/adaptive.hpp"
 #include "dense/blas.hpp"
 #include "dense/lapack.hpp"
 #include "hcore/scratch.hpp"
@@ -106,9 +107,18 @@ void append_and_recompress(Tile& cmn, ConstMatrixView up, ConstMatrixView vp,
     for (int i = 0; i < n; ++i) v2(i, kc + j) = -vp(i, j);
   c.u = std::move(u2);
   c.v = std::move(v2);
-  const int knew = compress::recompress(c, acc);
+  // Stage two runs the engine acc.policy selects (deterministic QR+QR+SVD
+  // by default, adaptive randomized under PTLR_COMPRESS=adaptive); sketch
+  // buffers come from this worker's scratch arena.
+  ScratchArena& ar = ScratchArena::local();
+  compress::AdaptiveStats astats;
+  const int knew = compress::recompress_with_policy(
+      c, acc, &astats, [&ar](std::size_t len) { return ar.alloc(len); });
   // Observability: one recompression, concatenated rank in, rounded out.
   obs::record_compression(kc + kp, knew);
+  if (astats.attempted)
+    obs::record_adaptive(astats.sketch_cols, astats.fell_back,
+                         astats.est_residual);
   // Numerical breakdown of the compression assumption: recompress truncates
   // at tol only and never enforces the rank cap, so a tile whose numerical
   // rank exceeds maxrank would silently keep an over-cap representation

@@ -66,7 +66,10 @@ void ScratchArena::reset() {
   chunks_.clear();
   cur_ = 0;
   off_ = 0;
-  stats_.bytes_reserved = 0;
+  // A reset arena is indistinguishable from a fresh one, counters
+  // included — tests that reset and then count allocations must not see
+  // chunks charged by earlier work on this thread.
+  stats_ = Stats{};
 }
 
 }  // namespace ptlr::hcore

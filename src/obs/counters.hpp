@@ -50,11 +50,19 @@ struct CommCounters {
   long long bytes = 0;
 };
 
-/// Recompression channel totals.
+/// Recompression channel totals. The adaptive_* slots track the adaptive
+/// randomized engine (compress/adaptive.hpp): how often it ran, how often
+/// its estimator failed and the deterministic fallback decided, how many
+/// Gaussian sketch columns it drew, and the sum of its final stochastic
+/// residual estimates (mean = est_residual_sum / adaptive).
 struct CompressionCounters {
-  long long count = 0;          ///< recompressions performed
-  long long rank_in_sum = 0;    ///< concatenated ranks entering
-  long long rank_out_sum = 0;   ///< rounded ranks leaving
+  long long count = 0;           ///< recompressions performed
+  long long rank_in_sum = 0;     ///< concatenated ranks entering
+  long long rank_out_sum = 0;    ///< rounded ranks leaving
+  long long adaptive = 0;        ///< adaptive engine attempts
+  long long fallbacks = 0;       ///< attempts that fell back to CPQR+SVD
+  long long sketch_cols_sum = 0; ///< Gaussian columns drawn in total
+  double est_residual_sum = 0.0; ///< sum of final residual estimates
 };
 
 /// Vocabulary of recovery events the resilience layer (src/resilience)
@@ -105,6 +113,9 @@ class Counters {
 
   static void record_comm(long long bytes) noexcept;
   static void record_compression(int rank_in, int rank_out) noexcept;
+  /// Charge one adaptive-engine attempt (see CompressionCounters).
+  static void record_adaptive(int sketch_cols, bool fallback,
+                              double est_residual) noexcept;
   static void record_resilience(ResilienceEvent ev) noexcept;
 
   /// Rows of every class with at least one recorded task, ordered by kind

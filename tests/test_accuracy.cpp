@@ -4,6 +4,9 @@
 // A = L L^T in the Frobenius norm to within the compression tolerance.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
+#include "compress/methods.hpp"
 #include "core/cholesky.hpp"
 #include "dense/blas.hpp"
 #include "dense/lapack.hpp"
@@ -67,6 +70,48 @@ TEST_P(AccuracyTest, TlrCholeskyMatchesOperatorWithinTolerance) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, AccuracyTest,
                          ::testing::Values(1e-4, 1e-6, 1e-8));
+
+// ------------------------------------- method × accuracy matrix ----------
+// Every compression backend, used both for the initial compression and (for
+// the adaptive engine) the hot-path recompression, must keep the end-to-end
+// factorization within the same dense-oracle bound as the default CPQR+SVD.
+
+class MethodAccuracyTest
+    : public ::testing::TestWithParam<
+          std::tuple<compress::Method, double>> {};
+
+TEST_P(MethodAccuracyTest, TlrCholeskyMatchesOperatorWithinTolerance) {
+  const auto [method, tol] = GetParam();
+  auto prob = stars::make_problem(stars::ProblemKind::kSt3DExp, kN);
+  const Matrix a = prob.block(0, 0, kN, kN);
+
+  const compress::Accuracy acc{tol, 1 << 30};
+  auto sigma = tlr::TlrMatrix::from_problem(prob, kB, acc, 1, method);
+  core::CholeskyConfig cfg;
+  cfg.acc = acc;
+  if (method == compress::Method::kAdaptiveRsvd) {
+    // Run the adaptive engine on the recompression hot path too, gates
+    // opened for the 64-wide tiles of this problem.
+    cfg.compress = compress::CompressPolicy::parse(
+        "method=adaptive,min_dim=32,min_rank=4");
+  }
+  cfg.band_size = 2;
+  cfg.nthreads = 2;
+  core::factorize(sigma, &prob, cfg);
+
+  const double err = backward_error(a, sigma);
+  EXPECT_LE(err, tol * kN)
+      << compress::to_string(method) << " at tol " << tol;
+  EXPECT_GT(err, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodMatrix, MethodAccuracyTest,
+    ::testing::Combine(::testing::Values(compress::Method::kCpqrSvd,
+                                         compress::Method::kRsvd,
+                                         compress::Method::kAca,
+                                         compress::Method::kAdaptiveRsvd),
+                       ::testing::Values(1e-4, 1e-6, 1e-8)));
 
 TEST(AccuracyOracle, DenseCholeskyIsExactToMachinePrecision) {
   // Oracle sanity: the same operator factored densely has no truncation

@@ -280,13 +280,17 @@ TEST_P(MethodSweep, AllBackendsMeetLooseToleranceOnCovarianceTile) {
   EXPECT_LT(f->rank(), 96);
 }
 
-INSTANTIATE_TEST_SUITE_P(Backends, MethodSweep,
-                         ::testing::Values(ptlr::compress::Method::kCpqrSvd,
-                                           ptlr::compress::Method::kRsvd,
-                                           ptlr::compress::Method::kAca));
+INSTANTIATE_TEST_SUITE_P(
+    Backends, MethodSweep,
+    ::testing::Values(ptlr::compress::Method::kCpqrSvd,
+                      ptlr::compress::Method::kRsvd,
+                      ptlr::compress::Method::kAca,
+                      ptlr::compress::Method::kAdaptiveRsvd));
 
 TEST(Methods, NamesAreStable) {
   EXPECT_STREQ(to_string(ptlr::compress::Method::kCpqrSvd), "CPQR+SVD");
   EXPECT_STREQ(to_string(ptlr::compress::Method::kRsvd), "RSVD");
   EXPECT_STREQ(to_string(ptlr::compress::Method::kAca), "ACA");
+  EXPECT_STREQ(to_string(ptlr::compress::Method::kAdaptiveRsvd),
+               "ADAPTIVE-RSVD");
 }

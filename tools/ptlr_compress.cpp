@@ -2,7 +2,7 @@
 // in parallel, and save it for later runs.
 //
 //   ptlr_compress --n 4096 --b 256 --tol 1e-4 [--kind st-3D-exp]
-//                 [--method cpqr|rsvd|aca] [--threads 2] [--band 1]
+//                 [--method cpqr|rsvd|aca|adaptive] [--threads 2] [--band 1]
 //                 [--out sigma.ptlr] [--seed 42]
 #include <cstdio>
 #include <string>
@@ -30,6 +30,7 @@ compress::Method parse_method(const std::string& s) {
   if (s == "cpqr") return compress::Method::kCpqrSvd;
   if (s == "rsvd") return compress::Method::kRsvd;
   if (s == "aca") return compress::Method::kAca;
+  if (s == "adaptive") return compress::Method::kAdaptiveRsvd;
   throw Error("unknown compression method: " + s);
 }
 
