@@ -11,6 +11,11 @@
 //     scheduler's overhead still shows once tasks do minimal work.
 //   * forkjoin_empty    — repeated wide fork-joins with empty bodies:
 //     exercises the dependency-release path and wakeups, not just pops.
+//   * serial_chain      — one pure single-successor chain: zero available
+//     parallelism, so it isolates the per-hop release cost (deque round
+//     trips, diverts, wakeups) that the run-on-finisher path is meant to
+//     reduce to a function call; SchedStats.inline_runs should cover
+//     ~every non-root task here.
 //
 // Output: BENCH_executor.json (override with PTLR_BENCH_OUT or argv[1]),
 // one record per (shape, ntasks, threads, sched) with seconds and
@@ -83,6 +88,21 @@ rt::TaskGraph forkjoin(int stages, int fanout) {
   return g;
 }
 
+rt::TaskGraph serial_chain(int n) {
+  rt::TaskGraph g;
+  std::vector<rt::DataKey> prev;
+  for (int i = 0; i < n; ++i) {
+    rt::TaskInfo t;
+    t.name = "c";
+    t.fn = [] {};
+    const std::vector<rt::DataKey> out{
+        rt::make_key(1, static_cast<std::uint32_t>(i), 0)};
+    g.add_task(std::move(t), prev, out);
+    prev = out;
+  }
+  return g;
+}
+
 // Best-of-reps wall time for one full graph execution.
 double time_best(rt::TaskGraph& g, int threads, const rt::ExecOptions& opts,
                  int reps, long long* steals) {
@@ -126,12 +146,13 @@ int main(int argc, char** argv) {
 
   struct Shape {
     const char* name;
-    int spin;     // spin iterations; <0 marks the fork-join shape
+    int spin;  // spin iterations; -1 = fork-join, -2 = serial chain
   };
   const Shape shapes[] = {
       {"independent_empty", 0},
       {"independent_spin", 400},  // ~1 µs dependent-FMA chain
       {"forkjoin_empty", -1},
+      {"serial_chain", -2},
   };
 
   for (const Shape& shape : shapes) {
@@ -140,7 +161,7 @@ int main(int argc, char** argv) {
           shape.spin >= 0
               ? independent(n, shape.spin)
               // fanout 15 + barrier per stage → same task budget
-              : forkjoin(n / 16, 15);
+              : (shape.spin == -1 ? forkjoin(n / 16, 15) : serial_chain(n));
       const int ntasks = g.size();
       // Sub-millisecond configs need more best-of samples to converge on
       // the true floor (thread spawn + OS jitter dominate single reps).

@@ -1,13 +1,22 @@
 #include "dense/blas.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/flops.hpp"
 #include "dense/gemm_kernel.hpp"
+#include "runtime/nested.hpp"
 
 namespace ptlr::dense {
 
 namespace {
+
+// Balanced [r0, r1) boundaries for child-task chunking: nchunks pieces of
+// `extent`, each at least kNestedMinChunk wide (callers guarantee
+// extent >= 2 * kNestedMinChunk before asking for nchunks >= 2).
+int chunk_lo(int extent, int nchunks, int t) {
+  return static_cast<int>(static_cast<long long>(extent) * t / nchunks);
+}
 
 // Dimension of op(X) given the trans flag.
 int op_rows(Trans t, ConstMatrixView x) { return t == Trans::N ? x.rows() : x.cols(); }
@@ -275,9 +284,56 @@ void syrk(Uplo uplo, Trans ta, double alpha, ConstMatrixView a, double beta,
   // microtiles outside the triangle are skipped, straddlers masked at
   // write-back. No extra flops charged — the model above covers it all.
   const Trans tb = ta == Trans::N ? Trans::T : Trans::N;
-  detail::gemm_blocked(ta, tb, alpha, a, a, c,
-                       uplo == Uplo::Lower ? detail::TriMask::kLower
-                                           : detail::TriMask::kUpper);
+  const detail::TriMask mask = uplo == Uplo::Lower ? detail::TriMask::kLower
+                                                   : detail::TriMask::kUpper;
+  if (rt::nested_available() && n >= 2 * detail::kNestedMinChunk &&
+      static_cast<double>(n) * n * k >= detail::kNestedMinVolume) {
+    // Child tasks over row-blocks of C: each child owns its diagonal
+    // triangle block (the mask condition is local — the block sits on the
+    // diagonal) plus its in-triangle off-diagonal rectangle. Bitwise-safe
+    // for the same reason as the GEMM chunking: every in-triangle element
+    // is produced by the identical packed k-sum; the decomposition only
+    // redraws blocking boundaries and re-labels which call skips the
+    // out-of-triangle area. Children call gemm_blocked directly, so no
+    // size-dependent dispatch can diverge from the undivided call.
+    const int nchunks =
+        std::min(n / detail::kNestedMinChunk, detail::kNestedMaxChunks);
+    rt::TaskGroup tg;
+    for (int t = 0; t < nchunks; ++t) {
+      const int r0 = chunk_lo(n, nchunks, t);
+      const int r1 = chunk_lo(n, nchunks, t + 1);
+      const int nb = r1 - r0;
+      const ConstMatrixView ai = ta == Trans::N ? a.block(r0, 0, nb, k)
+                                                : a.block(0, r0, k, nb);
+      const MatrixView cd = c.block(r0, r0, nb, nb);
+      if (uplo == Uplo::Lower) {
+        tg.spawn([ta, tb, alpha, a, ai, cd, mask, r0, nb, k, &c] {
+          detail::gemm_blocked(ta, tb, alpha, ai, ai, cd, mask);
+          if (r0 > 0) {
+            const ConstMatrixView a0 = ta == Trans::N
+                                           ? a.block(0, 0, r0, k)
+                                           : a.block(0, 0, k, r0);
+            detail::gemm_blocked(ta, tb, alpha, ai, a0,
+                                 c.block(r0, 0, nb, r0));
+          }
+        });
+      } else {
+        tg.spawn([ta, tb, alpha, a, ai, cd, mask, r1, r0, nb, k, n, &c] {
+          detail::gemm_blocked(ta, tb, alpha, ai, ai, cd, mask);
+          if (r1 < n) {
+            const ConstMatrixView a2 = ta == Trans::N
+                                           ? a.block(r1, 0, n - r1, k)
+                                           : a.block(0, r1, k, n - r1);
+            detail::gemm_blocked(ta, tb, alpha, ai, a2,
+                                 c.block(r0, r1, nb, n - r1));
+          }
+        });
+      }
+    }
+    tg.sync();
+    return;
+  }
+  detail::gemm_blocked(ta, tb, alpha, a, a, c, mask);
 }
 
 void trsm(Side side, Uplo uplo, Trans ta, Diag diag, double alpha,
@@ -289,6 +345,35 @@ void trsm(Side side, Uplo uplo, Trans ta, Diag diag, double alpha,
   if (m == 0 || n == 0) return;
   flops::Counter::add(side == Side::Left ? flops::trsm(m, n)
                                          : flops::trsm(n, m));
+  const int nrhs = side == Side::Left ? n : m;
+  if (rt::nested_available() && nrhs >= 2 * detail::kNestedMinChunk &&
+      static_cast<double>(na) * na * nrhs >= detail::kNestedMinVolume &&
+      blocked_l3(na, static_cast<double>(na) * na * nrhs)) {
+    // Child tasks over the right-hand sides: columns of B for Side::Left,
+    // rows for Side::Right — the triangular solve treats each one
+    // independently at every level (substitution loops are per-column /
+    // per-row, the recursion splits only the na axis). Bitwise-safe
+    // because a chunk of >= kNestedMinChunk rhs keeps every dispatch on
+    // the fat call's branch: blocked_l3(na', na'^2 * nrhs') and
+    // worth_blocking on the internal GEMM folds are already far above
+    // their thresholds at nrhs' = 64 for every na' > kOuterNB the
+    // recursion visits, and below that both takes are unblocked anyway.
+    const int nchunks =
+        std::min(nrhs / detail::kNestedMinChunk, detail::kNestedMaxChunks);
+    rt::TaskGroup tg;
+    for (int t = 0; t < nchunks; ++t) {
+      const int s0 = chunk_lo(nrhs, nchunks, t);
+      const int s1 = chunk_lo(nrhs, nchunks, t + 1);
+      const MatrixView bc = side == Side::Left
+                                ? b.block(0, s0, m, s1 - s0)
+                                : b.block(s0, 0, s1 - s0, n);
+      tg.spawn([side, uplo, ta, diag, a, bc] {
+        trsm_body(side, uplo, ta, diag, a, bc);
+      });
+    }
+    tg.sync();
+    return;
+  }
   trsm_body(side, uplo, ta, diag, a, b);
 }
 

@@ -3,8 +3,11 @@
 // docs/performance.md).
 #include "dense/gemm_kernel.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <vector>
+
+#include "runtime/nested.hpp"
 
 namespace ptlr::dense::detail {
 
@@ -221,16 +224,44 @@ bool worth_blocking(int m, int n, int k) {
 
 void gemm_body(Trans ta, Trans tb, double alpha, ConstMatrixView a,
                ConstMatrixView b, MatrixView c) {
+  const int m = c.rows();
+  const int n = c.cols();
   const int k = ta == Trans::N ? a.cols() : a.rows();
   const KernelPath path = kernel_path();
   const bool blocked =
       path == KernelPath::kBlocked ||
-      (path == KernelPath::kAuto && worth_blocking(c.rows(), c.cols(), k));
-  if (blocked) {
-    gemm_blocked(ta, tb, alpha, a, b, c);
-  } else {
+      (path == KernelPath::kAuto && worth_blocking(m, n, k));
+  if (!blocked) {
     gemm_unblocked(ta, tb, alpha, a, b, c);
+    return;
   }
+  if (rt::nested_available() && m >= 2 * kNestedMinChunk &&
+      static_cast<double>(m) * n * k >= kNestedMinVolume) {
+    // Child tasks over row-chunks of C. Bitwise-safe: each element of C
+    // is beta-independent here (the entry point already scaled), equals
+    // its packed-alpha microkernel sum over the *k* partition, and the
+    // engine's m-blocking boundaries never change a per-element sum — a
+    // chunk boundary is just another MC boundary. Pack buffers are
+    // thread_local, so concurrent children never share scratch.
+    const int nchunks = std::min(m / kNestedMinChunk, kNestedMaxChunks);
+    rt::TaskGroup tg;
+    for (int t = 0; t < nchunks; ++t) {
+      const int r0 = static_cast<int>(
+          static_cast<long long>(m) * t / nchunks);
+      const int r1 = static_cast<int>(
+          static_cast<long long>(m) * (t + 1) / nchunks);
+      const ConstMatrixView ai = ta == Trans::N
+                                     ? a.block(r0, 0, r1 - r0, k)
+                                     : a.block(0, r0, k, r1 - r0);
+      const MatrixView ci = c.block(r0, 0, r1 - r0, n);
+      tg.spawn([ta, tb, alpha, ai, b, ci] {
+        gemm_blocked(ta, tb, alpha, ai, b, ci);
+      });
+    }
+    tg.sync();
+    return;
+  }
+  gemm_blocked(ta, tb, alpha, a, b, c);
 }
 
 }  // namespace ptlr::dense::detail

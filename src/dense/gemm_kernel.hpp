@@ -37,6 +37,21 @@ inline constexpr int kNC = 2048;
 // everything else is GEMM volume.
 inline constexpr int kOuterNB = 64;
 
+// Nested child-task decomposition thresholds (docs/performance.md). The
+// level-3 entry points cut their output into per-child chunks and spawn
+// them through rt::TaskGroup when running inside a ws-engine task. Every
+// chunk keeps at least kNestedMinChunk rows/columns so each child's
+// blocked-vs-unblocked dispatch (worth_blocking, blocked_l3) takes the
+// same branch the undivided call would — that branch-stability is what
+// keeps chunked results bitwise identical to the serial evaluation; see
+// the proofs next to each use. kNestedMinVolume (64^3 fused multiply-adds,
+// tens of microseconds of work) keeps spawn overhead invisible, and
+// kNestedMaxChunks bounds fragmentation: with 2 cores, 8 chunks already
+// caps the tail imbalance at 1/8 of the call.
+inline constexpr int kNestedMinChunk = 64;
+inline constexpr double kNestedMinVolume = 64.0 * 64.0 * 64.0;
+inline constexpr int kNestedMaxChunks = 8;
+
 /// Restrict a blocked update to one triangle of C (diagonal included).
 /// Microtiles fully outside the triangle are skipped before they compute;
 /// straddling microtiles mask the write-back elementwise. This is how SYRK

@@ -54,6 +54,17 @@ void potf2(Uplo uplo, MatrixView a, int base) {
 // engine, so the scalar potf2 fraction decays like kOuterNB / n. The
 // BLAS-3 calls charge their own flop models; subtract them so potrf's
 // total stays exactly flops::potrf(n).
+//
+// Nested parallelism arrives through those same entry points: when this
+// runs inside a ws-engine task, the public trsm/syrk below chunk their
+// right-hand sides / row-blocks into child tasks (runtime/nested.hpp)
+// above the volume cutoff, so the O(n^3) panel and downdate volume — all
+// of this routine except the O(n * kOuterNB^2) potf2 leaves on the
+// critical path — runs on every worker while the factorization's task
+// span stays a single graph task. Recursing here instead of spawning
+// keeps the factor bitwise identical to the serial evaluation: the
+// recursion order (and therefore every summation order) is unchanged,
+// only the independent rhs/row chunks inside each BLAS-3 call move.
 void potrf_rec(Uplo uplo, MatrixView a, int base) {
   const int n = a.rows();
   if (n <= detail::kOuterNB) {

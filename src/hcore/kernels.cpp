@@ -11,6 +11,15 @@
 
 namespace ptlr::hcore {
 
+// Every macro-kernel below reaches its O(b^3) volume through the public
+// dense:: entry points (potrf/trsm/syrk/gemm). Those entries spawn nested
+// child tasks over their independent rhs/row chunks when the kernel runs
+// inside a ws-engine task and the volume clears the cutoff
+// (dense/gemm_kernel.hpp, runtime/nested.hpp) — so the band's big dense
+// tiles parallelize *inside* one graph task with no change here, and the
+// per-kernel flop accounting (charged at those same entries, on this
+// thread) is untouched by where the children execute.
+
 using dense::ConstMatrixView;
 using dense::Matrix;
 using dense::MatrixView;

@@ -97,6 +97,15 @@ void reset();
 // the two, layers below may annotate the open span (actual kernel class
 // from hcore dispatch, operand ranks); annotations are thread-local, so
 // they need no plumbing through the task-graph bodies.
+//
+// Nested child tasks (runtime/nested.hpp) open no spans of their own —
+// the parent's span covers the whole fork/join scope. This keeps span
+// flop attribution exact under nesting by construction: flop models are
+// charged at the public dense:: entry points, which always execute on the
+// parent's thread (children run only the uncharged internal bodies), so
+// the parent's thread-local accumulator sees every flop of the kernel no
+// matter which workers the children land on, and a retried parent re-opens
+// its span exactly as before.
 
 /// Open a span on this thread: stamps t0 and zeroes the thread-local flop
 /// accumulator. No-op when disabled.

@@ -17,6 +17,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "obs/trace.hpp"
+#include "runtime/nested.hpp"
 #include "runtime/ws_deque.hpp"
 
 namespace ptlr::rt {
@@ -122,7 +123,31 @@ struct alignas(64) WsWorker {
   long long diverted = 0;
   long long wakeups = 0;
   long long parks = 0;
+  long long inline_runs = 0;
+  long long divert_suppressed = 0;
 };
+
+/// Run-on-finisher chain cap: how many sole-released successors a worker
+/// executes back-to-back before breaking the chain with a real push. The
+/// cap bounds unfairness (a chain monopolizing one worker while higher
+/// bands wait in its deque) and keeps the watchdog's ready/running dump
+/// honest on pathological million-task chains.
+constexpr int kInlineChainMax = 256;
+
+/// Wake-futility backoff. A wake that delivers no work (the waker's deque
+/// drained before we arrived — the steady state of a serial chain or a
+/// narrow fork-join on an oversubscribed host) costs a futex round trip
+/// and two context switches for nothing. After kFutileWakeLimit such
+/// wakes in a row a worker stops advertising in the idle-set and parks on
+/// an exponentially growing timeout instead (kNapBaseUs << k, capped at
+/// 64x ≈ 12.8 ms), so pushers stop paying to wake it. Each useful find
+/// decays the backoff by ONE step rather than clearing it: a lone task
+/// caught by a nap-expiry rescan proves nothing about supply, and letting
+/// it re-arm eager wakes puts the fork-join pathology on a ~3-wake
+/// relapse cycle; only a streak of consecutive finds — real stealable
+/// parallelism — walks the worker back to advertising.
+constexpr int kFutileWakeLimit = 2;
+constexpr int kNapBaseUs = 200;
 
 /// Idle-worker bitmask. A worker advertises itself before sleeping; a
 /// pusher claims (clears) one bit and wakes only that worker. seq_cst on
@@ -196,9 +221,10 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
   std::vector<std::atomic<int>> pending(static_cast<std::size_t>(n));
   std::vector<std::atomic<std::uint8_t>> state(
       wd_on ? static_cast<std::size_t>(n) : 0);
+  const std::vector<TaskMeta>& meta = g.meta();
   for (TaskId t = 0; t < n; ++t) {
-    pending[static_cast<std::size_t>(t)].store(g.num_predecessors(t),
-                                               std::memory_order_relaxed);
+    pending[static_cast<std::size_t>(t)].store(
+        meta[static_cast<std::size_t>(t)].npred, std::memory_order_relaxed);
     if (wd_on)
       state[static_cast<std::size_t>(t)].store(kStatePending,
                                                std::memory_order_relaxed);
@@ -409,8 +435,9 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
     std::condition_variable cv;
     int remaining = n;
     for (TaskId t = 0; t < n; ++t) {
-      if (g.num_predecessors(t) == 0) {
-        ready.push(g.info(t).priority, t);
+      const TaskMeta& m = meta[static_cast<std::size_t>(t)];
+      if (m.npred == 0) {
+        ready.push(m.priority, t);
         if (wd_on)
           state[static_cast<std::size_t>(t)].store(kStateReady,
                                                    std::memory_order_relaxed);
@@ -490,18 +517,26 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
     // Locality table: output tile (ti, tj) → the worker that last wrote
     // it. A released panel task is handed to that worker when it is idle,
     // so POTRF/TRSM land where their tile is cache-hot.
+    // Built from the dense TaskMeta array, and skipped outright when the
+    // graph carries no tile coordinates (flat fuzz/bench DAGs): this pass
+    // plus the banding/seeding sweeps used to walk the ~200-byte Node
+    // records, and at 10^6 tasks that setup cost alone put ws ~40% behind
+    // the central queue on empty-task shapes.
     std::unordered_map<std::uint64_t, int> tile_slot;
-    for (TaskId t = 0; t < n; ++t) {
-      const TaskInfo& ti = g.info(t);
-      if (ti.ti >= 0 && ti.tj >= 0)
-        tile_slot.emplace(tile_key64(ti.ti, ti.tj),
-                          static_cast<int>(tile_slot.size()));
+    if (g.tiled_tasks() > 0) {
+      for (TaskId t = 0; t < n; ++t) {
+        const TaskMeta& m = meta[static_cast<std::size_t>(t)];
+        if (m.ti >= 0 && m.tj >= 0)
+          tile_slot.emplace(tile_key64(m.ti, m.tj),
+                            static_cast<int>(tile_slot.size()));
+      }
     }
     std::vector<std::atomic<int>> last_writer(tile_slot.size());
     for (auto& a : last_writer) a.store(-1, std::memory_order_relaxed);
-    auto slot_of = [&](const TaskInfo& info) -> int {
-      if (info.ti < 0 || info.tj < 0) return -1;
-      const auto it = tile_slot.find(tile_key64(info.ti, info.tj));
+    auto slot_of = [&](TaskId t) -> int {
+      const TaskMeta& m = meta[static_cast<std::size_t>(t)];
+      if (m.ti < 0 || m.tj < 0) return -1;
+      const auto it = tile_slot.find(tile_key64(m.ti, m.tj));
       return it == tile_slot.end() ? -1 : it->second;
     };
 
@@ -534,37 +569,60 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
       wake_all();
     };
 
+    // Nested child-task substrate (runtime/nested.hpp). Children live in
+    // per-worker kids deques beside the graph bands and are encoded in
+    // find_work results as n + slot — no TaskIds, no watchdog states, no
+    // entries in `pending`/`remaining` (a parent cannot complete before
+    // its sync(), so termination detection never sees a dangling child).
+    std::unique_ptr<detail::NestedEngine> nest;
+    if (nested_enabled()) {
+      nest = std::make_unique<detail::NestedEngine>(nthreads);
+      nest->wake = [&wake_one_idle](int spawner) { wake_one_idle(spawner); };
+    }
+
     // Make a newly-ready task runnable. Default: the finishing worker's
     // own deque (the successor consumes what this worker just produced —
     // locality for free). If the worker that last wrote the successor's
     // output tile is idle, divert the task to it and wake exactly it.
     // Returns 1 when the task landed on the caller's own deque (the
     // caller may owe surplus wakeups), 0 when it was diverted.
-    auto push_ready = [&](int self, TaskId s) -> int {
+    // allow_divert=false pins the push to the caller's deque — used when
+    // breaking an inline chain, where scattering the continuation to an
+    // idle worker would resume exactly the ping-pong the run-on-finisher
+    // path exists to kill (counted in divert_suppressed).
+    auto push_ready = [&](int self, TaskId s, bool allow_divert) -> int {
       if (wd_on)
         state[static_cast<std::size_t>(s)].store(kStateReady,
                                                  std::memory_order_relaxed);
-      const TaskInfo& si = g.info(s);
-      const int band = band_map.band(si.priority);
-      int pref = -1;
-      const int slot = slot_of(si);
-      if (slot >= 0)
-        pref = last_writer[static_cast<std::size_t>(slot)].load(
-            std::memory_order_relaxed);
-      if (pref < 0 && si.owner > 0 && nthreads > 1)
-        pref = si.owner % nthreads;
-      if (pref >= 0 && pref != self && pref < nthreads && idle.clear(pref)) {
-        WsWorker& pw = *ws[static_cast<std::size_t>(pref)];
-        {
-          std::lock_guard<std::mutex> lk(pw.inbox_mu);
-          pw.inbox.emplace_back(band, s);
+      // Read priority/owner from the dense metadata: touching the Node
+      // record here would pull a cold ~200-byte task description into
+      // cache per release just to band the push.
+      const TaskMeta& sm = meta[static_cast<std::size_t>(s)];
+      const int band = band_map.band(sm.priority);
+      if (allow_divert) {
+        int pref = -1;
+        const int slot = slot_of(s);
+        if (slot >= 0)
+          pref = last_writer[static_cast<std::size_t>(slot)].load(
+              std::memory_order_relaxed);
+        if (pref < 0 && sm.owner > 0 && nthreads > 1)
+          pref = sm.owner % nthreads;
+        if (pref >= 0 && pref != self && pref < nthreads &&
+            idle.clear(pref)) {
+          WsWorker& pw = *ws[static_cast<std::size_t>(pref)];
+          {
+            std::lock_guard<std::mutex> lk(pw.inbox_mu);
+            pw.inbox.emplace_back(band, s);
+          }
+          pw.inbox_nonempty.store(true, std::memory_order_release);
+          signal(pref);
+          WsWorker& me = *ws[static_cast<std::size_t>(self)];
+          me.diverted++;
+          me.wakeups++;
+          return 0;
         }
-        pw.inbox_nonempty.store(true, std::memory_order_release);
-        signal(pref);
-        WsWorker& me = *ws[static_cast<std::size_t>(self)];
-        me.diverted++;
-        me.wakeups++;
-        return 0;
+      } else {
+        ws[static_cast<std::size_t>(self)]->divert_suppressed++;
       }
       ws[static_cast<std::size_t>(self)]->bands[static_cast<std::size_t>(
           band)].push(s);
@@ -584,8 +642,16 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
         me.bands[static_cast<std::size_t>(band)].push(s);
     };
 
+    // Children first in both scans: a child is a piece of an *already
+    // running* parent, so finishing it brings a sync() — and therefore a
+    // graph-task completion — closer than any fresh graph task would.
     auto pop_own = [&](int self) -> TaskId {
       WsWorker& me = *ws[static_cast<std::size_t>(self)];
+      if (nest) {
+        const std::int32_t c =
+            nest->lanes[static_cast<std::size_t>(self)]->kids.pop();
+        if (c >= 0) return n + c;
+      }
       for (int b = nbands - 1; b >= 0; --b) {
         const std::int32_t v = me.bands[static_cast<std::size_t>(b)].pop();
         if (v >= 0) return v;
@@ -601,6 +667,15 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
         for (int d = 1; d < nthreads; ++d) {
           const int v = (self + d) % nthreads;
           WsWorker& victim = *ws[static_cast<std::size_t>(v)];
+          if (nest) {
+            const std::int32_t c =
+                nest->lanes[static_cast<std::size_t>(v)]->kids.steal();
+            if (c >= 0) {
+              ws[static_cast<std::size_t>(self)]->steals++;
+              return n + c;
+            }
+            if (c == WsDeque::kAbort) aborted = true;
+          }
           for (int b = nbands - 1; b >= 0; --b) {
             const std::int32_t r =
                 victim.bands[static_cast<std::size_t>(b)].steal();
@@ -630,24 +705,28 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
     {
       int rr = 0;
       for (TaskId t = n - 1; t >= 0; --t) {
-        if (g.num_predecessors(t) != 0) continue;
+        const TaskMeta& m = meta[static_cast<std::size_t>(t)];
+        if (m.npred != 0) continue;
         if (wd_on)
           state[static_cast<std::size_t>(t)].store(kStateReady,
                                                    std::memory_order_relaxed);
-        const TaskInfo& info = g.info(t);
-        const int w =
-            info.owner > 0 ? info.owner % nthreads : (rr++ % nthreads);
+        const int w = m.owner > 0 ? m.owner % nthreads : (rr++ % nthreads);
         // push_prestart: the worker std::threads have not been created
         // yet, so their construction publishes all of this at once — no
         // per-root store-load barrier.
         ws[static_cast<std::size_t>(w)]
-            ->bands[static_cast<std::size_t>(band_map.band(info.priority))]
+            ->bands[static_cast<std::size_t>(band_map.band(m.priority))]
             .push_prestart(t);
       }
     }
 
     auto worker = [&](int self) {
       WsWorker& me = *ws[static_cast<std::size_t>(self)];
+      // Install the nested-spawn context for the lifetime of this worker:
+      // any task body running here may open a TaskGroup and push children
+      // into this worker's kids deque.
+      detail::TaskContext ctx{nest.get(), self};
+      const detail::ContextGuard ctx_guard(nest ? &ctx : nullptr);
       // Completions are counted locally and flushed to the shared
       // `remaining` only when this worker runs dry — one atomic RMW per
       // dry spell instead of one per task. Correct because the global
@@ -655,6 +734,11 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
       // run might be over, and both of those pass through a failed
       // find_work. Every park below is preceded by a flush.
       long long local_done = 0;
+      // Wake-futility backoff state (see kFutileWakeLimit above):
+      // `probing` marks the find_work attempt right after a wake, so a
+      // failed probe can be charged as a futile wake.
+      int futile = 0;
+      bool probing = false;
       const auto flush = [&]() -> bool {  // true: this flush ended the run
         if (local_done == 0) return false;
         const int prev = remaining.fetch_sub(static_cast<int>(local_done),
@@ -678,7 +762,12 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
           // stages, panel barriers) the gap between releases is shorter
           // than a sleep/wake round trip, so paying a few yields here
           // avoids a futex wake plus two context switches per phase.
-          for (int spin = 0; spin < 64 && task < 0; ++spin) {
+          // NOT while backing off: on an oversubscribed CPU each yield
+          // with another runnable thread is a forced context switch, so a
+          // worker that keeps probing-and-yielding never reaches the park
+          // below and bleeds the busy worker's timeslices all run long —
+          // exactly the fork-join pathology the backoff exists to stop.
+          for (int spin = 0; spin < 64 && task < 0 && futile == 0; ++spin) {
             if (all_done.load(std::memory_order_acquire) ||
                 cancelled.load(std::memory_order_acquire))
               return;
@@ -687,53 +776,132 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
           }
         }
         if (task < 0) {
-          // Out of work. Advertise idleness FIRST, then re-scan: a push
-          // that raced with the first scan either happened before the bit
-          // became visible (this second scan finds it) or after (the
-          // pusher sees the bit and wakes us). seq_cst on both sides
-          // makes the two cases exhaustive — no lost wakeup.
-          idle.set(self);
-          task = find_work(self);
-          if (task < 0) {
+          if (probing) {
+            // The wake that preceded this scan delivered nothing.
+            probing = false;
+            ++futile;
+          }
+          if (futile < kFutileWakeLimit) {
+            // Out of work. Advertise idleness FIRST, then re-scan: a push
+            // that raced with the first scan either happened before the
+            // bit became visible (this second scan finds it) or after
+            // (the pusher sees the bit and wakes us). seq_cst on both
+            // sides makes the two cases exhaustive — no lost wakeup.
+            idle.set(self);
+            task = find_work(self);
+            if (task < 0) {
+              me.parks++;
+              std::unique_lock<std::mutex> lk(me.sleep_mu);
+              me.sleep_cv.wait(lk, [&] {
+                return me.signalled ||
+                       all_done.load(std::memory_order_acquire) ||
+                       cancelled.load(std::memory_order_acquire);
+              });
+              me.signalled = false;
+              lk.unlock();
+              idle.clear(self);
+              probing = true;
+              continue;
+            }
+            idle.clear(self);
+          } else {
+            // Backoff: our recent wakes were all futile, so stop
+            // advertising (pushers keep their futex syscalls) and nap on
+            // a growing timeout. Not advertised ⇒ nobody signals us for
+            // ordinary pushes, but all_done/cancelled still wake_all(),
+            // so termination never waits on a nap; at worst, real new
+            // work sits un-stolen for one nap interval before the expiry
+            // rescan below finds it and starts decaying the backoff.
             me.parks++;
+            const int shift = std::min(futile - kFutileWakeLimit, 6);
             std::unique_lock<std::mutex> lk(me.sleep_mu);
-            me.sleep_cv.wait(lk, [&] {
-              return me.signalled ||
-                     all_done.load(std::memory_order_acquire) ||
-                     cancelled.load(std::memory_order_acquire);
-            });
+            me.sleep_cv.wait_for(
+                lk, std::chrono::microseconds(kNapBaseUs << shift), [&] {
+                  return me.signalled ||
+                         all_done.load(std::memory_order_acquire) ||
+                         cancelled.load(std::memory_order_acquire);
+                });
             me.signalled = false;
             lk.unlock();
-            idle.clear(self);
+            probing = true;
             continue;
           }
-          idle.clear(self);
         }
 
-        if (!run_task(task, self)) return;
+        // Work in hand: decay the backoff by one step instead of
+        // resetting it. A single hit from a nap-expiry rescan (stealing
+        // the one task a phase briefly exposes) must not re-enter the
+        // advertise/wake/probe cycle that just proved futile — only a
+        // streak of consecutive successful finds, i.e. a genuine supply
+        // of stealable work, walks the worker back to eager wakes.
+        if (futile > 0) --futile;
+        probing = false;
 
-        // Remember who touched the output tile, then release successors —
-        // no lock anywhere on this path.
-        const int slot = slot_of(g.info(task));
-        if (slot >= 0)
-          last_writer[static_cast<std::size_t>(slot)].store(
-              self, std::memory_order_relaxed);
-        int pushed = 0;
-        for (const TaskId s : g.successors(task)) {
-          if (pending[static_cast<std::size_t>(s)].fetch_sub(
-                  1, std::memory_order_acq_rel) == 1)
-            pushed += push_ready(self, s);
+        if (nest && task >= n) {
+          // A child task: raw body, no graph ceremony (no trace span, no
+          // completion count, no release loop — the parent's sync() is
+          // the join point).
+          nest->run_child(task - n);
+          continue;
         }
-        // This worker pops one of its fresh pushes itself; the surplus can
-        // feed idle workers, one targeted wakeup each. Keying wakes off
-        // this release (not total deque backlog) is safe: a worker only
-        // parks after its steal scan saw every deque empty, so any backlog
-        // beyond these pushes was already visible to — and declined by —
-        // every currently-idle worker. It also means a pure task chain
-        // (pushed == 1) never touches the wake path at all.
-        for (int i = 1; i < pushed && wake_one_idle(self); ++i) {
+
+        // Run-on-finisher: run the task, and as long as it releases
+        // exactly one successor, keep executing the released task right
+        // here — a serial dependency chain becomes a loop of plain calls
+        // with no deque round trip, no divert and no wakeup per hop. The
+        // chain breaks on fan-out (>1 released), a sink (0 released), the
+        // depth cap, or cancellation.
+        int chain_depth = 0;
+        for (;;) {
+          if (!run_task(task, self)) return;
+
+          // Remember who touched the output tile, then release
+          // successors — no lock anywhere on this path.
+          const int slot = slot_of(task);
+          if (slot >= 0)
+            last_writer[static_cast<std::size_t>(slot)].store(
+                self, std::memory_order_relaxed);
+          TaskId sole = -1;
+          int released = 0;
+          int pushed = 0;
+          for (const TaskId s : g.successors(task)) {
+            if (pending[static_cast<std::size_t>(s)].fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+              if (++released == 1) {
+                sole = s;
+              } else {
+                if (sole >= 0) {
+                  pushed += push_ready(self, sole, /*allow_divert=*/true);
+                  sole = -1;
+                }
+                pushed += push_ready(self, s, /*allow_divert=*/true);
+              }
+            }
+          }
+          ++local_done;
+          if (sole < 0) {
+            // Fan-out (or sink). This worker pops one of its fresh pushes
+            // itself; the surplus can feed idle workers, one targeted
+            // wakeup each. Keying wakes off this release (not total deque
+            // backlog) is safe: a worker only parks after its steal scan
+            // saw every deque empty, so any backlog beyond these pushes
+            // was already visible to — and declined by — every
+            // currently-idle worker. A sole-released successor never
+            // reaches the wake path at all: it is about to run inline (or
+            // be re-popped by this same worker at the depth cap), so a
+            // notify_one for it could only buy a futile wake.
+            for (int i = 1; i < pushed && wake_one_idle(self); ++i) {}
+            break;
+          }
+          if (chain_depth >= kInlineChainMax ||
+              cancelled.load(std::memory_order_acquire)) {
+            push_ready(self, sole, /*allow_divert=*/false);
+            break;
+          }
+          me.inline_runs++;
+          ++chain_depth;
+          task = sole;
         }
-        ++local_done;
       }
     };
 
@@ -747,6 +915,12 @@ ExecResult execute(TaskGraph& g, int nthreads, const ExecOptions& opts) {
       result.sched.diverted += w->diverted;
       result.sched.wakeups += w->wakeups;
       result.sched.parks += w->parks;
+      result.sched.inline_runs += w->inline_runs;
+      result.sched.divert_suppressed += w->divert_suppressed;
+    }
+    if (nest) {
+      for (const auto& lane : nest->lanes)
+        result.sched.nested_spawned += lane->spawned;
     }
   }
 

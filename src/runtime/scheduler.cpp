@@ -46,9 +46,12 @@ BandMap BandMap::from_graph(const TaskGraph& g) {
   BandMap m;
   const int n = g.size();
   if (n == 0) return m;
-  m.lo_ = m.hi_ = g.info(0).priority;
+  // Sweep the dense metadata array, not the fat Node records: this runs
+  // once per execute() and at 10^6 tasks the difference is tens of ms.
+  const std::vector<TaskMeta>& meta = g.meta();
+  m.lo_ = m.hi_ = meta[0].priority;
   for (TaskId t = 1; t < n; ++t) {
-    const double p = g.info(t).priority;
+    const double p = meta[static_cast<std::size_t>(t)].priority;
     if (p < m.lo_) m.lo_ = p;
     if (p > m.hi_) m.hi_ = p;
   }

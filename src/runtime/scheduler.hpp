@@ -82,6 +82,18 @@ struct SchedStats {
   long long diverted = 0;          ///< releases routed to the locality hint
   long long wakeups = 0;           ///< targeted single-worker wakeups
   long long parks = 0;             ///< times a worker went to sleep
+  /// Run-on-finisher: sole-released successors executed inline on the
+  /// finishing worker instead of round-tripping through a deque. A serial
+  /// chain should show ~every non-root task here.
+  long long inline_runs = 0;
+  /// Ready pushes that skipped the locality-divert heuristic because they
+  /// broke an inline chain (depth cap / cancellation): scattering a chain
+  /// task to another worker's inbox would just resume the ping-pong the
+  /// inline path exists to kill.
+  long long divert_suppressed = 0;
+  /// Child tasks pushed into worker deques by running parents (nested
+  /// task parallelism; pool-dry inline fallbacks are not counted).
+  long long nested_spawned = 0;
 };
 
 }  // namespace ptlr::rt

@@ -13,13 +13,15 @@ void TaskGraph::add_edge(TaskId from, TaskId to) {
   // most recent edges is cheaper than a per-node hash set.
   if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
   succ.push_back(to);
-  nodes_[static_cast<std::size_t>(to)].npred++;
+  meta_[static_cast<std::size_t>(to)].npred++;
 }
 
 TaskId TaskGraph::add_task(TaskInfo info, std::span<const DataKey> reads,
                            std::span<const DataKey> writes) {
   const auto id = static_cast<TaskId>(nodes_.size());
-  nodes_.push_back(Node{std::move(info), {}, 0});
+  meta_.push_back(TaskMeta{info.priority, info.ti, info.tj, info.owner, 0});
+  if (info.ti >= 0 && info.tj >= 0) ++ntiled_;
+  nodes_.push_back(Node{std::move(info), {}});
 
   for (const DataKey k : reads) {
     LastAccess& la = last_[k];
@@ -64,10 +66,10 @@ void TaskGraph::validate() const {
     }
   }
   for (std::size_t t = 0; t < nodes_.size(); ++t) {
-    PTLR_CHECK(indegree[t] == nodes_[t].npred,
+    PTLR_CHECK(indegree[t] == meta_[t].npred,
                "task \"" + nodes_[t].info.name + "\" (id " +
                    std::to_string(t) + ") expects " +
-                   std::to_string(nodes_[t].npred) +
+                   std::to_string(meta_[t].npred) +
                    " predecessors but has " + std::to_string(indegree[t]) +
                    " incoming edges");
   }

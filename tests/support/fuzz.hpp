@@ -44,6 +44,18 @@ class FuzzProgram {
   /// the dense band so priority inversions cross the band boundary.
   static FuzzProgram band_cholesky(int ntiles, int band);
 
+  /// Random DAG like random(), but ~60% of tasks additionally spawn
+  /// 1..max_children child tasks (each with a ~30% chance of one
+  /// grandchild) through rt::TaskGroup from inside their body. Children
+  /// read cells the parent's graph footprint pins stable and write
+  /// dedicated private cells, so their effects are schedule-independent
+  /// and the insertion-order oracle stays exact whether spawns run
+  /// inline (serial/central contexts) or on stolen workers (ws engine).
+  /// The parent declares every descendant's footprint in its own graph
+  /// keys, so no other graph task can race the children.
+  static FuzzProgram nested(Rng& rng, int ntasks, int nkeys,
+                            int max_children);
+
   FuzzProgram(const FuzzProgram&) = delete;
   FuzzProgram& operator=(const FuzzProgram&) = delete;
   FuzzProgram(FuzzProgram&&) noexcept;
@@ -73,11 +85,27 @@ class FuzzProgram {
     std::vector<int> writes;
   };
 
+  /// One nested child of a task body: its footprint, a global slot (its
+  /// run-count index), a pseudo task id feeding the arithmetic (disjoint
+  /// from all graph TaskIds), and optional grandchildren spawned from
+  /// inside the child.
+  struct ChildOp {
+    Op op;
+    int slot = 0;
+    int pseudo_id = 0;
+    std::vector<ChildOp> kids;
+  };
+
+  /// Per-child execution counts (indexed by ChildOp::slot) accumulated
+  /// since the last reset(). Empty for shapes without nested children.
+  [[nodiscard]] std::vector<long long> child_runs() const;
+
  private:
   struct State;  // ops + cells + run counters, stable address for bodies
 
   FuzzProgram(int nkeys, int ntasks_hint);
   rt::TaskId add_op(rt::TaskInfo info, Op op);
+  rt::TaskId add_op(rt::TaskInfo info, Op op, std::vector<ChildOp> children);
 
   rt::TaskGraph graph_;
   std::unique_ptr<State> state_;

@@ -82,6 +82,20 @@ TEST_P(PerturbFuzz, BandCholeskyShapeMatchesOracle) {
     run_and_check(p, nthreads, perturbed(seed()));
 }
 
+TEST_P(PerturbFuzz, NestedShapeMatchesOracle) {
+  // Tasks spawning child subgraphs through rt::TaskGroup: chaos mode runs
+  // on the central engine, where no worker context is installed and every
+  // spawn degrades to an inline call — the oracle and the exactly-once
+  // contract must hold there just as on the ws deques.
+  Rng rng(seed());
+  auto p = FuzzProgram::nested(rng, 100, 10, 4);
+  for (const int nthreads : {1, 2, 4}) {
+    run_and_check(p, nthreads, perturbed(seed()));
+    EXPECT_EQ(check_ran_exactly_once(p.child_runs()), "")
+        << "child counts at " << nthreads << " threads";
+  }
+}
+
 TEST_P(PerturbFuzz, UnperturbedExecutorMatchesOracle) {
   Rng rng(seed() + 500);
   auto p = FuzzProgram::random(rng, 120, 10);

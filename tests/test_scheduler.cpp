@@ -6,6 +6,7 @@
 // ThreadSanitizer and AddressSanitizer via the preset label filters.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -19,7 +20,9 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/cholesky.hpp"
+#include "dense/blas.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/nested.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/ws_deque.hpp"
 #include "support/fuzz.hpp"
@@ -283,6 +286,20 @@ TEST_P(WsFuzz, BandCholeskyShapeMatchesOracle) {
     run_and_check(p, nthreads, ws_options());
 }
 
+TEST_P(WsFuzz, NestedShapeMatchesOracle) {
+  // Tasks that spawn random child subgraphs through rt::TaskGroup: the
+  // cells must still match the insertion-order oracle bitwise, and every
+  // child must run exactly once, whether the children get stolen or run
+  // on the spawning worker.
+  Rng rng(seed());
+  auto p = FuzzProgram::nested(rng, 100, 10, 4);
+  for (const int nthreads : {2, 4}) {
+    run_and_check(p, nthreads, ws_options());
+    EXPECT_EQ(check_ran_exactly_once(p.child_runs()), "")
+        << "child counts at " << nthreads << " threads";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, WsFuzz, ::testing::Range(1, 9));
 
 TEST(WsScheduler, StealHeavyStressStealsAndStaysCorrect) {
@@ -364,6 +381,100 @@ TEST(WsScheduler, StealHeavyStressStealsAndStaysCorrect) {
     EXPECT_GT(out[static_cast<std::size_t>(i)], 0.0) << "spinner " << i;
 }
 
+// ----------------------------------------------- run-on-finisher chain --
+
+TEST(WsScheduler, SerialChainRunsInlineWithoutWakeups) {
+  // A pure single-successor chain is the worst case for the old release
+  // path (one deque round trip + possible divert + wakeup per hop) and
+  // the best case for run-on-finisher: every hop but the depth-cap breaks
+  // must become a plain function call. The counter math is deterministic
+  // regardless of which worker ends up driving the chain: a segment is
+  // 1 popped/stolen task + kInlineChainMax inlined successors, so 1000
+  // tasks split as 257 + 257 + 257 + 229 — 996 inline runs and 3
+  // suppressed diverts — and no release ever wakes anyone, because a sole
+  // successor is either inlined or (at a break) pushed for the same
+  // worker to pop back.
+  constexpr int kN = 1000;
+  rt::TaskGraph g;
+  std::atomic<long long> ran{0};
+  std::vector<rt::DataKey> prev;
+  for (int i = 0; i < kN; ++i) {
+    rt::TaskInfo t;
+    t.name = "c";
+    t.fn = [&ran] { ran.fetch_add(1, std::memory_order_relaxed); };
+    const std::vector<rt::DataKey> out{
+        rt::make_key(1, static_cast<std::uint32_t>(i), 0)};
+    g.add_task(std::move(t), prev, out);
+    prev = out;
+  }
+  const auto res = rt::execute(g, 2, ws_options());
+  EXPECT_EQ(ran.load(), kN);
+  EXPECT_EQ(check_happens_before(g, res.trace), "");
+  EXPECT_EQ(res.sched.scheduler, rt::SchedulerKind::kWorkStealing);
+  EXPECT_EQ(res.sched.inline_runs, 996);
+  EXPECT_EQ(res.sched.divert_suppressed, 3);
+  EXPECT_EQ(res.sched.wakeups, 0);
+}
+
+// ------------------------------------------------ nested child tasks --
+
+TEST(WsScheduler, LargeGemmSpawnsChildrenAndStaysBitwise) {
+  // A graph task running a dense kernel above the 64^3 volume cutoff must
+  // fan out child tasks on the ws engine, and the result must be bitwise
+  // identical to the fat serial call (branch-stable decomposition), with
+  // PTLR_NESTED=off restoring the serial path exactly.
+  const int n = 256;
+  dense::Matrix a(n, n), b(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      a(i, j) = 1.0 + 0.25 * std::sin(0.01 * i + 0.02 * j);
+      b(i, j) = 0.5 + 0.125 * std::cos(0.015 * i - 0.01 * j);
+    }
+  // Serial oracle: no worker context on this thread, so gemm takes the
+  // fat single-call branch.
+  dense::Matrix ref(n, n);
+  dense::gemm(dense::Trans::N, dense::Trans::N, 1.0, a.view(), b.view(),
+              0.0, ref.view());
+
+  auto run_graph = [&](dense::Matrix& c) {
+    rt::TaskGraph g;
+    rt::TaskInfo t;
+    t.name = "gemm";
+    t.fn = [&] {
+      dense::gemm(dense::Trans::N, dense::Trans::N, 1.0, a.view(), b.view(),
+                  0.0, c.view());
+    };
+    g.add_task(std::move(t), {}, {{rt::make_key(0, 0, 0)}});
+    return rt::execute(g, 2, ws_options());
+  };
+  const auto expect_bitwise = [&](const dense::Matrix& c, const char* what) {
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        ASSERT_EQ(std::memcmp(&c(i, j), &ref(i, j), sizeof(double)), 0)
+            << what << " diverged at (" << i << "," << j << ")";
+  };
+  {
+    dense::Matrix c(n, n);
+    const auto res = run_graph(c);
+    EXPECT_EQ(res.sched.scheduler, rt::SchedulerKind::kWorkStealing);
+    EXPECT_GT(res.sched.nested_spawned, 0);
+    expect_bitwise(c, "nested gemm");
+  }
+  {
+    ScopedEnv off("PTLR_NESTED", "off");
+    dense::Matrix c(n, n);
+    const auto res = run_graph(c);
+    EXPECT_EQ(res.sched.nested_spawned, 0);
+    expect_bitwise(c, "PTLR_NESTED=off gemm");
+  }
+}
+
+TEST(NestedEnv, RejectsTypos) {
+  // Same contract as PTLR_SCHED: a typo must not silently flip the mode.
+  ScopedEnv env("PTLR_NESTED", "offf");
+  EXPECT_THROW(rt::nested_enabled(), Error);
+}
+
 // --------------------------------------- resilience contracts under ws --
 
 namespace {
@@ -423,6 +534,81 @@ TEST(WsScheduler, FaultRecoveryAccountingIsExact) {
   for (int i = 0; i < n; ++i)
     EXPECT_EQ(sg.data[static_cast<std::size_t>(i)],
               2.0 * static_cast<double>(i) + 1.0);
+}
+
+TEST(WsScheduler, ChildFaultRollupAccountingIsExact) {
+  // Parents spawn children through rt::TaskGroup; fault injection poisons
+  // the parent's output AFTER the body (so the children have already run)
+  // and the finite check converts that into a retry. The contract: the
+  // fork/join scope is part of the parent's attempt — restore rolls the
+  // slot back, the retry re-runs the whole body including every child
+  // (exactly 2 runs per child: attempt 0 + the recovery attempt), and the
+  // recovered values are exact.
+  constexpr int kN = 16;
+  constexpr int kKids = 3;
+  std::vector<double> data(kN, 0.0);
+  std::vector<std::array<double, kKids>> partials(kN);
+  std::vector<std::atomic<long long>> kid_runs(kN);
+  for (auto& c : kid_runs) c.store(0);
+  rt::TaskGraph g;
+  for (int i = 0; i < kN; ++i) {
+    rt::TaskInfo t;
+    t.name = "parent" + std::to_string(i);
+    double* slot = &data[static_cast<std::size_t>(i)];
+    auto* part = &partials[static_cast<std::size_t>(i)];
+    auto* runs = &kid_runs[static_cast<std::size_t>(i)];
+    t.fn = [slot, part, runs, i] {
+      *slot = 1.0;
+      rt::TaskGroup tg;
+      for (int c = 0; c < kKids; ++c) {
+        tg.spawn([part, runs, i, c] {
+          runs->fetch_add(1, std::memory_order_relaxed);
+          (*part)[static_cast<std::size_t>(c)] =
+              0.5 * static_cast<double>(i + 1) + static_cast<double>(c);
+        });
+      }
+      tg.sync();
+      for (int c = 0; c < kKids; ++c)
+        *slot += (*part)[static_cast<std::size_t>(c)];
+    };
+    rt::TaskOutput out;
+    out.save = [slot] {
+      std::vector<char> b(sizeof(double));
+      std::memcpy(b.data(), slot, sizeof(double));
+      return b;
+    };
+    out.restore = [slot](const std::vector<char>& b) {
+      if (b.size() == sizeof(double))
+        std::memcpy(slot, b.data(), sizeof(double));
+    };
+    out.finite = [slot] { return std::isfinite(*slot); };
+    out.poison = [slot](std::uint64_t) {
+      *slot = std::numeric_limits<double>::quiet_NaN();
+      return true;
+    };
+    t.outputs.push_back(std::move(out));
+    g.add_task(std::move(t), {},
+               {{rt::make_key(0, static_cast<std::uint32_t>(i), 0)}});
+  }
+  auto opts = ws_options();
+  opts.faults = resil::FaultConfig::with_seed(11);
+  opts.faults.task_exception_probability = 0.0;
+  opts.faults.alloc_failure_probability = 0.0;
+  opts.faults.poison_probability = 1.0;
+  opts.retry.backoff_us = 1;
+  const auto res = rt::execute(g, 4, opts);
+  EXPECT_EQ(res.sched.scheduler, rt::SchedulerKind::kWorkStealing);
+  EXPECT_EQ(res.recovery.faults_injected(), kN);
+  EXPECT_EQ(res.recovery.faults_injected(), res.recovery.retries());
+  EXPECT_EQ(res.recovery.retries(), res.recovery.tasks_recovered());
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(kid_runs[static_cast<std::size_t>(i)].load(), 2 * kKids)
+        << "parent " << i;
+    double want = 1.0;
+    for (int c = 0; c < kKids; ++c)
+      want += 0.5 * static_cast<double>(i + 1) + static_cast<double>(c);
+    EXPECT_EQ(data[static_cast<std::size_t>(i)], want) << "parent " << i;
+  }
 }
 
 TEST(WsScheduler, WatchdogConvertsStallIntoError) {
@@ -504,4 +690,56 @@ TEST(WsScheduler, BandCholeskyFactorBitwiseMatchesSequentialOracle) {
     EXPECT_EQ(max_diff, 0.0) << "ws factor diverged at " << threads
                              << " threads";
   }
+}
+
+TEST(WsScheduler, NestedBandCholeskyBitwiseMatchesSequentialOracle) {
+  // Flat (non-recursive) tile kernels at b = 192 put the dense-band
+  // macro-kernels above the 64^3 nested cutoff, so the ws runs exercise
+  // child-task fan-out from inside the task bodies. The factor must stay
+  // bitwise identical to the 1-thread sequential oracle — the nested
+  // decomposition is branch-stable by construction — with PTLR_NESTED=off
+  // (serial fat calls) and across an 8-seed chaos sweep (chaos downgrades
+  // to the central engine, where children run inline at the spawn point).
+  const int n = 384;
+  const int b = 192;
+  const double tol = 1e-6;
+  const auto prob =
+      stars::make_problem(stars::ProblemKind::kSt3DMatern, n, 17, 1e-1);
+  auto factor_once = [&](int threads, rt::SchedulerKind sched,
+                         std::uint64_t chaos_seed) {
+    auto a = tlr::TlrMatrix::from_problem_parallel(
+        prob, b, {tol, 1 << 30}, threads, 1, compress::Method::kCpqrSvd);
+    core::CholeskyConfig cfg;
+    cfg.acc = {tol, 1 << 30};
+    cfg.band_size = 2;
+    cfg.nthreads = threads;
+    cfg.recursive_all = false;  // fat tile kernels: nesting parallelizes
+    cfg.perturb = chaos_seed != 0 ? rt::PerturbConfig::with_seed(chaos_seed)
+                                  : rt::PerturbConfig{};
+    cfg.faults = resil::FaultConfig{};
+    cfg.watchdog = resil::WatchdogConfig{};
+    cfg.sched = sched;
+    core::factorize(a, &prob, cfg);
+    return assemble_lower_factor(a);
+  };
+  const dense::Matrix ref = factor_once(1, rt::SchedulerKind::kCentral, 0);
+  const auto expect_same = [&](const dense::Matrix& got,
+                               const std::string& what) {
+    double max_diff = 0.0;
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        max_diff = std::max(max_diff, std::abs(got(i, j) - ref(i, j)));
+    EXPECT_EQ(max_diff, 0.0) << what << " diverged from the oracle";
+  };
+  for (const int threads : {2, 4})
+    expect_same(factor_once(threads, rt::SchedulerKind::kWorkStealing, 0),
+                "ws nested at " + std::to_string(threads) + " threads");
+  {
+    ScopedEnv off("PTLR_NESTED", "off");
+    expect_same(factor_once(2, rt::SchedulerKind::kWorkStealing, 0),
+                "PTLR_NESTED=off");
+  }
+  for (std::uint64_t s = 1; s <= 8; ++s)
+    expect_same(factor_once(4, rt::SchedulerKind::kWorkStealing, s),
+                "chaos seed " + std::to_string(s));
 }

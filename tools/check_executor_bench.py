@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate the executor scheduler benchmark (bench/bench_executor.cpp).
+
+Reads a BENCH_executor.json artifact and fails when the work-stealing
+engine regresses against the central queue on the shapes the run-on-finisher
+release path owns:
+
+  * forkjoin_empty — the historical regression (0.58x central at 1M tasks
+    before the inline-chain release): every per-stage release used to pay a
+    futile wakeup; with depth-aware inlining ws must stay at parity.
+  * serial_chain   — zero available parallelism; every hop must be a plain
+    function call on the finishing worker, so ws below central here means
+    the inline path stopped firing.
+
+The gate is deliberately loose (default 0.95x: parity minus noise) because
+CI runners are shared; it catches the pathology class, not percent-level
+drift. The other shapes (independent_*) are reported but not gated — their
+headline speedups are judged from the artifact history.
+
+Usage:
+  check_executor_bench.py BENCH_executor.json [--min-x 0.95]
+
+Exits 0 when every gated (shape, ntasks, threads) point holds, 1 with a
+diagnostic otherwise — CI runs it in the bench-smoke job right after the
+benchmark.
+"""
+import argparse
+import json
+import sys
+
+GATED_SHAPES = ("forkjoin_empty", "serial_chain")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path")
+    ap.add_argument("--min-x", type=float, default=0.95,
+                    help="minimum acceptable ws/central speedup on the "
+                         "gated shapes (default: %(default)s)")
+    args = ap.parse_args()
+
+    with open(args.json_path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    speedups = doc.get("speedup_ws_over_central")
+    if not speedups:
+        print(f"FAILED: {args.json_path} has no speedup_ws_over_central "
+              "section", file=sys.stderr)
+        return 1
+
+    failures = []
+    gated_points = 0
+    for rec in speedups:
+        shape, x = rec.get("shape"), rec.get("x")
+        point = (f"{shape} ntasks={rec.get('ntasks')} "
+                 f"threads={rec.get('threads')}")
+        if shape in GATED_SHAPES:
+            gated_points += 1
+            verdict = "ok" if x >= args.min_x else "REGRESSED"
+            print(f"  [gate] {point}: ws/central = {x:.2f}x ({verdict})")
+            if x < args.min_x:
+                failures.append(f"{point}: {x:.2f}x < {args.min_x:.2f}x")
+        else:
+            print(f"  [info] {point}: ws/central = {x:.2f}x")
+
+    if gated_points == 0:
+        print("FAILED: no gated shapes present — did bench_executor drop "
+              "forkjoin_empty/serial_chain?", file=sys.stderr)
+        return 1
+    if failures:
+        print("FAILED: work-stealing engine regressed vs central:",
+              file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"OK: {gated_points} gated points at >= {args.min_x:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
