@@ -3,10 +3,12 @@
 #include <exception>
 #include <map>
 #include <set>
+#include <string>
 #include <thread>
 
 #include "common/timer.hpp"
 #include "hcore/kernels.hpp"
+#include "obs/trace.hpp"
 #include "tlr/io.hpp"
 
 namespace ptlr::core {
@@ -15,16 +17,15 @@ namespace {
 
 using rt::dist::make_tag;
 
-// One rank's view of the factorization: its owned tiles, the communicator
-// and the problem geometry.
+// One rank's view of the factorization, written against the transport
+// seam only: the same program runs over in-process rank threads and over
+// the socket mesh. `a` is the rank's replica; only tiles owned by
+// transport.rank() per `dist` are read/written.
 class RankProgram {
  public:
-  RankProgram(int rank, int nt, const rt::Distribution& dist,
-              rt::dist::Communicator& comm,
-              std::map<std::pair<int, int>, tlr::Tile>& store,
-              const compress::Accuracy& acc)
-      : rank_(rank), nt_(nt), dist_(dist), comm_(comm), store_(store),
-        acc_(acc) {}
+  RankProgram(rt::dist::Transport& t, int nt, const rt::Distribution& dist,
+              tlr::TlrMatrix& a, const compress::Accuracy& acc)
+      : t_(t), rank_(t.rank()), nt_(nt), dist_(dist), a_(a), acc_(acc) {}
 
   void run() {
     for (int k = 0; k < nt_; ++k) {
@@ -37,23 +38,38 @@ class RankProgram {
   [[nodiscard]] bool mine(int i, int j) const {
     return dist_.owner(i, j) == rank_;
   }
-  tlr::Tile& local(int i, int j) { return store_.at({i, j}); }
+  tlr::Tile& local(int i, int j) { return a_.at(i, j); }
+
+  // Observability: every kernel a rank executes becomes a task span in the
+  // rank's lane (worker = rank), so a traced distributed run shows the
+  // same timeline structure as the shared-memory executor. The hcore
+  // dispatch annotates the actual kernel class; no-op when tracing is off.
+  template <typename Body>
+  void traced(const char* op, int k, int i, int j, Body&& body) {
+    obs::task_begin();
+    body();
+    obs::task_end(std::string(op) + "(" + std::to_string(i) + "," +
+                      std::to_string(j) + ")",
+                  /*kind=*/-1, /*panel=*/k, i, j, /*worker=*/rank_,
+                  /*output_bytes=*/0);
+  }
 
   void broadcast(const tlr::Tile& t, std::uint64_t tag,
                  const std::set<int>& dests) {
     // One message per destination rank — the PTG collective semantics.
     const std::vector<char> bytes = tlr::tile_to_bytes(t);
     for (const int d : dests) {
-      if (d != rank_) comm_.send(rank_, d, tag, bytes);
+      if (d != rank_) t_.send(d, tag, bytes);
     }
   }
 
   void factor_panel(int k) {
     const std::uint64_t diag_tag = make_tag(0, static_cast<std::uint32_t>(k),
                                             k, k);
+    const int diag_owner = dist_.owner(k, k);
     // POTRF on the diagonal owner, then broadcast down the panel.
     if (mine(k, k)) {
-      hcore::potrf(local(k, k));
+      traced("potrf", k, k, k, [&] { hcore::potrf(local(k, k)); });
       std::set<int> dests;
       for (int i = k + 1; i < nt_; ++i) dests.insert(dist_.owner(i, k));
       broadcast(local(k, k), diag_tag, dests);
@@ -70,7 +86,7 @@ class RankProgram {
     if (mine(k, k)) {
       diag = &local(k, k);
     } else {
-      diag_copy = tlr::tile_from_bytes(comm_.recv(rank_, diag_tag));
+      diag_copy = tlr::tile_from_bytes(t_.recv(diag_tag, diag_owner));
       diag = &diag_copy;
     }
 
@@ -78,7 +94,7 @@ class RankProgram {
     // rank whose trailing updates read it.
     for (int i = k + 1; i < nt_; ++i) {
       if (!mine(i, k)) continue;
-      hcore::trsm(*diag, local(i, k));
+      traced("trsm", k, i, k, [&] { hcore::trsm(*diag, local(i, k)); });
       std::set<int> dests;
       dests.insert(dist_.owner(i, i));                    // SYRK
       for (int j = k + 1; j < i; ++j)
@@ -100,11 +116,10 @@ class RankProgram {
       auto it = cache.find(i);
       if (it == cache.end()) {
         it = cache
-                 .emplace(i, tlr::tile_from_bytes(comm_.recv(
-                                 rank_,
+                 .emplace(i, tlr::tile_from_bytes(t_.recv(
                                  make_tag(1, static_cast<std::uint32_t>(k),
-                                          static_cast<std::uint32_t>(i),
-                                          k))))
+                                          static_cast<std::uint32_t>(i), k),
+                                 dist_.owner(i, k))))
                  .first;
       }
       return it->second;
@@ -114,7 +129,7 @@ class RankProgram {
       for (int m = n; m < nt_; ++m) {
         if (!mine(m, n)) continue;
         if (m == n) {
-          hcore::syrk(panel(m), local(m, m));
+          traced("syrk", k, m, m, [&] { hcore::syrk(panel(m), local(m, m)); });
         } else {
           // Same per-site seeding as the shared-memory graph builder so a
           // distributed run's randomized recompressions match it tile for
@@ -126,17 +141,18 @@ class RankProgram {
                       static_cast<std::uint64_t>(nt_) +
                   static_cast<std::uint64_t>(n),
               static_cast<std::uint64_t>(k));
-          hcore::gemm(panel(m), panel(n), local(m, n), acc);
+          traced("gemm", k, m, n,
+                 [&] { hcore::gemm(panel(m), panel(n), local(m, n), acc); });
         }
       }
     }
   }
 
+  rt::dist::Transport& t_;
   int rank_;
   int nt_;
   const rt::Distribution& dist_;
-  rt::dist::Communicator& comm_;
-  std::map<std::pair<int, int>, tlr::Tile>& store_;
+  tlr::TlrMatrix& a_;
   compress::Accuracy acc_;
 };
 
@@ -148,32 +164,27 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
   const int nt = a.nt();
   const int nranks = dist.nproc();
 
-  // Scatter: move the tiles into per-rank stores.
-  std::vector<std::map<std::pair<int, int>, tlr::Tile>> stores(
-      static_cast<std::size_t>(nranks));
-  for (int i = 0; i < nt; ++i)
-    for (int j = 0; j <= i; ++j) {
-      stores[static_cast<std::size_t>(dist.owner(i, j))][{i, j}] =
-          std::move(a.at(i, j));
-    }
-
   const resil::RecoveryStats recovery_before = resil::snapshot();
   rt::dist::Communicator comm(nranks);
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(nranks));
   WallTimer timer;
   {
+    // Rank threads share the one matrix replica: owners write disjoint
+    // tiles, and non-owned inputs only ever arrive as messages — the same
+    // isolation discipline the multi-process backend gets from real
+    // address spaces.
     std::vector<std::thread> ranks;
     ranks.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
       ranks.emplace_back([&, r] {
+        rt::dist::SimTransport transport(comm, r);
         try {
-          RankProgram prog(r, nt, dist, comm,
-                           stores[static_cast<std::size_t>(r)], acc);
+          RankProgram prog(transport, nt, dist, a, acc);
           prog.run();
         } catch (...) {
           errors[static_cast<std::size_t>(r)] = std::current_exception();
-          comm.abort();  // wake peers blocked on recv
+          transport.abort();  // wake peers blocked on recv
         }
       });
     }
@@ -185,14 +196,28 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
-
-  // Gather the factored tiles back.
-  for (int i = 0; i < nt; ++i)
-    for (int j = 0; j <= i; ++j) {
-      a.at(i, j) = std::move(
-          stores[static_cast<std::size_t>(dist.owner(i, j))].at({i, j}));
-    }
   result.comm = comm.stats();
+  return result;
+}
+
+DistCholeskyResult distributed_factorize_rank(tlr::TlrMatrix& a,
+                                              const rt::Distribution& dist,
+                                              const compress::Accuracy& acc,
+                                              rt::dist::Transport& transport) {
+  const resil::RecoveryStats recovery_before = resil::snapshot();
+  WallTimer timer;
+  try {
+    RankProgram prog(transport, a.nt(), dist, a, acc);
+    prog.run();
+    transport.drain();
+  } catch (...) {
+    transport.abort();  // wake local receivers, tear the mesh down
+    throw;
+  }
+  DistCholeskyResult result;
+  result.seconds = timer.seconds();
+  result.recovery = resil::diff(recovery_before, resil::snapshot());
+  result.comm = transport.stats();
   return result;
 }
 

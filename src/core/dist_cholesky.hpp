@@ -1,7 +1,7 @@
-// Distributed-memory BAND-DENSE-TLR Cholesky over the in-process
-// communicator: N ranks with private tile storage run the right-looking
-// factorization owner-computes, exchanging factored tiles as serialized
-// messages (the REMOTE dataflow of Section VII-A made concrete):
+// Distributed-memory BAND-DENSE-TLR Cholesky over the transport seam:
+// N ranks with private tile storage run the right-looking factorization
+// owner-computes, exchanging factored tiles as serialized messages (the
+// REMOTE dataflow of Section VII-A made concrete):
 //
 //   POTRF(k)   on owner(k,k), then L(k,k)  → ranks owning panel k tiles;
 //   TRSM(i,k)  on owner(i,k), then A(i,k)  → ranks owning the trailing
@@ -10,14 +10,18 @@
 //   SYRK/GEMM  on the owner of the updated tile, reading received copies.
 //
 // Numerically identical to the shared-memory factorization (same kernel
-// sequence per tile), which the tests assert tile-by-tile. This layer is
-// the execution-fidelity counterpart of the timing-fidelity simulator.
+// sequence per tile), which the tests assert tile-by-tile. The rank
+// program is written against rt::dist::Transport only, so the same code
+// runs over the in-process Communicator (distributed_factorize, N rank
+// threads) and over the real socket mesh (distributed_factorize_rank, one
+// OS process per rank, see src/net and tools/ptlr-launch).
 #pragma once
 
 #include "compress/compress.hpp"
 #include "resilience/stats.hpp"
 #include "runtime/distribution.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/transport.hpp"
 #include "tlr/tlr_matrix.hpp"
 
 namespace ptlr::core {
@@ -32,11 +36,23 @@ struct DistCholeskyResult {
 };
 
 /// Factorize `a` in place with `nranks` ranks (one thread each) owning
-/// tiles per `dist`. The matrix is scattered to per-rank stores before and
-/// gathered back after. Kernels are the non-recursive hcore set; `acc`
-/// controls low-rank recompression as in the shared-memory path.
+/// tiles per `dist`, over the in-process transport. Kernels are the
+/// non-recursive hcore set; `acc` controls low-rank recompression as in
+/// the shared-memory path.
 DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
                                          const rt::Distribution& dist,
                                          const compress::Accuracy& acc);
+
+/// Run ONE rank of the factorization over `transport` — the entry point a
+/// rank process of the socket backend calls. `a` is this process's replica
+/// of the matrix: only the tiles `dist` assigns to transport.rank() are
+/// read as inputs and factored in place; every other tile is left
+/// untouched (its factored value lives in the owning process). Completes
+/// the transport's drain barrier before returning, so wire-level stats
+/// are final. Comm stats in the result are this endpoint's own sends.
+DistCholeskyResult distributed_factorize_rank(tlr::TlrMatrix& a,
+                                              const rt::Distribution& dist,
+                                              const compress::Accuracy& acc,
+                                              rt::dist::Transport& transport);
 
 }  // namespace ptlr::core

@@ -1,0 +1,433 @@
+#include "net/peer_mesh.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace ptlr::net {
+
+using Clock = std::chrono::steady_clock;
+using rt::dist::PeerState;
+
+namespace {
+
+std::string rank_str(int r) { return "rank " + std::to_string(r); }
+
+}  // namespace
+
+PeerMesh::PeerMesh(const NetConfig& cfg, rt::dist::Mailbox& inbox)
+    : cfg_(cfg), inbox_(inbox) {
+  peers_.resize(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r)
+    if (r != cfg_.rank) {
+      peers_[static_cast<std::size_t>(r)] = std::make_unique<Peer>();
+      peers_[static_cast<std::size_t>(r)]->rank = r;
+    }
+}
+
+PeerMesh::~PeerMesh() { close(); }
+
+Frame PeerMesh::handshake_read(int fd, FrameDecoder& dec,
+                               Clock::time_point dl) {
+  char buf[4096];
+  for (;;) {
+    if (auto f = dec.next()) return std::move(*f);
+    PTLR_CHECK(wait_readable(fd, dl),
+               "handshake timeout waiting for a HELLO frame");
+    const long r = recv_some(fd, buf, sizeof(buf));
+    if (r == 0)
+      throw Error("peer disconnected in the middle of the handshake");
+    PTLR_CHECK(r > 0, "handshake read failed");
+    dec.feed(buf, static_cast<std::size_t>(r));
+  }
+}
+
+void PeerMesh::validate_hello(const Frame& f, int expected_from) const {
+  PTLR_CHECK(f.type == FrameType::kHello,
+             "handshake: expected a HELLO frame, got frame type " +
+                 std::to_string(static_cast<int>(f.type)));
+  const Hello h = decode_hello(f);
+  PTLR_CHECK(h.protocol == kProtocolVersion,
+             "handshake: protocol version mismatch (peer speaks " +
+                 std::to_string(h.protocol) + ", this build speaks " +
+                 std::to_string(kProtocolVersion) + ")");
+  PTLR_CHECK(static_cast<int>(h.nranks) == cfg_.nranks,
+             "handshake: mesh size mismatch (peer was launched with " +
+                 std::to_string(h.nranks) + " ranks, this rank with " +
+                 std::to_string(cfg_.nranks) + ")");
+  PTLR_CHECK(h.build == build_hash(),
+             "handshake: build hash mismatch — the ranks were not launched "
+             "from the same binary build");
+  if (expected_from >= 0) {
+    PTLR_CHECK(f.from == expected_from,
+               "handshake: endpoint of " + rank_str(expected_from) +
+                   " answered as " + rank_str(f.from));
+  } else {
+    PTLR_CHECK(f.from > cfg_.rank && f.from < cfg_.nranks,
+               "handshake: inbound peer claims invalid " + rank_str(f.from));
+  }
+}
+
+void PeerMesh::connect() {
+  PTLR_CHECK(!connected_, "PeerMesh::connect() called twice");
+  connected_ = true;
+  if (cfg_.nranks == 1) return;
+
+  const auto dl = Clock::now() + cfg_.connect_timeout();
+  const Hello mine{kProtocolVersion, static_cast<std::uint32_t>(cfg_.nranks),
+                   build_hash()};
+  const std::vector<char> hello = encode_hello(mine, cfg_.rank);
+
+  // Listener first: a peer's connect() retries against our backlog, so
+  // binding before any outbound dial makes the rendezvous order-free.
+  if (cfg_.rank < cfg_.nranks - 1) listener_ = listen_endpoint(cfg_);
+
+  // Dial every lower rank; each unordered pair shares one stream.
+  for (int peer = 0; peer < cfg_.rank; ++peer) {
+    Peer& p = *peers_[static_cast<std::size_t>(peer)];
+    p.sock = connect_endpoint(cfg_, peer, dl);
+    PTLR_CHECK(send_all(p.sock.get(), hello.data(), hello.size()),
+               "handshake: sending HELLO to " + rank_str(peer) + " failed");
+    validate_hello(handshake_read(p.sock.get(), p.decoder, dl), peer);
+  }
+
+  // Accept every higher rank; they identify themselves in their HELLO.
+  for (int n = 0; n < cfg_.nranks - 1 - cfg_.rank; ++n) {
+    Fd fd = accept_endpoint(listener_, dl);
+    FrameDecoder dec;
+    const Frame f = handshake_read(fd.get(), dec, dl);
+    validate_hello(f, -1);
+    Peer& p = *peers_[static_cast<std::size_t>(f.from)];
+    PTLR_CHECK(!p.sock.valid(),
+               "handshake: " + rank_str(f.from) + " connected twice");
+    PTLR_CHECK(send_all(fd.get(), hello.data(), hello.size()),
+               "handshake: HELLO reply to " + rank_str(f.from) + " failed");
+    p.sock = std::move(fd);
+    p.decoder = std::move(dec);
+  }
+
+  for (auto& p : peers_)
+    if (p) start_session(*p);
+  rto_ = std::thread([this] { rto_loop(); });
+}
+
+void PeerMesh::start_session(Peer& p) {
+  p.sender = std::thread([this, &p] { sender_loop(p); });
+  p.receiver = std::thread([this, &p] { receiver_loop(p); });
+}
+
+void PeerMesh::enqueue(Peer& p, Frame f, bool retransmit, bool control) {
+  const std::size_t cost = kHeaderBytes + f.payload.size();
+  std::unique_lock<std::mutex> lk(p.mu);
+  if (!control) {
+    // Backpressure: cap the bytes parked for one peer. Control frames
+    // (ACK/BYE/retransmits) bypass the cap so the receiver and RTO loops
+    // can never block behind a full data queue.
+    p.cv_space.wait(lk, [&] {
+      return p.queued_bytes + cost <= cfg_.max_queue_bytes ||
+             closing_.load(std::memory_order_acquire) ||
+             p.state.load() == static_cast<int>(PeerState::kLost);
+    });
+    if (closing_.load(std::memory_order_acquire))
+      throw Error("send to " + rank_str(p.rank) + ": transport is closing");
+    if (p.state.load() == static_cast<int>(PeerState::kLost))
+      throw Error("send to " + rank_str(p.rank) + ": connection lost");
+  }
+  p.queued_bytes += cost;
+  p.queue.push_back(QueueItem{std::move(f), retransmit});
+  p.cv_send.notify_one();
+}
+
+void PeerMesh::send(int to, std::uint64_t tag, std::uint64_t id,
+                    std::vector<char> payload, bool drop_first_send,
+                    bool duplicate) {
+  PTLR_CHECK(to >= 0 && to < cfg_.nranks && to != cfg_.rank,
+             "PeerMesh::send: bad destination rank " + std::to_string(to));
+  Peer& p = *peers_[static_cast<std::size_t>(to)];
+
+  Frame f;
+  f.type = FrameType::kMsg;
+  f.from = cfg_.rank;
+  f.id = id;
+  f.tag = tag;
+  f.payload = std::move(payload);
+
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    Pending pend;
+    pend.frame = f;
+    pend.due = Clock::now() + std::chrono::milliseconds(cfg_.rto_ms);
+    pend.injected_drop = drop_first_send;
+    p.unacked.emplace(id, std::move(pend));
+  }
+  // An injected drop suppresses only the FIRST transmission: the frame
+  // stays unacked, so the RTO loop recovers it with a retransmission
+  // flagged kFlagDropRetransmit — a real drop recovered over a real wire.
+  if (!drop_first_send) {
+    if (duplicate) enqueue(p, f, /*retransmit=*/false, /*control=*/false);
+    enqueue(p, std::move(f), /*retransmit=*/false, /*control=*/false);
+  }
+}
+
+void PeerMesh::sender_loop(Peer& p) {
+  for (;;) {
+    QueueItem item;
+    {
+      std::unique_lock<std::mutex> lk(p.mu);
+      p.cv_send.wait(lk, [&] {
+        return !p.queue.empty() || closing_.load(std::memory_order_acquire);
+      });
+      if (closing_.load(std::memory_order_acquire)) return;
+      item = std::move(p.queue.front());
+      p.queue.pop_front();
+      p.queued_bytes -= kHeaderBytes + item.frame.payload.size();
+      p.cv_space.notify_all();
+      p.cv_state.notify_all();
+    }
+    const std::vector<char> bytes = encode_frame(item.frame);
+    if (!send_all(p.sock.get(), bytes.data(), bytes.size())) {
+      if (!closing_.load(std::memory_order_acquire))
+        mark_lost(p, "connection to " + rank_str(p.rank) +
+                         " lost (send failed)");
+      return;
+    }
+    if (item.frame.type == FrameType::kBye) {
+      std::lock_guard<std::mutex> lk(p.mu);
+      p.bye_sent = true;
+      p.cv_state.notify_all();
+    }
+    if (item.frame.type == FrameType::kMsg) {
+      const auto payload_bytes =
+          static_cast<long long>(item.frame.payload.size());
+      {
+        std::lock_guard<std::mutex> lk(p.mu);
+        p.stats.msgs_sent += 1;
+        p.stats.bytes_sent += payload_bytes;
+        if (item.retransmit) p.stats.retransmits += 1;
+      }
+      obs::record_net(item.retransmit ? obs::NetEvent::kRetransmit
+                                      : obs::NetEvent::kSend,
+                      cfg_.rank, p.rank, payload_bytes);
+    }
+  }
+}
+
+void PeerMesh::receiver_loop(Peer& p) {
+  std::vector<char> buf(64u << 10);
+  for (;;) {
+    const long r = recv_some(p.sock.get(), buf.data(), buf.size());
+    if (r <= 0) {
+      bool graceful;
+      {
+        std::lock_guard<std::mutex> lk(p.mu);
+        graceful = p.bye_received;
+      }
+      if (r == 0 && !graceful && !closing_.load(std::memory_order_acquire))
+        mark_lost(p, "connection to " + rank_str(p.rank) +
+                         " lost (socket closed without BYE)");
+      else if (r < 0 && !closing_.load(std::memory_order_acquire))
+        mark_lost(p, "connection to " + rank_str(p.rank) +
+                         " lost (read error)");
+      return;
+    }
+    try {
+      p.decoder.feed(buf.data(), static_cast<std::size_t>(r));
+      while (auto f = p.decoder.next()) dispatch(p, std::move(*f));
+    } catch (const Error& e) {
+      mark_lost(p, "wire error on the stream from " + rank_str(p.rank) +
+                       ": " + e.what());
+      return;
+    }
+  }
+}
+
+void PeerMesh::dispatch(Peer& p, Frame f) {
+  switch (f.type) {
+    case FrameType::kMsg: {
+      const auto payload_bytes = static_cast<long long>(f.payload.size());
+      {
+        std::lock_guard<std::mutex> lk(p.mu);
+        p.stats.msgs_recv += 1;
+        p.stats.bytes_recv += payload_bytes;
+      }
+      obs::record_net(obs::NetEvent::kRecv, p.rank, cfg_.rank,
+                      payload_bytes);
+      Frame ack;
+      ack.type = FrameType::kAck;
+      ack.from = cfg_.rank;
+      ack.id = f.id;
+      enqueue(p, std::move(ack), /*retransmit=*/false, /*control=*/true);
+      rt::dist::Envelope env;
+      env.id = f.id;
+      env.tag = f.tag;
+      env.recovered_drop = (f.flags & kFlagDropRetransmit) != 0;
+      env.payload = std::move(f.payload);
+      inbox_.deposit(std::move(env));
+      break;
+    }
+    case FrameType::kAck: {
+      std::lock_guard<std::mutex> lk(p.mu);
+      p.unacked.erase(f.id);
+      p.cv_state.notify_all();
+      break;
+    }
+    case FrameType::kBye: {
+      std::lock_guard<std::mutex> lk(p.mu);
+      p.bye_received = true;
+      int expected = static_cast<int>(PeerState::kConnected);
+      p.state.compare_exchange_strong(
+          expected, static_cast<int>(PeerState::kDraining));
+      p.cv_state.notify_all();
+      break;
+    }
+    case FrameType::kHello:
+      throw Error("unexpected HELLO after the handshake");
+  }
+}
+
+void PeerMesh::rto_loop() {
+  const auto rto = std::chrono::milliseconds(std::max<long long>(
+      1, cfg_.rto_ms));
+  while (!closing_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(rto / 2 + std::chrono::milliseconds(1));
+    const auto now = Clock::now();
+    for (auto& up : peers_) {
+      if (!up) continue;
+      Peer& p = *up;
+      std::lock_guard<std::mutex> lk(p.mu);
+      if (p.state.load() == static_cast<int>(PeerState::kLost)) continue;
+      for (auto& [id, pend] : p.unacked) {
+        if (pend.due > now) continue;
+        pend.due = now + std::chrono::milliseconds(cfg_.rto_ms);
+        Frame copy = pend.frame;
+        if (pend.injected_drop) copy.flags |= kFlagDropRetransmit;
+        p.queued_bytes += kHeaderBytes + copy.payload.size();
+        p.queue.push_back(QueueItem{std::move(copy), /*retransmit=*/true});
+        p.cv_send.notify_one();
+      }
+    }
+  }
+}
+
+void PeerMesh::mark_lost(Peer& p, const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.state.store(static_cast<int>(PeerState::kLost));
+    p.cv_send.notify_all();
+    p.cv_space.notify_all();
+    p.cv_state.notify_all();
+  }
+  inbox_.fail(why);
+}
+
+rt::dist::PeerState PeerMesh::peer_state(int peer) const {
+  if (peer < 0 || peer >= cfg_.nranks || peer == cfg_.rank ||
+      !peers_[static_cast<std::size_t>(peer)])
+    return PeerState::kConnected;
+  return static_cast<PeerState>(
+      peers_[static_cast<std::size_t>(peer)]->state.load());
+}
+
+void PeerMesh::begin_drain() {
+  if (cfg_.nranks == 1) return;
+  const auto dl = Clock::now() + cfg_.connect_timeout();
+  for (auto& up : peers_) {
+    if (!up) continue;
+    Peer& p = *up;
+    {
+      std::unique_lock<std::mutex> lk(p.mu);
+      const bool flushed = p.cv_state.wait_until(lk, dl, [&] {
+        return (p.queue.empty() && p.unacked.empty()) ||
+               p.state.load() == static_cast<int>(PeerState::kLost);
+      });
+      if (p.state.load() == static_cast<int>(PeerState::kLost))
+        throw Error("drain: connection to " + rank_str(p.rank) + " lost");
+      if (!flushed) {
+        std::ostringstream os;
+        os << "drain: timed out flushing to " << rank_str(p.rank) << " ("
+           << p.queue.size() << " queued, " << p.unacked.size()
+           << " unacked frames)";
+        throw Error(os.str());
+      }
+    }
+    Frame bye;
+    bye.type = FrameType::kBye;
+    bye.from = cfg_.rank;
+    enqueue(p, std::move(bye), /*retransmit=*/false, /*control=*/true);
+  }
+}
+
+void PeerMesh::drain() {
+  if (cfg_.nranks == 1) return;
+  begin_drain();
+  const auto dl = Clock::now() + cfg_.connect_timeout();
+  for (auto& up : peers_) {
+    if (!up) continue;
+    Peer& p = *up;
+    std::unique_lock<std::mutex> lk(p.mu);
+    // Both directions must settle: the peer's BYE arrived AND our own BYE
+    // left the socket — otherwise a fast peer could satisfy the receive
+    // half while our BYE still sits queued, and close() would drop it.
+    const bool done = p.cv_state.wait_until(lk, dl, [&] {
+      return (p.bye_received && p.bye_sent) ||
+             p.state.load() == static_cast<int>(PeerState::kLost);
+    });
+    if (p.state.load() == static_cast<int>(PeerState::kLost))
+      throw Error("drain: connection to " + rank_str(p.rank) +
+                  " lost before its BYE arrived");
+    if (!done)
+      throw Error("drain: timed out waiting for BYE from " +
+                  rank_str(p.rank));
+  }
+}
+
+void PeerMesh::close() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (joined_) return;
+  closing_.store(true, std::memory_order_release);
+  for (auto& up : peers_) {
+    if (!up) continue;
+    up->sock.shutdown_both();
+    std::lock_guard<std::mutex> plk(up->mu);
+    up->cv_send.notify_all();
+    up->cv_space.notify_all();
+    up->cv_state.notify_all();
+  }
+  for (auto& up : peers_) {
+    if (!up) continue;
+    if (up->sender.joinable()) up->sender.join();
+    if (up->receiver.joinable()) up->receiver.join();
+  }
+  if (rto_.joinable()) rto_.join();
+  listener_.reset();
+  joined_ = true;
+}
+
+PeerWireStats PeerMesh::peer_stats(int peer) const {
+  PeerWireStats out;
+  if (peer < 0 || peer >= cfg_.nranks || peer == cfg_.rank ||
+      !peers_[static_cast<std::size_t>(peer)])
+    return out;
+  Peer& p = *peers_[static_cast<std::size_t>(peer)];
+  std::lock_guard<std::mutex> lk(p.mu);
+  return p.stats;
+}
+
+PeerWireStats PeerMesh::total_stats() const {
+  PeerWireStats out;
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    const PeerWireStats s = peer_stats(r);
+    out.msgs_sent += s.msgs_sent;
+    out.bytes_sent += s.bytes_sent;
+    out.msgs_recv += s.msgs_recv;
+    out.bytes_recv += s.bytes_recv;
+    out.retransmits += s.retransmits;
+  }
+  return out;
+}
+
+}  // namespace ptlr::net

@@ -1,0 +1,152 @@
+// Socket-based peer mesh: one full-duplex stream per rank pair, with the
+// reliability mechanics the mailbox contract expects from a transport.
+//
+//   * rendezvous + handshake — rank i dials every j < i and accepts every
+//     j > i; both sides exchange HELLO (rank id, mesh size, protocol
+//     version, build hash) and refuse mismatches before any data flows;
+//   * one sender thread per peer draining a bounded byte queue
+//     (backpressure: a send blocks while the peer's queue is over budget);
+//   * one receiver thread per peer feeding decoded MSG frames straight
+//     into the rank's Mailbox, so dedup / retransmit accounting / deadline
+//     recv run unchanged over the wire;
+//   * positive acks + a retransmit (RTO) loop — every MSG is held until
+//     the peer acks its id; unacked frames are resent on a timer. An
+//     injected drop (resilience fault) suppresses only the FIRST
+//     transmission, so recovery exercises a real retransmission on a real
+//     wire; receivers dedup by envelope id as always;
+//   * wire-level stats per peer (frames/bytes in+out, retransmits),
+//     mirrored into the obs counters and trace layer (net_send/net_recv/
+//     net_retransmit instant events);
+//   * failure detection — EOF without a BYE marker, a decode error, or a
+//     handshake violation marks the peer kLost and fails the mailbox, so
+//     every blocked receiver on a survivor gets a clean ptlr::Error naming
+//     the dead peer instead of hanging.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace ptlr::net {
+
+/// Wire-level totals of one peer link (or the whole mesh, summed).
+/// msgs_* count MSG frames only; control frames (HELLO/ACK/BYE) are
+/// excluded so the numbers line up with the logical message counts.
+struct PeerWireStats {
+  long long msgs_sent = 0;
+  long long bytes_sent = 0;
+  long long msgs_recv = 0;
+  long long bytes_recv = 0;
+  long long retransmits = 0;
+};
+
+class PeerMesh {
+ public:
+  /// Sets up state only; call connect() to run the rendezvous.
+  PeerMesh(const NetConfig& cfg, rt::dist::Mailbox& inbox);
+  ~PeerMesh();
+
+  PeerMesh(const PeerMesh&) = delete;
+  PeerMesh& operator=(const PeerMesh&) = delete;
+
+  /// Rendezvous + handshake with every peer, then start the per-peer
+  /// session threads. Throws ptlr::Error on timeout, a version/build/mesh
+  /// mismatch, or a mid-handshake disconnect.
+  void connect();
+
+  /// Queue a MSG for `to` (blocks on backpressure, never on the peer).
+  /// `drop_first_send` suppresses the initial transmission (injected
+  /// drop: the RTO loop recovers it with a flagged retransmission);
+  /// `duplicate` transmits the frame twice (receiver dedups by id).
+  void send(int to, std::uint64_t tag, std::uint64_t id,
+            std::vector<char> payload, bool drop_first_send = false,
+            bool duplicate = false);
+
+  /// Connection state of `peer` as the mailbox diagnostics report it.
+  [[nodiscard]] rt::dist::PeerState peer_state(int peer) const;
+
+  /// Graceful end-of-program barrier: per peer, wait until every queued
+  /// frame is written and acked, send BYE, then wait for the peer's BYE.
+  /// Throws ptlr::Error if a peer is lost or the deadline passes.
+  void drain();
+
+  /// Flush-and-BYE only (the first half of drain()); exposed so tests can
+  /// observe the kDraining state on the remote side.
+  void begin_drain();
+
+  /// Abrupt teardown: shut every socket down and join the session
+  /// threads. Peers observe EOF-without-BYE and mark this rank lost.
+  /// Idempotent; also run by the destructor.
+  void close();
+
+  [[nodiscard]] PeerWireStats peer_stats(int peer) const;
+  [[nodiscard]] PeerWireStats total_stats() const;
+
+  [[nodiscard]] int rank() const { return cfg_.rank; }
+  [[nodiscard]] int nranks() const { return cfg_.nranks; }
+
+ private:
+  struct QueueItem {
+    Frame frame;
+    bool retransmit = false;
+  };
+  struct Pending {
+    Frame frame;
+    std::chrono::steady_clock::time_point due;
+    bool injected_drop = false;
+  };
+  struct Peer {
+    int rank = -1;
+    Fd sock;
+    std::thread sender;
+    std::thread receiver;
+    std::mutex mu;
+    std::condition_variable cv_send;   ///< sender: queue non-empty/closing
+    std::condition_variable cv_space;  ///< producers: backpressure relief
+    std::condition_variable cv_state;  ///< drain: acks/queue/bye progress
+    std::deque<QueueItem> queue;
+    std::size_t queued_bytes = 0;
+    std::map<std::uint64_t, Pending> unacked;
+    /// Stream decoder; seeded during the handshake so bytes the HELLO read
+    /// over-consumed (an eager peer's first MSG) are not lost.
+    FrameDecoder decoder;
+    bool bye_received = false;
+    /// Our own BYE hit the wire: drain() must confirm this before close()
+    /// may tear the sender down, or a fast peer-BYE race drops our BYE.
+    bool bye_sent = false;
+    std::atomic<int> state{static_cast<int>(rt::dist::PeerState::kConnected)};
+    PeerWireStats stats;  // guarded by mu
+  };
+
+  Frame handshake_read(int fd, FrameDecoder& dec,
+                       std::chrono::steady_clock::time_point dl);
+  void validate_hello(const Frame& f, int expected_from) const;
+  void start_session(Peer& p);
+  void dispatch(Peer& p, Frame f);
+  void sender_loop(Peer& p);
+  void receiver_loop(Peer& p);
+  void rto_loop();
+  void enqueue(Peer& p, Frame f, bool retransmit, bool control);
+  void mark_lost(Peer& p, const std::string& why);
+
+  NetConfig cfg_;
+  rt::dist::Mailbox& inbox_;
+  std::vector<std::unique_ptr<Peer>> peers_;  ///< index = rank; self null
+  Fd listener_;
+  std::thread rto_;
+  std::mutex lifecycle_mu_;
+  std::atomic<bool> closing_{false};
+  bool connected_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace ptlr::net

@@ -1,0 +1,90 @@
+#include "net/transport.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+#include "resilience/stats.hpp"
+
+namespace ptlr::net {
+
+SocketTransport::SocketTransport(const NetConfig& cfg,
+                                 const rt::PerturbConfig& perturb,
+                                 const resil::FaultConfig& faults,
+                                 const resil::WatchdogConfig& watchdog)
+    : cfg_(cfg),
+      inbox_(cfg.rank, watchdog),
+      mesh_(cfg_, inbox_),
+      perturber_(perturb),
+      injector_(faults) {
+  inbox_.set_peer_state_fn(
+      [this](int peer) { return mesh_.peer_state(peer); });
+  mesh_.connect();
+}
+
+SocketTransport::~SocketTransport() { mesh_.close(); }
+
+void SocketTransport::send(int to, std::uint64_t tag,
+                           std::vector<char> payload) {
+  PTLR_CHECK(to >= 0 && to < cfg_.nranks,
+             "send to invalid rank " + std::to_string(to));
+  perturber_.maybe_delay_delivery();
+
+  // Mesh-wide unique ids without coordination: sender rank in the high
+  // bits, a local counter below. Receiver-side dedup relies on this.
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(cfg_.rank + 1) << 40) |
+      next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+
+  if (to == cfg_.rank) {
+    // Self-sends never touch the wire (or the stats), same as in-process.
+    rt::dist::Envelope env;
+    env.id = id;
+    env.tag = tag;
+    env.payload = std::move(payload);
+    inbox_.deposit(std::move(env));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.messages++;
+    stats_.bytes += static_cast<long long>(payload.size());
+  }
+  if (obs::enabled())
+    obs::record_comm(cfg_.rank, to, static_cast<long long>(payload.size()));
+
+  // Same seeded (tag, from, to) fault decisions as the in-process
+  // Communicator — a seed drops the same logical messages on both
+  // transports. Here a drop is a *real* suppressed transmission recovered
+  // by a flagged retransmission (see PeerMesh::send).
+  const bool drop = injector_.drop_message(tag, cfg_.rank, to);
+  const bool dup = !drop && injector_.duplicate_message(tag, cfg_.rank, to);
+  if (drop || dup) {
+    std::ostringstream site;
+    site << "rank " << to << ", tag 0x" << std::hex << tag;
+    resil::note(drop ? resil::ResilienceEvent::kMsgDrop
+                     : resil::ResilienceEvent::kMsgDup,
+                site.str());
+  }
+  mesh_.send(to, tag, id, std::move(payload), drop, dup);
+}
+
+std::vector<char> SocketTransport::recv(std::uint64_t tag, int from) {
+  return inbox_.recv(tag, from);
+}
+
+void SocketTransport::abort() {
+  inbox_.abort();
+  mesh_.close();
+}
+
+void SocketTransport::drain() { mesh_.drain(); }
+
+rt::dist::Communicator::Stats SocketTransport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace ptlr::net

@@ -1,0 +1,75 @@
+// The socket transport: one rank process's endpoint on the peer mesh.
+//
+// Implements the rt::dist::Transport seam (runtime/transport.hpp) over
+// src/net's PeerMesh, so the distributed Cholesky rank program runs
+// verbatim with ranks as OS processes. The full mailbox contract carries
+// over: sends are id-stamped (sender rank in the high bits, so ids are
+// unique mesh-wide without coordination), the receiver threads deposit
+// decoded envelopes into this rank's Mailbox, dedup/recovery/deadline-recv
+// are the shared runtime code paths. Seeded fault injection (PTLR_FAULTS)
+// and chaos perturbation (PTLR_PERTURB_SEED) apply at the send site with
+// the same (tag, from, to) hashing as the in-process Communicator — the
+// same seed drops the same logical messages on both transports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "net/peer_mesh.hpp"
+#include "net/socket.hpp"
+#include "runtime/transport.hpp"
+
+namespace ptlr::net {
+
+class SocketTransport final : public rt::dist::Transport {
+ public:
+  /// Binds, rendezvouses and handshakes with every peer — the constructor
+  /// returns with the mesh fully connected or throws ptlr::Error.
+  /// Defaults read the launcher environment (PTLR_NET/PTLR_RANK/...,
+  /// PTLR_FAULTS, PTLR_PERTURB_SEED, PTLR_WATCHDOG_MS).
+  explicit SocketTransport(
+      const NetConfig& cfg = NetConfig::from_env(),
+      const rt::PerturbConfig& perturb = rt::PerturbConfig::from_env(),
+      const resil::FaultConfig& faults = resil::FaultConfig::from_env(),
+      const resil::WatchdogConfig& watchdog =
+          resil::WatchdogConfig::from_env());
+  ~SocketTransport() override;
+
+  [[nodiscard]] int rank() const override { return cfg_.rank; }
+  [[nodiscard]] int nranks() const override { return cfg_.nranks; }
+
+  void send(int to, std::uint64_t tag, std::vector<char> payload) override;
+  std::vector<char> recv(std::uint64_t tag, int from) override;
+
+  /// Fail local receivers and tear the sockets down abruptly: peers see
+  /// EOF without BYE and mark this rank lost.
+  void abort() override;
+
+  /// Graceful end-of-program: flush + ack-wait + BYE exchange (PeerMesh::
+  /// drain). Throws ptlr::Error on a lost peer or a drain timeout.
+  void drain() override;
+
+  /// Logical messages/bytes this rank sent (self-sends excluded) — the
+  /// per-rank slice of the Communicator-compatible accounting.
+  [[nodiscard]] rt::dist::Communicator::Stats stats() const override;
+
+  /// Wire-level frame totals (incl. retransmissions), for tests/tools.
+  [[nodiscard]] PeerWireStats wire_stats() const {
+    return mesh_.total_stats();
+  }
+  [[nodiscard]] PeerMesh& mesh() { return mesh_; }
+
+ private:
+  NetConfig cfg_;
+  rt::dist::Mailbox inbox_;
+  PeerMesh mesh_;
+  rt::Perturber perturber_;
+  resil::FaultInjector injector_;
+  std::atomic<std::uint64_t> next_msg_id_{1};
+  mutable std::mutex stats_mu_;
+  rt::dist::Communicator::Stats stats_;
+};
+
+}  // namespace ptlr::net

@@ -1,0 +1,148 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptlr::net {
+
+namespace {
+
+// Endian-independent little-endian stores/loads.
+void put_u32(std::vector<char>& v, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i)
+    v.push_back(static_cast<char>((x >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::vector<char>& v, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i)
+    v.push_back(static_cast<char>((x >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t x = 0;
+  for (int i = 0; i < 4; ++i)
+    x |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return x;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i)
+    x |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return x;
+}
+
+// splitmix64, same mixer the fault injector uses for schedule invariance.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t build_hash() {
+  // Stable across ranks of one build: wire constants + compiler identity.
+  std::uint64_t h = mix64((static_cast<std::uint64_t>(kWireVersion) << 32) ^
+                          kProtocolVersion);
+#if defined(__VERSION__)
+  for (const char* p = __VERSION__; *p != '\0'; ++p)
+    h = mix64(h ^ static_cast<std::uint64_t>(*p));
+#endif
+  h = mix64(h ^ sizeof(void*));
+  return h;
+}
+
+std::vector<char> encode_frame(const Frame& f) {
+  PTLR_CHECK(f.payload.size() <= kMaxFramePayload,
+             "frame payload exceeds wire limit");
+  std::vector<char> out;
+  out.reserve(kHeaderBytes + f.payload.size());
+  put_u32(out, kMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(f.type));
+  out.push_back(static_cast<char>(f.flags));
+  out.push_back(0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(f.from));
+  put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
+  put_u64(out, f.id);
+  put_u64(out, f.tag);
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  return out;
+}
+
+std::vector<char> encode_hello(const Hello& h, int from_rank) {
+  Frame f;
+  f.type = FrameType::kHello;
+  f.from = from_rank;
+  put_u32(f.payload, h.protocol);
+  put_u32(f.payload, h.nranks);
+  put_u64(f.payload, h.build);
+  return encode_frame(f);
+}
+
+Hello decode_hello(const Frame& f) {
+  PTLR_CHECK(f.type == FrameType::kHello, "not a HELLO frame");
+  PTLR_CHECK(f.payload.size() == 16, "HELLO payload size mismatch");
+  Hello h;
+  h.protocol = get_u32(f.payload.data());
+  h.nranks = get_u32(f.payload.data() + 4);
+  h.build = get_u64(f.payload.data() + 8);
+  return h;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  // Compact lazily: drop consumed prefix once it dominates the buffer so
+  // a long-lived connection doesn't grow without bound.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kHeaderBytes) return std::nullopt;
+  const char* h = buf_.data() + pos_;
+
+  // Validate the fixed header BEFORE trusting the length prefix — a
+  // corrupt stream must fail loudly here, never size an allocation.
+  const std::uint32_t magic = get_u32(h);
+  if (magic != kMagic) {
+    std::ostringstream os;
+    os << "wire: bad frame magic 0x" << std::hex << magic;
+    throw Error(os.str());
+  }
+  const auto version = static_cast<std::uint8_t>(h[4]);
+  if (version != kWireVersion)
+    throw Error("wire: unsupported frame version " + std::to_string(version));
+  const auto type = static_cast<std::uint8_t>(h[5]);
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kBye))
+    throw Error("wire: unknown frame type " + std::to_string(type));
+  const std::uint32_t len = get_u32(h + 12);
+  if (len > kMaxFramePayload)
+    throw Error("wire: frame payload length " + std::to_string(len) +
+                " exceeds limit " + std::to_string(kMaxFramePayload));
+
+  if (avail < kHeaderBytes + len) return std::nullopt;  // wait for more
+
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.flags = static_cast<std::uint8_t>(h[6]);
+  f.from = static_cast<std::int32_t>(get_u32(h + 8));
+  f.id = get_u64(h + 16);
+  f.tag = get_u64(h + 24);
+  f.payload.assign(h + kHeaderBytes, h + kHeaderBytes + len);
+  pos_ += kHeaderBytes + len;
+  return f;
+}
+
+}  // namespace ptlr::net

@@ -1,0 +1,100 @@
+// Length-prefixed wire format of the socket peer mesh (src/net).
+//
+// Every byte that crosses a process boundary is a Frame: a fixed 32-byte
+// header (magic, version, type, flags, sender rank, payload length, message
+// id, tag) followed by the payload. MSG frames carry the mailbox Envelope
+// (runtime/mailbox.hpp) — the id/tag ride in the header, the serialized
+// tile is the payload — so receiver-side dedup, retransmit recovery and
+// deadline recv work unchanged over a real wire.
+//
+// The decoder is hardened the same way the TLR file reader is (tlr/io.cpp):
+// every length is bounds-checked BEFORE any allocation, unknown magic /
+// version / type values are rejected with a descriptive ptlr::Error, and a
+// truncated stream simply waits for more bytes — it can never hang a
+// deadline recv (the receiver thread keeps polling the socket) nor
+// over-allocate. tests/test_net.cpp runs a corruption battery (bit flips,
+// truncations, oversized length prefixes) against it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ptlr::net {
+
+/// "PTLR" (little-endian byte order P,T,L,R on the wire).
+constexpr std::uint32_t kMagic = 0x524C5450u;
+/// Bump on any header layout change.
+constexpr std::uint8_t kWireVersion = 1;
+/// Bump on any semantic protocol change (handshake contents, ack rules).
+constexpr std::uint32_t kProtocolVersion = 1;
+constexpr std::size_t kHeaderBytes = 32;
+/// Hard ceiling on a frame payload: decoding rejects anything larger
+/// before allocating, so a corrupt length prefix cannot OOM the receiver.
+constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,  ///< handshake: payload = Hello (below)
+  kMsg = 2,    ///< mailbox envelope: id/tag in header, tile bytes payload
+  kAck = 3,    ///< delivery ack of MSG `id` (empty payload)
+  kBye = 4,    ///< graceful drain marker: sender will send no more MSGs
+};
+
+/// Frame flag bits.
+enum : std::uint8_t {
+  /// This MSG is a retransmission recovering an injected drop: delivering
+  /// it fresh notes kMsgRecovered, closing the drop/recover accounting.
+  kFlagDropRetransmit = 1u << 0,
+};
+
+struct Frame {
+  FrameType type = FrameType::kMsg;
+  std::uint8_t flags = 0;
+  std::int32_t from = -1;   ///< sender rank
+  std::uint64_t id = 0;     ///< message id (MSG/ACK); 0 otherwise
+  std::uint64_t tag = 0;    ///< mailbox tag (MSG); 0 otherwise
+  std::vector<char> payload;
+};
+
+/// Handshake payload exchanged right after connect: both sides must agree
+/// on the protocol, the mesh size and the build identity before any MSG
+/// flows — a version-skewed or mis-launched rank fails fast with a
+/// descriptive error instead of corrupting tiles.
+struct Hello {
+  std::uint32_t protocol = kProtocolVersion;
+  std::uint32_t nranks = 0;
+  std::uint64_t build = 0;
+};
+
+/// Identity of this binary's wire implementation, exchanged in Hello.
+/// Derived from the protocol constants and the compiler identity — two
+/// ranks launched from the same build always agree.
+std::uint64_t build_hash();
+
+/// Serialize a frame (header + payload). Throws ptlr::Error if the payload
+/// exceeds kMaxFramePayload.
+std::vector<char> encode_frame(const Frame& f);
+
+std::vector<char> encode_hello(const Hello& h, int from_rank);
+/// Decode a HELLO frame's payload. Throws ptlr::Error on size mismatch.
+Hello decode_hello(const Frame& f);
+
+/// Incremental decoder: feed() raw socket bytes, then drain next() until
+/// it returns nullopt (incomplete frame buffered). next() throws
+/// ptlr::Error on corrupt input — bad magic, unknown version/type, or an
+/// oversized length prefix — without allocating payload space first.
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t n);
+
+  std::optional<Frame> next();
+
+  /// Bytes currently buffered (incomplete frame tail).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<char> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ptlr::net

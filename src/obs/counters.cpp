@@ -69,6 +69,11 @@ struct State {
   Slot slots[Counters::kSlots];  // [0..kNumKernels-1] classes, last = other
   std::atomic<long long> comm_messages{0};
   std::atomic<long long> comm_bytes{0};
+  std::atomic<long long> net_msgs_sent{0};
+  std::atomic<long long> net_bytes_sent{0};
+  std::atomic<long long> net_msgs_recv{0};
+  std::atomic<long long> net_bytes_recv{0};
+  std::atomic<long long> net_retransmits{0};
   std::atomic<long long> compress_count{0};
   std::atomic<long long> compress_rank_in{0};
   std::atomic<long long> compress_rank_out{0};
@@ -140,6 +145,20 @@ void Counters::record_comm(long long bytes) noexcept {
   s.comm_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
+void Counters::record_net(long long bytes, bool sent,
+                          bool retransmit) noexcept {
+  State& s = state();
+  if (sent) {
+    s.net_msgs_sent.fetch_add(1, std::memory_order_relaxed);
+    s.net_bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    if (retransmit)
+      s.net_retransmits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s.net_msgs_recv.fetch_add(1, std::memory_order_relaxed);
+    s.net_bytes_recv.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
 void Counters::record_compression(int rank_in, int rank_out) noexcept {
   State& s = state();
   s.compress_count.fetch_add(1, std::memory_order_relaxed);
@@ -181,6 +200,15 @@ CommCounters Counters::comm() {
           s.comm_bytes.load(std::memory_order_relaxed)};
 }
 
+NetCounters Counters::net() {
+  const State& s = state();
+  return {s.net_msgs_sent.load(std::memory_order_relaxed),
+          s.net_bytes_sent.load(std::memory_order_relaxed),
+          s.net_msgs_recv.load(std::memory_order_relaxed),
+          s.net_bytes_recv.load(std::memory_order_relaxed),
+          s.net_retransmits.load(std::memory_order_relaxed)};
+}
+
 CompressionCounters Counters::compressions() {
   const State& s = state();
   return {s.compress_count.load(std::memory_order_relaxed),
@@ -212,6 +240,11 @@ void Counters::reset() noexcept {
   for (Slot& slot : s.slots) slot.clear();
   s.comm_messages.store(0, std::memory_order_relaxed);
   s.comm_bytes.store(0, std::memory_order_relaxed);
+  s.net_msgs_sent.store(0, std::memory_order_relaxed);
+  s.net_bytes_sent.store(0, std::memory_order_relaxed);
+  s.net_msgs_recv.store(0, std::memory_order_relaxed);
+  s.net_bytes_recv.store(0, std::memory_order_relaxed);
+  s.net_retransmits.store(0, std::memory_order_relaxed);
   s.compress_count.store(0, std::memory_order_relaxed);
   s.compress_rank_in.store(0, std::memory_order_relaxed);
   s.compress_rank_out.store(0, std::memory_order_relaxed);
@@ -260,7 +293,8 @@ std::string counters_ascii() {
   const auto cm = Counters::comm();
   const auto cp = Counters::compressions();
   const auto rs = Counters::resilience();
-  if (rows.empty() && cm.messages == 0 && cp.count == 0 && rs.total() == 0)
+  if (rows.empty() && cm.messages == 0 && cp.count == 0 && rs.total() == 0 &&
+      Counters::net().msgs_sent == 0 && Counters::net().msgs_recv == 0)
     return {};
 
   Table t({"kernel", "count", "gflops", "MB out", "rk-in min/mean/max",
@@ -286,6 +320,13 @@ std::string counters_ascii() {
   if (cm.messages > 0)
     os << "comm: " << cm.messages << " messages, "
        << static_cast<double>(cm.bytes) / 1e6 << " MB\n";
+  if (const auto net = Counters::net();
+      net.msgs_sent > 0 || net.msgs_recv > 0)
+    os << "wire: " << net.msgs_sent << " frames out ("
+       << static_cast<double>(net.bytes_sent) / 1e6 << " MB), "
+       << net.msgs_recv << " frames in ("
+       << static_cast<double>(net.bytes_recv) / 1e6 << " MB), "
+       << net.retransmits << " retransmits\n";
   if (cp.count > 0)
     os << "recompressions: " << cp.count << " (mean rank "
        << static_cast<double>(cp.rank_in_sum) / static_cast<double>(cp.count)
@@ -335,8 +376,14 @@ std::string counters_json() {
   }
   os << "], \"total_flops\": " << Counters::total_flops()
      << ", \"comm\": {\"messages\": " << cm.messages
-     << ", \"bytes\": " << cm.bytes
-     << "}, \"compressions\": {\"count\": " << cp.count
+     << ", \"bytes\": " << cm.bytes << "}";
+  const auto net = Counters::net();
+  os << ", \"net\": {\"msgs_sent\": " << net.msgs_sent
+     << ", \"bytes_sent\": " << net.bytes_sent
+     << ", \"msgs_recv\": " << net.msgs_recv
+     << ", \"bytes_recv\": " << net.bytes_recv
+     << ", \"retransmits\": " << net.retransmits << "}";
+  os << ", \"compressions\": {\"count\": " << cp.count
      << ", \"rank_in_sum\": " << cp.rank_in_sum
      << ", \"rank_out_sum\": " << cp.rank_out_sum
      << ", \"adaptive\": " << cp.adaptive

@@ -50,6 +50,18 @@ struct CommCounters {
   long long bytes = 0;
 };
 
+/// Wire-level totals of the socket transport (src/net): what actually
+/// crossed an OS process boundary, as opposed to the logical mailbox
+/// deposits of CommCounters. Retransmits count frames resent by the
+/// sender's RTO loop (injected drops being recovered, or slow acks).
+struct NetCounters {
+  long long msgs_sent = 0;
+  long long bytes_sent = 0;
+  long long msgs_recv = 0;
+  long long bytes_recv = 0;
+  long long retransmits = 0;
+};
+
 /// Recompression channel totals. The adaptive_* slots track the adaptive
 /// randomized engine (compress/adaptive.hpp): how often it ran, how often
 /// its estimator failed and the deterministic fallback decided, how many
@@ -112,6 +124,9 @@ class Counters {
                           int rank_in, int rank_out) noexcept;
 
   static void record_comm(long long bytes) noexcept;
+  /// Charge one wire frame: `sent` distinguishes the send and receive
+  /// sides; `retransmit` marks an RTO resend (counted on the send side).
+  static void record_net(long long bytes, bool sent, bool retransmit) noexcept;
   static void record_compression(int rank_in, int rank_out) noexcept;
   /// Charge one adaptive-engine attempt (see CompressionCounters).
   static void record_adaptive(int sketch_cols, bool fallback,
@@ -127,6 +142,7 @@ class Counters {
   static KernelCounterRow row(int kind);
 
   static CommCounters comm();
+  static NetCounters net();
   static CompressionCounters compressions();
   static ResilienceCounters resilience();
 

@@ -192,6 +192,27 @@ void task_end(const std::string& name, int kind, int panel, int ti, int tj,
                         open.rank_out);
 }
 
+namespace {
+
+// Stable per-thread lane id: spans within one thread's buffer are appended
+// in timestamp order, so giving each recording thread its own tid keeps
+// every (pid, tid) lane monotone — the invariant tools/check_trace.py
+// enforces. Used by the resilience pid and the wire-event lanes.
+int thread_lane_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Wire events (net_send/net_recv/net_retransmit) are recorded by the mesh
+// session threads — several per process — so they cannot share the
+// per-rank comm lanes (tid = rank) without breaking lane monotonicity.
+// They get tids in a disjoint block instead; from/to still travel in the
+// event args.
+constexpr int kNetLaneBase = 1000;
+
+}  // namespace
+
 void record_comm(int from, int to, long long bytes) {
   if (!enabled()) return;
   Span s;
@@ -206,6 +227,23 @@ void record_comm(int from, int to, long long bytes) {
   Counters::record_comm(bytes);
 }
 
+void record_net(NetEvent ev, int from, int to, long long bytes) {
+  if (!enabled()) return;
+  Span s;
+  s.name = ev == NetEvent::kSend     ? "net_send"
+           : ev == NetEvent::kRecv   ? "net_recv"
+                                     : "net_retransmit";
+  s.cat = SpanCat::kComm;
+  s.ti = from;
+  s.tj = to;
+  s.worker = kNetLaneBase + thread_lane_id();
+  s.t0 = s.t1 = now_seconds();
+  s.bytes = bytes;
+  thread_buffer().spans.push_back(std::move(s));
+  Counters::record_net(bytes, ev != NetEvent::kRecv,
+                       ev == NetEvent::kRetransmit);
+}
+
 void record_compression(int rank_in, int rank_out) {
   if (!enabled()) return;
   Counters::record_compression(rank_in, rank_out);
@@ -215,20 +253,6 @@ void record_adaptive(int sketch_cols, bool fallback, double est_residual) {
   if (!enabled()) return;
   Counters::record_adaptive(sketch_cols, fallback, est_residual);
 }
-
-namespace {
-
-// Stable per-thread lane id for the resilience pid: spans within one
-// thread's buffer are appended in timestamp order, so giving each thread
-// its own tid keeps every (pid, tid) lane monotone — the invariant
-// tools/check_trace.py enforces.
-int thread_lane_id() {
-  static std::atomic<int> next{0};
-  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
-  return id;
-}
-
-}  // namespace
 
 void record_resilience(ResilienceEvent ev, const std::string& detail) {
   if (!enabled()) return;

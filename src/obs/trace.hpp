@@ -131,6 +131,14 @@ void task_end(const std::string& name, int kind, int panel, int ti, int tj,
 /// instant comm span plus the comm counters. No-op when disabled.
 void record_comm(int from, int to, long long bytes);
 
+/// What a wire-level frame event describes (src/net socket transport).
+enum class NetEvent : int { kSend = 0, kRecv, kRetransmit };
+
+/// Record one wire frame `from -> to` of `bytes` payload crossing a real
+/// socket: an instant comm-lane span named "net_send" / "net_recv" /
+/// "net_retransmit" plus the net counter channel. No-op when disabled.
+void record_net(NetEvent ev, int from, int to, long long bytes);
+
 /// Record one recompression: `rank_in` before (concatenated factor),
 /// `rank_out` after rounding. Counter-only. No-op when disabled.
 void record_compression(int rank_in, int rank_out);

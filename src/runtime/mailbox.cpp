@@ -9,25 +9,147 @@
 
 namespace ptlr::rt::dist {
 
-namespace {
+const char* peer_state_name(PeerState s) noexcept {
+  switch (s) {
+    case PeerState::kConnected:
+      return "connected";
+    case PeerState::kDraining:
+      return "draining";
+    case PeerState::kLost:
+      return "lost";
+  }
+  return "unknown";
+}
 
-std::string describe(int rank, std::uint64_t tag) {
+Mailbox::Mailbox(int rank, const resil::WatchdogConfig& watchdog)
+    : rank_(rank), watchdog_(watchdog) {}
+
+std::string Mailbox::describe(std::uint64_t tag, int from) const {
   std::ostringstream os;
-  os << "rank " << rank << ", tag 0x" << std::hex << tag;
+  os << "rank " << rank_ << ", tag 0x" << std::hex << tag << std::dec;
+  if (from >= 0) {
+    os << ", from rank " << from;
+    // The state distinguishes a dead-peer hang (lost) from a slow-peer
+    // hang (connected) and from a peer that already finished sending
+    // (draining) — three different bugs behind the same silent wait.
+    if (peer_state_) os << " (" << peer_state_name(peer_state_(from)) << ")";
+  }
   return os.str();
 }
 
-}  // namespace
+void Mailbox::deposit(Envelope env) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[env.tag].push(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::park(Envelope env) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dead_letters_[env.tag].push(std::move(env));
+  }
+  // Notify even for a parked message: a receiver already blocked on the
+  // tag must wake to run the dead-letter recovery in recv().
+  cv_.notify_all();
+}
+
+std::vector<char> Mailbox::recv(std::uint64_t tag, int from) {
+  // One absolute deadline for the whole receive: the CV waits below sleep
+  // until a real wake (message, abort, requeue) or this point in time —
+  // no periodic polling wakeups, no drift from re-deriving the remainder.
+  const auto deadline_tp =
+      std::chrono::steady_clock::now() + watchdog_.deadline();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (aborted_.load(std::memory_order_acquire)) {
+      const std::string why =
+          fail_reason_.empty() ? "communicator aborted" : fail_reason_;
+      throw Error(why + " while waiting for a message (" +
+                  describe(tag, from) + ")");
+    }
+
+    // Drain the slot until a message with a fresh id appears; injected
+    // duplicates are discarded here.
+    if (auto it = slots_.find(tag); it != slots_.end()) {
+      while (!it->second.empty()) {
+        Envelope env = std::move(it->second.front());
+        it->second.pop();
+        if (delivered_.insert(env.id).second) {
+          if (env.recovered_drop) {
+            resil::note(resil::ResilienceEvent::kMsgRecovered,
+                        describe(tag, from));
+          }
+          return std::move(env.payload);
+        }
+      }
+    }
+
+    // Dead-letter recovery: the receiver is blocked on a tag nothing fresh
+    // arrived for — exactly the condition under which a real runtime's
+    // receiver would detect the gap and request retransmission. Requeue
+    // every parked message for the tag and retry the drain.
+    if (auto dl = dead_letters_.find(tag);
+        dl != dead_letters_.end() && !dl->second.empty()) {
+      while (!dl->second.empty()) {
+        resil::note(resil::ResilienceEvent::kMsgRecovered,
+                    describe(tag, from));
+        slots_[tag].push(std::move(dl->second.front()));
+        dl->second.pop();
+      }
+      continue;
+    }
+
+    if (!watchdog_.enabled()) {
+      cv_.wait(lock);
+      continue;
+    }
+    // Deadline-aware wait: only declare the stall after the queues above
+    // were re-checked, so a message that arrived just before the deadline
+    // is still delivered rather than lost to a watchdog error.
+    if (std::chrono::steady_clock::now() >= deadline_tp) {
+      const std::string what =
+          "watchdog: receive waited " + std::to_string(watchdog_.deadline_ms) +
+          " ms with no message (" + describe(tag, from) + ")";
+      resil::note(resil::ResilienceEvent::kWatchdogFire, what);
+      throw Error(what);
+    }
+    cv_.wait_until(lock, deadline_tp);
+  }
+}
+
+void Mailbox::abort() {
+  aborted_.store(true, std::memory_order_release);
+  cv_.notify_all();
+}
+
+void Mailbox::fail(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fail_reason_.empty()) fail_reason_ = reason;
+  }
+  abort();
+}
+
+void Mailbox::set_peer_state_fn(std::function<PeerState(int)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peer_state_ = std::move(fn);
+}
 
 Communicator::Communicator(int nranks, const PerturbConfig& perturb,
                            const resil::FaultConfig& faults,
                            const resil::WatchdogConfig& watchdog)
-    : nranks_(nranks),
-      perturber_(perturb),
-      injector_(faults),
-      watchdog_(watchdog),
-      boxes_(static_cast<std::size_t>(nranks)) {
+    : nranks_(nranks), perturber_(perturb), injector_(faults) {
   PTLR_CHECK(nranks >= 1, "need at least one rank");
+  boxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    boxes_.push_back(std::make_unique<Mailbox>(r, watchdog));
+    // In-process peers are threads: they cannot half-fail, so every peer
+    // is permanently connected.
+    boxes_.back()->set_peer_state_fn(
+        [](int) { return PeerState::kConnected; });
+  }
 }
 
 void Communicator::send(int from, int to, std::uint64_t tag,
@@ -48,93 +170,37 @@ void Communicator::send(int from, int to, std::uint64_t tag,
       obs::record_comm(from, to, static_cast<long long>(payload.size()));
   }
 
-  Msg msg;
-  msg.id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
-  msg.payload = std::move(payload);
+  Envelope env;
+  env.id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  env.tag = tag;
+  env.payload = std::move(payload);
   // Fault decisions hash (tag, from, to), not the send order, so a seed
   // drops/duplicates the same messages in every schedule.
   const bool drop = injector_.drop_message(tag, from, to);
   const bool dup = !drop && injector_.duplicate_message(tag, from, to);
 
-  Box& box = boxes_[static_cast<std::size_t>(to)];
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    if (drop) {
-      resil::note(resil::ResilienceEvent::kMsgDrop, describe(to, tag));
-      box.dead_letters[tag].push(std::move(msg));
-    } else if (dup) {
-      resil::note(resil::ResilienceEvent::kMsgDup, describe(to, tag));
-      box.slots[tag].push(msg);  // same id twice; receiver dedups
-      box.slots[tag].push(std::move(msg));
-    } else {
-      box.slots[tag].push(std::move(msg));
-    }
+  Mailbox& box = *boxes_[static_cast<std::size_t>(to)];
+  std::ostringstream site;
+  site << "rank " << to << ", tag 0x" << std::hex << tag;
+  if (drop) {
+    resil::note(resil::ResilienceEvent::kMsgDrop, site.str());
+    box.park(std::move(env));
+  } else if (dup) {
+    resil::note(resil::ResilienceEvent::kMsgDup, site.str());
+    box.deposit(env);  // same id twice; receiver dedups
+    box.deposit(std::move(env));
+  } else {
+    box.deposit(std::move(env));
   }
-  // Notify even for a dropped message: a receiver already blocked on the
-  // tag must wake to run the dead-letter recovery below.
-  box.cv.notify_all();
 }
 
-std::vector<char> Communicator::recv(int rank, std::uint64_t tag) {
+std::vector<char> Communicator::recv(int rank, std::uint64_t tag, int from) {
   PTLR_CHECK(rank >= 0 && rank < nranks_, "recv on invalid rank");
-  Box& box = boxes_[static_cast<std::size_t>(rank)];
-  // One absolute deadline for the whole receive: the CV waits below sleep
-  // until a real wake (message, abort, requeue) or this point in time —
-  // no periodic polling wakeups, no drift from re-deriving the remainder.
-  const auto deadline_tp =
-      std::chrono::steady_clock::now() + watchdog_.deadline();
-  std::unique_lock<std::mutex> lock(box.mu);
-  for (;;) {
-    if (aborted_.load(std::memory_order_acquire))
-      throw Error("communicator aborted while waiting for a message (" +
-                  describe(rank, tag) + ")");
-
-    // Drain the slot until a message with a fresh id appears; injected
-    // duplicates are discarded here.
-    if (auto it = box.slots.find(tag); it != box.slots.end()) {
-      while (!it->second.empty()) {
-        Msg msg = std::move(it->second.front());
-        it->second.pop();
-        if (box.delivered.insert(msg.id).second) return std::move(msg.payload);
-      }
-    }
-
-    // Dead-letter recovery: the receiver is blocked on a tag nothing fresh
-    // arrived for — exactly the condition under which a real runtime's
-    // receiver would detect the gap and request retransmission. Requeue
-    // every parked message for the tag and retry the drain.
-    if (auto dl = box.dead_letters.find(tag);
-        dl != box.dead_letters.end() && !dl->second.empty()) {
-      while (!dl->second.empty()) {
-        resil::note(resil::ResilienceEvent::kMsgRecovered,
-                    describe(rank, tag));
-        box.slots[tag].push(std::move(dl->second.front()));
-        dl->second.pop();
-      }
-      continue;
-    }
-
-    if (!watchdog_.enabled()) {
-      box.cv.wait(lock);
-      continue;
-    }
-    // Deadline-aware wait: only declare the stall after the queues above
-    // were re-checked, so a message that arrived just before the deadline
-    // is still delivered rather than lost to a watchdog error.
-    if (std::chrono::steady_clock::now() >= deadline_tp) {
-      const std::string what =
-          "watchdog: receive waited " + std::to_string(watchdog_.deadline_ms) +
-          " ms with no message (" + describe(rank, tag) + ")";
-      resil::note(resil::ResilienceEvent::kWatchdogFire, what);
-      throw Error(what);
-    }
-    box.cv.wait_until(lock, deadline_tp);
-  }
+  return boxes_[static_cast<std::size_t>(rank)]->recv(tag, from);
 }
 
 void Communicator::abort() {
-  aborted_.store(true, std::memory_order_release);
-  for (auto& box : boxes_) box.cv.notify_all();
+  for (auto& box : boxes_) box->abort();
 }
 
 Communicator::Stats Communicator::stats() const {

@@ -1,21 +1,30 @@
-// An in-process message-passing communicator (MPI-lite).
+// An in-process message-passing communicator (MPI-lite) and the per-rank
+// mailbox it is built from.
 //
 // The virtual-cluster simulator reproduces distributed *timing*; this
-// layer reproduces distributed *execution*: N ranks (threads) with
-// private data exchange real byte buffers through tagged mailboxes —
-// blocking receives, non-blocking sends, full message accounting. The
-// distributed BAND-DENSE-TLR Cholesky (core/dist_cholesky.hpp) runs on it
-// with owner-computes semantics and per-rank tile storage, so the
-// communication pattern of Section VII-A is exercised for real, without
-// an MPI installation.
+// layer reproduces distributed *execution*: N ranks with private data
+// exchange real byte buffers through tagged mailboxes — blocking receives,
+// non-blocking sends, full message accounting. The distributed
+// BAND-DENSE-TLR Cholesky (core/dist_cholesky.hpp) runs on it with
+// owner-computes semantics and per-rank tile storage, so the communication
+// pattern of Section VII-A is exercised for real.
+//
+// Two transports feed the same Mailbox contract (id-stamped envelopes,
+// receiver-side dedup, dead-letter retransmit, deadline-aware recv):
+//   * Communicator — N ranks as threads of one process (below);
+//   * net::SocketTransport — N ranks as OS processes on a socket mesh
+//     (src/net), where a receiver thread deposits decoded wire envelopes.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -34,6 +43,85 @@ constexpr std::uint64_t make_tag(std::uint32_t space, std::uint32_t k,
          (static_cast<std::uint64_t>(i & 0xFFFFF) << 20) |
          static_cast<std::uint64_t>(j & 0xFFFFF);
 }
+
+/// Connection state of a peer as seen by the transport feeding a mailbox.
+/// The in-process Communicator reports every peer kConnected (threads
+/// cannot half-fail); the socket mesh distinguishes a peer that finished
+/// sending (kDraining, BYE received) from one whose connection died
+/// (kLost), so a deadline-recv timeout can say which kind of hang it hit.
+enum class PeerState : int { kConnected = 0, kDraining, kLost };
+
+/// "connected" / "draining" / "lost".
+const char* peer_state_name(PeerState s) noexcept;
+
+/// The unit every transport moves: an id-stamped payload. Ids are unique
+/// per communicator (in-process) or carry the sender rank in the high bits
+/// (wire), so receiver-side dedup works across sources.
+struct Envelope {
+  std::uint64_t id = 0;
+  std::uint64_t tag = 0;
+  /// Wire transports set this on a retransmission that recovers an
+  /// injected drop; delivering such a fresh envelope notes kMsgRecovered.
+  bool recovered_drop = false;
+  std::vector<char> payload;
+};
+
+/// One rank's tagged inbox: the receiver half of the message contract.
+/// Thread-safe; any number of transport threads may deposit while the rank
+/// blocks in recv().
+class Mailbox {
+ public:
+  explicit Mailbox(int rank, const resil::WatchdogConfig& watchdog =
+                                 resil::WatchdogConfig::from_env());
+
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Deposit a message (non-blocking, wakes blocked receivers). Duplicate
+  /// ids are kept here and discarded by recv()'s dedup.
+  void deposit(Envelope env);
+
+  /// Park a message in the dead-letter queue: the in-process transport's
+  /// injected-drop path. Requeued into the live slots by the first
+  /// receiver that blocks on the tag and finds it empty (deterministic
+  /// detect-and-retransmit), noting kMsgRecovered.
+  void park(Envelope env);
+
+  /// Block until a fresh message with `tag` is available; pop its payload.
+  /// `from` is the rank expected to produce the message (-1 when unknown);
+  /// a watchdog timeout then names the peer's connection state so a
+  /// dead-peer hang reads differently from a slow-peer hang. Throws
+  /// ptlr::Error on abort/failure or when the watchdog deadline passes.
+  std::vector<char> recv(std::uint64_t tag, int from = -1);
+
+  /// Wake every blocked receiver with a generic abort error.
+  void abort();
+
+  /// Wake every blocked receiver with `reason` (e.g. "connection to rank 2
+  /// lost"); recv() throws an Error carrying it. First reason wins.
+  void fail(const std::string& reason);
+
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  /// Install the transport's peer-state view (see PeerState). Call before
+  /// receivers block; unset peers report kConnected.
+  void set_peer_state_fn(std::function<PeerState(int)> fn);
+
+ private:
+  [[nodiscard]] std::string describe(std::uint64_t tag, int from) const;
+
+  int rank_;
+  resil::WatchdogConfig watchdog_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::queue<Envelope>> slots_;
+  std::map<std::uint64_t, std::queue<Envelope>> dead_letters_;
+  std::unordered_set<std::uint64_t> delivered_;
+  std::function<PeerState(int)> peer_state_;
+  std::string fail_reason_;
+  std::atomic<bool> aborted_{false};
+};
 
 /// Tagged mailboxes between `nranks` ranks sharing one process.
 class Communicator {
@@ -67,9 +155,10 @@ class Communicator {
   void send(int from, int to, std::uint64_t tag, std::vector<char> payload);
 
   /// Block until a message with `tag` is available for `rank`; pop it.
-  /// Throws ptlr::Error if the communicator was aborted while waiting, or
-  /// if the watchdog deadline passes with no message.
-  std::vector<char> recv(int rank, std::uint64_t tag);
+  /// `from` is the expected producer rank (-1 unknown), threaded into the
+  /// timeout diagnostics. Throws ptlr::Error if the communicator was
+  /// aborted while waiting, or if the watchdog deadline passes.
+  std::vector<char> recv(int rank, std::uint64_t tag, int from = -1);
 
   /// Wake every blocked receiver with an error — called by a rank that
   /// hit an exception so its peers do not deadlock waiting for messages
@@ -84,29 +173,11 @@ class Communicator {
   [[nodiscard]] Stats stats() const;
 
  private:
-  /// Envelope: payload plus a communicator-unique id so receivers can
-  /// discard injected duplicates.
-  struct Msg {
-    std::uint64_t id = 0;
-    std::vector<char> payload;
-  };
-  struct Box {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::map<std::uint64_t, std::queue<Msg>> slots;
-    /// Injected-drop parking lot, per tag; requeued into `slots` by the
-    /// first receiver that waits on the tag and finds it empty.
-    std::map<std::uint64_t, std::queue<Msg>> dead_letters;
-    /// Ids already handed to a receiver (duplicate suppression).
-    std::unordered_set<std::uint64_t> delivered;
-  };
   int nranks_;
   Perturber perturber_;
   resil::FaultInjector injector_;
-  resil::WatchdogConfig watchdog_;
-  std::vector<Box> boxes_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::atomic<std::uint64_t> next_msg_id_{1};
-  std::atomic<bool> aborted_{false};
   mutable std::mutex stats_mu_;
   Stats stats_;
 };

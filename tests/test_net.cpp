@@ -1,0 +1,497 @@
+// Socket transport suite (src/net), single-process half: the wire format
+// is fuzzed directly (truncation, bit flips, oversized length prefixes —
+// the decoder must reject loudly, never over-allocate, never hang), the
+// handshake is attacked with a fake peer (mid-handshake disconnect, mesh
+// size mismatch), and full UDS meshes run with every rank endpoint on a
+// thread of this process — same sockets, same frames as the multi-process
+// suite (test_dist.cpp), but debuggable in one address space.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/peer_mesh.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/stats.hpp"
+#include "resilience/watchdog.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/perturb.hpp"
+
+using namespace ptlr;
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameType;
+using rt::dist::make_tag;
+
+namespace {
+
+// Fresh UDS rendezvous directory per test.
+std::string make_mesh_dir() {
+  char tmpl[] = "/tmp/ptlr-net-test-XXXXXX";
+  EXPECT_NE(mkdtemp(tmpl), nullptr);
+  return tmpl;
+}
+
+void remove_mesh_dir(const std::string& dir, int nranks) {
+  for (int r = 0; r < nranks; ++r)
+    ::unlink((dir + "/ptlr." + std::to_string(r) + ".sock").c_str());
+  ::rmdir(dir.c_str());
+}
+
+net::NetConfig uds_config(const std::string& dir, int rank, int nranks) {
+  net::NetConfig cfg;
+  cfg.kind = net::NetConfig::Kind::kUds;
+  cfg.dir = dir;
+  cfg.rank = rank;
+  cfg.nranks = nranks;
+  cfg.connect_timeout_ms = 10000;
+  cfg.rto_ms = 10;
+  return cfg;
+}
+
+Frame sample_frame() {
+  Frame f;
+  f.type = FrameType::kMsg;
+  f.flags = net::kFlagDropRetransmit;
+  f.from = 3;
+  f.id = 0x0123456789ABCDEFull;
+  f.tag = make_tag(1, 4, 7, 2);
+  f.payload = {'t', 'i', 'l', 'e', '\0', 'x'};
+  return f;
+}
+
+resil::WatchdogConfig watchdog_ms(long long ms) {
+  resil::WatchdogConfig w;
+  w.deadline_ms = ms;
+  return w;
+}
+
+// Quiet defaults: no faults, no chaos, generous watchdog.
+struct TransportSet {
+  std::vector<std::unique_ptr<net::SocketTransport>> t;
+
+  TransportSet(const std::string& dir, int nranks,
+               const resil::FaultConfig& faults = resil::FaultConfig{},
+               long long watchdog = 20000) {
+    t.resize(static_cast<std::size_t>(nranks));
+    std::vector<std::thread> builders;
+    builders.reserve(t.size());
+    for (int r = 0; r < nranks; ++r)
+      builders.emplace_back([&, r] {
+        t[static_cast<std::size_t>(r)] = std::make_unique<net::SocketTransport>(
+            uds_config(dir, r, nranks), rt::PerturbConfig{}, faults,
+            watchdog_ms(watchdog));
+      });
+    for (auto& b : builders) b.join();
+    for (const auto& p : t) EXPECT_NE(p, nullptr);
+  }
+};
+
+// drain() is collective — a BYE exchange, like MPI_Finalize — so the
+// endpoints of a mesh must drain concurrently, as real rank processes do.
+void drain_all(TransportSet& set) {
+  std::vector<std::thread> drains;
+  drains.reserve(set.t.size());
+  for (auto& p : set.t) drains.emplace_back([&p] { p->drain(); });
+  for (auto& th : drains) th.join();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ wire format
+
+TEST(Wire, FrameRoundTripsThroughDecoder) {
+  const Frame f = sample_frame();
+  const std::vector<char> bytes = net::encode_frame(f);
+  ASSERT_EQ(bytes.size(), net::kHeaderBytes + f.payload.size());
+
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto got = dec.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, f.type);
+  EXPECT_EQ(got->flags, f.flags);
+  EXPECT_EQ(got->from, f.from);
+  EXPECT_EQ(got->id, f.id);
+  EXPECT_EQ(got->tag, f.tag);
+  EXPECT_EQ(got->payload, f.payload);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Wire, DecoderReassemblesByteAtATime) {
+  std::vector<char> stream;
+  for (int k = 0; k < 3; ++k) {
+    Frame f = sample_frame();
+    f.id = static_cast<std::uint64_t>(k + 1);
+    const auto b = net::encode_frame(f);
+    stream.insert(stream.end(), b.begin(), b.end());
+  }
+  FrameDecoder dec;
+  std::vector<Frame> got;
+  for (const char c : stream) {
+    dec.feed(&c, 1);
+    while (auto f = dec.next()) got.push_back(std::move(*f));
+  }
+  ASSERT_EQ(got.size(), 3u);
+  for (int k = 0; k < 3; ++k)
+    EXPECT_EQ(got[static_cast<std::size_t>(k)].id,
+              static_cast<std::uint64_t>(k + 1));
+}
+
+TEST(Wire, TruncatedFrameWaitsWithoutDelivering) {
+  const auto bytes = net::encode_frame(sample_frame());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder dec;
+    dec.feed(bytes.data(), cut);
+    EXPECT_FALSE(dec.next().has_value()) << "cut at " << cut;
+    // The rest arrives: the frame completes.
+    dec.feed(bytes.data() + cut, bytes.size() - cut);
+    EXPECT_TRUE(dec.next().has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Wire, HeaderBitFlipsNeverCrashOrOverallocate) {
+  const auto bytes = net::encode_frame(sample_frame());
+  int rejected = 0;
+  for (std::size_t byte = 0; byte < net::kHeaderBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<char> corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      FrameDecoder dec;
+      dec.feed(corrupt.data(), corrupt.size());
+      try {
+        // Either a loud reject, or a structurally valid parse (flips in
+        // flags/from/id/tag/payload are application-level data the header
+        // cannot vouch for) — but NEVER a crash, hang, or allocation
+        // bigger than the bytes actually fed.
+        while (dec.next().has_value()) {
+        }
+        EXPECT_LE(dec.buffered(), corrupt.size());
+      } catch (const Error&) {
+        ++rejected;
+      }
+    }
+  }
+  // Magic (32 bits) and version (8) flips must all reject; type rejects
+  // for most flips. The battery keeps the exact count honest.
+  EXPECT_GE(rejected, 40);
+}
+
+TEST(Wire, OversizedLengthPrefixRejectsBeforePayloadArrives) {
+  auto bytes = net::encode_frame(sample_frame());
+  // Length prefix lives at offset 12..15 (little-endian): claim ~4 GiB.
+  bytes[12] = bytes[13] = bytes[14] = static_cast<char>(0xFF);
+  bytes[15] = static_cast<char>(0x7F);
+  bytes.resize(net::kHeaderBytes);  // header only — payload "in flight"
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  // Must throw NOW, from the header alone: waiting for the bogus payload
+  // would hang the receiver, allocating for it would OOM on garbage.
+  EXPECT_THROW(dec.next(), Error);
+}
+
+TEST(Wire, MaxPayloadBoundaryIsExact) {
+  auto bytes = net::encode_frame(sample_frame());
+  const std::uint32_t limit = net::kMaxFramePayload;
+  for (int i = 0; i < 4; ++i)
+    bytes[12 + i] = static_cast<char>((limit >> (8 * i)) & 0xFF);
+  FrameDecoder at_limit;
+  at_limit.feed(bytes.data(), net::kHeaderBytes);
+  EXPECT_FALSE(at_limit.next().has_value());  // waits for payload: legal
+
+  const std::uint32_t over = limit + 1;
+  for (int i = 0; i < 4; ++i)
+    bytes[12 + i] = static_cast<char>((over >> (8 * i)) & 0xFF);
+  FrameDecoder over_limit;
+  over_limit.feed(bytes.data(), net::kHeaderBytes);
+  EXPECT_THROW(over_limit.next(), Error);
+}
+
+TEST(Wire, HelloRoundTripsAndRejectsWrongSize) {
+  const net::Hello h{net::kProtocolVersion, 4, net::build_hash()};
+  const auto bytes = net::encode_hello(h, 2);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::kHello);
+  EXPECT_EQ(f->from, 2);
+  const net::Hello back = net::decode_hello(*f);
+  EXPECT_EQ(back.protocol, h.protocol);
+  EXPECT_EQ(back.nranks, h.nranks);
+  EXPECT_EQ(back.build, h.build);
+
+  Frame bad = *f;
+  bad.payload.pop_back();
+  EXPECT_THROW(net::decode_hello(bad), Error);
+}
+
+TEST(Wire, BuildHashIsStableWithinProcess) {
+  EXPECT_EQ(net::build_hash(), net::build_hash());
+  EXPECT_NE(net::build_hash(), 0u);
+}
+
+// ------------------------------------------------------------- handshake
+
+TEST(Handshake, MidHandshakeDisconnectIsDescriptive) {
+  const std::string dir = make_mesh_dir();
+  const auto listen_cfg = uds_config(dir, 0, 2);
+  net::Fd listener = net::listen_endpoint(listen_cfg);
+
+  // Fake rank 0: accept, then slam the connection shut mid-handshake.
+  std::thread fake([&] {
+    net::Fd conn = net::accept_endpoint(
+        listener, std::chrono::steady_clock::now() + std::chrono::seconds(10));
+    conn.reset();  // close without answering the HELLO
+  });
+
+  rt::dist::Mailbox inbox(1, watchdog_ms(10000));
+  net::PeerMesh mesh(uds_config(dir, 1, 2), inbox);
+  try {
+    mesh.connect();
+    FAIL() << "expected the handshake to fail";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("handshake"), std::string::npos)
+        << e.what();
+  }
+  fake.join();
+  remove_mesh_dir(dir, 2);
+}
+
+TEST(Handshake, MeshSizeMismatchIsRejected) {
+  const std::string dir = make_mesh_dir();
+  net::Fd listener = net::listen_endpoint(uds_config(dir, 0, 2));
+
+  // Fake rank 0 launched "with 3 ranks": consumes the victim's HELLO
+  // (closing before that write lands would EPIPE it into a different
+  // error), then answers with nranks = 3.
+  std::thread fake([&] {
+    net::Fd conn = net::accept_endpoint(
+        listener, std::chrono::steady_clock::now() + std::chrono::seconds(10));
+    const net::Hello lie{net::kProtocolVersion, 3, net::build_hash()};
+    const auto bytes = net::encode_hello(lie, 0);
+    std::size_t got = 0;
+    char sink[128];
+    while (got < bytes.size()) {
+      const ssize_t r = ::read(conn.get(), sink, sizeof(sink));
+      if (r <= 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    net::send_all(conn.get(), bytes.data(), bytes.size());
+  });
+
+  rt::dist::Mailbox inbox(1, watchdog_ms(10000));
+  net::PeerMesh mesh(uds_config(dir, 1, 2), inbox);
+  try {
+    mesh.connect();
+    FAIL() << "expected the mesh-size mismatch to be rejected";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("mesh size"), std::string::npos) << what;
+    EXPECT_NE(what.find("3"), std::string::npos) << what;
+  }
+  fake.join();
+  remove_mesh_dir(dir, 2);
+}
+
+// --------------------------------------------- in-process socket meshes
+
+TEST(SocketMesh, TwoEndpointsExchangePayloads) {
+  const std::string dir = make_mesh_dir();
+  {
+    TransportSet set(dir, 2);
+    const std::uint64_t tag = make_tag(0, 1, 2, 3);
+    const std::vector<char> payload{'h', 'i'};
+    set.t[0]->send(1, tag, payload);
+    EXPECT_EQ(set.t[1]->recv(tag, 0), payload);
+
+    // Self-send stays local and uncounted.
+    set.t[1]->send(1, make_tag(0, 9, 9, 9), {'s'});
+    EXPECT_EQ(set.t[1]->recv(make_tag(0, 9, 9, 9), 1),
+              std::vector<char>{'s'});
+
+    drain_all(set);
+    EXPECT_EQ(set.t[0]->stats().messages, 1);
+    EXPECT_EQ(set.t[1]->stats().messages, 0);  // self-send excluded
+    const auto wire = set.t[0]->wire_stats();
+    EXPECT_EQ(wire.msgs_sent, 1);
+    EXPECT_EQ(wire.bytes_sent, 2);
+  }
+  remove_mesh_dir(dir, 2);
+}
+
+TEST(SocketMesh, FourEndpointsAllToAll) {
+  const std::string dir = make_mesh_dir();
+  {
+    TransportSet set(dir, 4);
+    std::vector<std::thread> ranks;
+    std::atomic<int> failures{0};
+    for (int r = 0; r < 4; ++r)
+      ranks.emplace_back([&, r] {
+        try {
+          auto& t = *set.t[static_cast<std::size_t>(r)];
+          for (int to = 0; to < 4; ++to)
+            if (to != r)
+              t.send(to, make_tag(0, static_cast<std::uint32_t>(r),
+                                  static_cast<std::uint32_t>(to), 0),
+                     std::vector<char>{static_cast<char>('a' + r)});
+          for (int from = 0; from < 4; ++from)
+            if (from != r) {
+              const auto got =
+                  t.recv(make_tag(0, static_cast<std::uint32_t>(from),
+                                  static_cast<std::uint32_t>(r), 0),
+                         from);
+              if (got != std::vector<char>{static_cast<char>('a' + from)})
+                failures.fetch_add(1);
+            }
+          t.drain();
+        } catch (const Error&) {
+          failures.fetch_add(1);
+        }
+      });
+    for (auto& th : ranks) th.join();
+    EXPECT_EQ(failures.load(), 0);
+  }
+  remove_mesh_dir(dir, 4);
+}
+
+TEST(SocketMesh, InjectedDropsRecoverViaRealRetransmission) {
+  const std::string dir = make_mesh_dir();
+  resil::FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 7;
+  faults.message_drop_probability = 0.5;
+  faults.message_duplicate_probability = 0.0;
+  const auto before = resil::snapshot();
+  {
+    TransportSet set(dir, 2, faults);
+    constexpr int kMsgs = 24;
+    std::thread receiver([&] {
+      for (int k = 0; k < kMsgs; ++k) {
+        const auto got = set.t[1]->recv(
+            make_tag(0, static_cast<std::uint32_t>(k), 0, 0), 0);
+        ASSERT_EQ(got.size(), 1u);
+        EXPECT_EQ(got[0], static_cast<char>(k));
+      }
+      set.t[1]->drain();
+    });
+    for (int k = 0; k < kMsgs; ++k)
+      set.t[0]->send(1, make_tag(0, static_cast<std::uint32_t>(k), 0, 0),
+                     std::vector<char>{static_cast<char>(k)});
+    set.t[0]->drain();
+    receiver.join();
+
+    const auto wire = set.t[0]->wire_stats();
+    const auto after = resil::snapshot();
+    const long long dropped =
+        after.of(resil::ResilienceEvent::kMsgDrop) -
+        before.of(resil::ResilienceEvent::kMsgDrop);
+    const long long recovered =
+        after.of(resil::ResilienceEvent::kMsgRecovered) -
+        before.of(resil::ResilienceEvent::kMsgRecovered);
+    EXPECT_GT(dropped, 0) << "seed 7 at 50% must drop something";
+    EXPECT_EQ(dropped, recovered)
+        << "every injected drop must be recovered by a flagged retransmit";
+    EXPECT_GE(wire.retransmits, dropped);
+    EXPECT_EQ(wire.msgs_sent, kMsgs - dropped + wire.retransmits)
+        << "wire frames = surviving first transmissions + retransmissions";
+  }
+  remove_mesh_dir(dir, 2);
+}
+
+TEST(SocketMesh, InjectedDuplicatesAreDeduped) {
+  const std::string dir = make_mesh_dir();
+  resil::FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 11;
+  faults.message_drop_probability = 0.0;
+  faults.message_duplicate_probability = 0.6;
+  {
+    TransportSet set(dir, 2, faults);
+    constexpr int kMsgs = 24;
+    for (int k = 0; k < kMsgs; ++k)
+      set.t[0]->send(1, make_tag(0, static_cast<std::uint32_t>(k), 0, 0),
+                     std::vector<char>{static_cast<char>(k)});
+    for (int k = 0; k < kMsgs; ++k) {
+      const auto got = set.t[1]->recv(
+          make_tag(0, static_cast<std::uint32_t>(k), 0, 0), 0);
+      EXPECT_EQ(got, std::vector<char>{static_cast<char>(k)});
+    }
+    drain_all(set);
+    // Logical accounting ignores the duplicates; the wire saw them.
+    EXPECT_EQ(set.t[0]->stats().messages, kMsgs);
+    EXPECT_GT(set.t[0]->wire_stats().msgs_sent, kMsgs);
+  }
+  remove_mesh_dir(dir, 2);
+}
+
+TEST(SocketMesh, DeadPeerFailsBlockedReceiversByName) {
+  const std::string dir = make_mesh_dir();
+  {
+    TransportSet set(dir, 2);
+    std::string what;
+    std::thread receiver([&] {
+      try {
+        set.t[0]->recv(make_tag(0, 1, 1, 1), 1);
+      } catch (const Error& e) {
+        what = e.what();
+      }
+    });
+    // Rank 1 dies hard: no BYE, just closed sockets.
+    set.t[1]->abort();
+    receiver.join();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("lost"), std::string::npos) << what;
+  }
+  remove_mesh_dir(dir, 2);
+}
+
+TEST(SocketMesh, WatchdogTimeoutNamesPeerConnectionState) {
+  const std::string dir = make_mesh_dir();
+  {
+    // Short watchdog: the recv deadline fires while the peer is healthy.
+    TransportSet set(dir, 2, resil::FaultConfig{}, /*watchdog=*/200);
+    std::string what;
+    try {
+      set.t[0]->recv(make_tag(0, 5, 5, 5), 1);
+    } catch (const Error& e) {
+      what = e.what();
+    }
+    EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+    EXPECT_NE(what.find("from rank 1 (connected)"), std::string::npos)
+        << what;
+
+    // Peer 1 finishes sending (BYE on the wire): the same timeout now
+    // reports "draining" — a done-peer hang reads differently from a
+    // slow-peer hang.
+    set.t[1]->mesh().begin_drain();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (set.t[0]->mesh().peer_state(1) !=
+               rt::dist::PeerState::kDraining &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    try {
+      what.clear();
+      set.t[0]->recv(make_tag(0, 6, 6, 6), 1);
+    } catch (const Error& e) {
+      what = e.what();
+    }
+    EXPECT_NE(what.find("from rank 1 (draining)"), std::string::npos)
+        << what;
+    drain_all(set);
+  }
+  remove_mesh_dir(dir, 2);
+}

@@ -8,13 +8,17 @@ Checks the schema contract the obs layer promises:
     (kind, kernel, panel, i, j, flops, bytes, rank_in, rank_out);
   * timestamps are monotone non-decreasing within each (pid, tid) lane;
   * flops are non-negative and kind stays within the Table I range;
+  * comm instant-events (cat "comm", pid 1) carry a known event name —
+    "send" for a logical mailbox deposit, "net_send"/"net_recv"/
+    "net_retransmit" for wire frames of the socket mesh (src/net) — plus
+    valid from/to ranks in args.i/args.j and non-negative payload bytes;
   * resilience instant-events (cat "resilience", the fault/retry/recovery
     markers of docs/robustness.md) live in pid 2 and carry a known event
     name in both the display name and args.event.
 
 Usage:
   check_trace.py TRACE.json [--expect-tasks N] [--require-metadata]
-                 [--min-resilience N]
+                 [--min-resilience N] [--min-comm N]
 
 Exits 0 when the trace is valid, 1 with a diagnostic otherwise — CI runs it
 against a traced example (the trace-smoke job).
@@ -38,6 +42,13 @@ RESILIENCE_EVENTS = frozenset((
 ))
 RESILIENCE_PID = 2
 
+# Canonical comm event names: logical mailbox deposits plus the wire-frame
+# events the socket peer mesh records (obs::record_net).
+COMM_EVENTS = frozenset((
+    "send", "net_send", "net_recv", "net_retransmit",
+))
+COMM_PID = 1
+
 
 def fail(msg):
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
@@ -53,6 +64,8 @@ def main():
                     help="require the run_metadata instant event")
     ap.add_argument("--min-resilience", type=int, default=None,
                     help="minimum number of resilience instant events")
+    ap.add_argument("--min-comm", type=int, default=None,
+                    help="minimum number of comm instant events")
     args = ap.parse_args()
 
     try:
@@ -108,6 +121,21 @@ def main():
                          f"disagrees with name {ev['name']!r}")
                 resil += 1
             else:
+                if ev["pid"] != COMM_PID:
+                    fail(f"{where}: comm event outside pid {COMM_PID}")
+                if ev["name"] not in COMM_EVENTS:
+                    fail(f"{where}: unknown comm event {ev['name']!r}")
+                comm_args = ev.get("args")
+                if not isinstance(comm_args, dict):
+                    fail(f"{where}: comm event without args")
+                for key in ("i", "j", "bytes"):
+                    if key not in comm_args:
+                        fail(f"{where}: comm args missing {key!r}")
+                if comm_args["i"] < 0 or comm_args["j"] < 0:
+                    fail(f"{where}: comm event with invalid from/to ranks "
+                         f"({comm_args['i']}, {comm_args['j']})")
+                if comm_args["bytes"] < 0:
+                    fail(f"{where}: comm event with negative bytes")
                 comms += 1
             continue
         if ph != "X":
@@ -133,6 +161,8 @@ def main():
     if args.min_resilience is not None and resil < args.min_resilience:
         fail(f"expected at least {args.min_resilience} resilience events, "
              f"found {resil}")
+    if args.min_comm is not None and comms < args.min_comm:
+        fail(f"expected at least {args.min_comm} comm events, found {comms}")
     if tasks == 0:
         fail("trace holds no task spans")
 

@@ -1,0 +1,126 @@
+// ptlr-dist: one rank process of a distributed TLR Cholesky over the
+// socket mesh. Launch N of these with tools/ptlr-launch:
+//
+//   ptlr-launch --n 2 -- ./ptlr-dist --n 192 --b 32 --dist band --band 2
+//
+// Every rank builds the same synthetic covariance problem (same seed),
+// compresses its replica, and runs the owner-computes rank program
+// (core::distributed_factorize_rank) over net::SocketTransport; tiles move
+// as real bytes on the wire. --verify 1 recomputes the in-process
+// sim-distributed factor (faults and chaos disabled) and checks every tile
+// this rank owns is bitwise identical — the cross-transport oracle the
+// dist tests use, available at tool scale.
+//
+// Observability: PTLR_TRACE=1 records the rank's task spans plus wire
+// events; PTLR_TRACE_FILE=trace_rank{rank}.json (via ptlr-launch
+// substitution) gives one trace per rank. A summary line per rank reports
+// time, logical sends and wire-level frame counts.
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "args.hpp"
+#include "common/error.hpp"
+#include "core/dist_cholesky.hpp"
+#include "net/transport.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "runtime/distribution.hpp"
+#include "stars/problem.hpp"
+#include "tlr/io.hpp"
+#include "tlr/tlr_matrix.hpp"
+
+using namespace ptlr;
+
+namespace {
+
+std::unique_ptr<rt::Distribution> make_dist(const std::string& kind,
+                                            int nranks, int band) {
+  const auto [p, q] = rt::square_grid(nranks);
+  if (kind == "2d")
+    return std::make_unique<rt::TwoDBlockCyclic>(p, q);
+  if (kind == "band")
+    return std::make_unique<rt::BandDistribution>(p, q, band);
+  throw Error("--dist must be 2d or band, got: " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const tools::Args args(argc, argv);
+  const int n = args.integer("n", 192);
+  const int b = args.integer("b", 32);
+  const double tol = args.real("tol", 1e-6);
+  const std::string dist_kind = args.str("dist", "band");
+  const int band = args.integer("band", 2);
+  const bool verify = args.integer("verify", 0) != 0;
+
+  const net::NetConfig cfg = net::NetConfig::from_env();
+  const compress::Accuracy acc{tol, 1 << 30};
+
+  obs::enable_from_env();
+  obs::set_metadata("tool", "ptlr-dist");
+  obs::set_metadata("n", std::to_string(n));
+  obs::set_metadata("b", std::to_string(b));
+  obs::set_metadata("dist", dist_kind);
+  obs::set_metadata("nranks", std::to_string(cfg.nranks));
+  obs::set_metadata("rank", std::to_string(cfg.rank));
+
+  const auto prob = stars::make_problem(stars::ProblemKind::kSt3DExp, n);
+  tlr::TlrMatrix a = tlr::TlrMatrix::from_problem(prob, b, acc, 1);
+  const auto dist = make_dist(dist_kind, cfg.nranks, band);
+  PTLR_CHECK(dist->nproc() == cfg.nranks,
+             "distribution grid does not match PTLR_NRANKS");
+
+  core::DistCholeskyResult res;
+  net::PeerWireStats wire;
+  {
+    net::SocketTransport transport(cfg);
+    res = core::distributed_factorize_rank(a, *dist, acc, transport);
+    wire = transport.wire_stats();
+  }
+
+  std::cout << "rank " << cfg.rank << "/" << cfg.nranks << ": n=" << n
+            << " b=" << b << " dist=" << dist_kind << " time=" << res.seconds
+            << " s, sent " << res.comm.messages << " msgs ("
+            << res.comm.bytes << " B), wire " << wire.msgs_sent << " out/"
+            << wire.msgs_recv << " in frames, " << wire.retransmits
+            << " retransmits\n";
+
+  // Flush the trace before any --verify oracle runs: the trace documents
+  // the wire run, and the oracle's in-process rank threads would interleave
+  // extra task spans into the same worker lanes.
+  const std::string trace = obs::write_chrome_trace_from_env();
+  if (!trace.empty())
+    std::cout << "rank " << cfg.rank << ": trace written to " << trace
+              << "\n";
+
+  if (verify) {
+    // Oracle: the in-process sim-distributed factor of the same input,
+    // computed fault-free (the wire run already recovered any injected
+    // faults; the factors must still match bitwise).
+    unsetenv("PTLR_FAULTS");
+    unsetenv("PTLR_PERTURB_SEED");
+    tlr::TlrMatrix oracle = tlr::TlrMatrix::from_problem(prob, b, acc, 1);
+    core::distributed_factorize(oracle, *dist, acc);
+    long long tiles = 0;
+    for (int i = 0; i < a.nt(); ++i)
+      for (int j = 0; j <= i; ++j) {
+        if (dist->owner(i, j) != cfg.rank) continue;
+        ++tiles;
+        PTLR_CHECK(tlr::tile_to_bytes(a.at(i, j)) ==
+                       tlr::tile_to_bytes(oracle.at(i, j)),
+                   "verify: tile (" + std::to_string(i) + "," +
+                       std::to_string(j) + ") of rank " +
+                       std::to_string(cfg.rank) +
+                       " differs from the in-process oracle");
+      }
+    std::cout << "rank " << cfg.rank << ": verify OK (" << tiles
+              << " owned tiles bitwise identical)\n";
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "ptlr-dist: " << e.what() << "\n";
+  return 7;
+}
