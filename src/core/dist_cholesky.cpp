@@ -1,11 +1,15 @@
 #include "core/dist_cholesky.hpp"
 
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <map>
 #include <set>
 #include <string>
 #include <thread>
 
+#include "common/error.hpp"
 #include "common/timer.hpp"
 #include "hcore/kernels.hpp"
 #include "obs/trace.hpp"
@@ -24,13 +28,30 @@ using rt::dist::make_tag;
 class RankProgram {
  public:
   RankProgram(rt::dist::Transport& t, int nt, const rt::Distribution& dist,
-              tlr::TlrMatrix& a, const compress::Accuracy& acc)
-      : t_(t), rank_(t.rank()), nt_(nt), dist_(dist), a_(a), acc_(acc) {}
+              tlr::TlrMatrix& a, const compress::Accuracy& acc,
+              const RankRecoveryOptions& rec = {})
+      : t_(t),
+        rank_(t.rank()),
+        nt_(nt),
+        dist_(dist),
+        a_(a),
+        acc_(acc),
+        rec_(rec),
+        injector_(rec.faults) {}
 
   void run() {
-    for (int k = 0; k < nt_; ++k) {
+    int k0 = 0;
+    if (rec_.epoch > 0) {
+      resil::note(resil::ResilienceEvent::kRankRestart,
+                  "rank " + std::to_string(rank_) + " epoch " +
+                      std::to_string(rec_.epoch));
+      k0 = restore();
+    }
+    for (int k = k0; k < nt_; ++k) {
+      maybe_kill(k);
       factor_panel(k);
       update_trailing(k);
+      maybe_checkpoint(k);
     }
   }
 
@@ -63,6 +84,88 @@ class RankProgram {
     }
   }
 
+  // Destination sets of the step-k broadcasts, shared by the live
+  // factorization and the post-respawn rebroadcast of already-factored
+  // tiles.
+  [[nodiscard]] std::set<int> diag_dests(int k) const {
+    std::set<int> dests;
+    for (int i = k + 1; i < nt_; ++i) dests.insert(dist_.owner(i, k));
+    return dests;
+  }
+  [[nodiscard]] std::set<int> panel_dests(int k, int i) const {
+    std::set<int> dests;
+    dests.insert(dist_.owner(i, i));                      // SYRK
+    for (int j = k + 1; j < i; ++j)
+      dests.insert(dist_.owner(i, j));                    // GEMM row operand
+    for (int m = i + 1; m < nt_; ++m)
+      dests.insert(dist_.owner(m, i));                    // GEMM col operand
+    return dests;
+  }
+
+  // ---- rank-death recovery -------------------------------------------
+
+  /// The injected whole-process death: every rank computes the same
+  /// (victim, step) plan from the fault seed, and the victim SIGKILLs
+  /// itself at the top of its step — no cleanup, no BYE, exactly what a
+  /// node crash looks like to the mesh. Only the first incarnation
+  /// (epoch 0) kills, so a respawn cannot re-kill itself at the same step.
+  void maybe_kill(int k) {
+    if (rec_.epoch != 0 || !injector_.enabled()) return;
+    const auto plan = injector_.rank_kill(dist_.nproc(), nt_);
+    if (plan && plan->victim == rank_ && plan->step == k)
+      std::raise(SIGKILL);
+  }
+
+  /// Periodic crash-consistent checkpoint of the rank's owned tiles (in
+  /// their current, partially-updated state) with frontier k+1 — the
+  /// first step a replay from this checkpoint must re-run. The final step
+  /// is not checkpointed: a kill after it cannot happen (the plan's step
+  /// range ends at nt-1) and the file would only be dead weight.
+  void maybe_checkpoint(int k) {
+    if (!rec_.ckpt.enabled()) return;
+    if ((k + 1) % rec_.ckpt.every != 0 || k + 1 >= nt_) return;
+    save_rank_checkpoint(rec_.ckpt.path_of(rank_), a_, dist_, rank_,
+                         static_cast<std::uint64_t>(k + 1));
+    resil::note(resil::ResilienceEvent::kCkptWrite,
+                "rank " + std::to_string(rank_) + " frontier " +
+                    std::to_string(k + 1));
+  }
+
+  /// Respawn path: load the checkpoint (if one exists), re-broadcast every
+  /// owned tile that was factored before the frontier — peers may have
+  /// lost those messages with the old process; receivers that already have
+  /// them discard the re-sends by deterministic-id dedup — and return the
+  /// step to resume at.
+  int restore() {
+    if (!rec_.ckpt.enabled()) return 0;
+    const std::string path = rec_.ckpt.path_of(rank_);
+    if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+      std::fclose(f);
+    } else {
+      return 0;  // died before the first checkpoint: replay from scratch
+    }
+    const std::uint64_t frontier =
+        load_rank_checkpoint(path, a_, dist_, rank_);
+    resil::note(resil::ResilienceEvent::kCkptLoad,
+                "rank " + std::to_string(rank_) + " frontier " +
+                    std::to_string(frontier));
+    const int k0 = static_cast<int>(frontier);
+    for (int k = 0; k < k0; ++k) {
+      if (mine(k, k))
+        broadcast(local(k, k),
+                  make_tag(0, static_cast<std::uint32_t>(k), k, k),
+                  diag_dests(k));
+      for (int i = k + 1; i < nt_; ++i) {
+        if (mine(i, k))
+          broadcast(local(i, k),
+                    make_tag(1, static_cast<std::uint32_t>(k),
+                             static_cast<std::uint32_t>(i), k),
+                    panel_dests(k, i));
+      }
+    }
+    return k0;
+  }
+
   void factor_panel(int k) {
     const std::uint64_t diag_tag = make_tag(0, static_cast<std::uint32_t>(k),
                                             k, k);
@@ -70,9 +173,7 @@ class RankProgram {
     // POTRF on the diagonal owner, then broadcast down the panel.
     if (mine(k, k)) {
       traced("potrf", k, k, k, [&] { hcore::potrf(local(k, k)); });
-      std::set<int> dests;
-      for (int i = k + 1; i < nt_; ++i) dests.insert(dist_.owner(i, k));
-      broadcast(local(k, k), diag_tag, dests);
+      broadcast(local(k, k), diag_tag, diag_dests(k));
     }
 
     // Ranks holding panel tiles need the factored diagonal.
@@ -95,16 +196,10 @@ class RankProgram {
     for (int i = k + 1; i < nt_; ++i) {
       if (!mine(i, k)) continue;
       traced("trsm", k, i, k, [&] { hcore::trsm(*diag, local(i, k)); });
-      std::set<int> dests;
-      dests.insert(dist_.owner(i, i));                    // SYRK
-      for (int j = k + 1; j < i; ++j)
-        dests.insert(dist_.owner(i, j));                  // GEMM row operand
-      for (int m = i + 1; m < nt_; ++m)
-        dests.insert(dist_.owner(m, i));                  // GEMM col operand
       broadcast(local(i, k),
                 make_tag(1, static_cast<std::uint32_t>(k),
                          static_cast<std::uint32_t>(i), k),
-                dests);
+                panel_dests(k, i));
     }
   }
 
@@ -154,9 +249,25 @@ class RankProgram {
   const rt::Distribution& dist_;
   tlr::TlrMatrix& a_;
   compress::Accuracy acc_;
+  RankRecoveryOptions rec_;
+  resil::FaultInjector injector_;
 };
 
 }  // namespace
+
+RankRecoveryOptions RankRecoveryOptions::from_env() {
+  RankRecoveryOptions rec;
+  rec.ckpt = CheckpointPolicy::from_env();
+  rec.faults = resil::FaultConfig::from_env();
+  if (const char* e = std::getenv("PTLR_EPOCH")) {
+    char* end = nullptr;
+    const long v = std::strtol(e, &end, 10);
+    PTLR_CHECK(end != nullptr && *end == '\0' && v >= 0 && v <= 255,
+               "PTLR_EPOCH: expected 0..255, got '" + std::string(e) + "'");
+    rec.epoch = static_cast<int>(v);
+  }
+  return rec;
+}
 
 DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
                                          const rt::Distribution& dist,
@@ -200,14 +311,14 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
   return result;
 }
 
-DistCholeskyResult distributed_factorize_rank(tlr::TlrMatrix& a,
-                                              const rt::Distribution& dist,
-                                              const compress::Accuracy& acc,
-                                              rt::dist::Transport& transport) {
+DistCholeskyResult distributed_factorize_rank(
+    tlr::TlrMatrix& a, const rt::Distribution& dist,
+    const compress::Accuracy& acc, rt::dist::Transport& transport,
+    const RankRecoveryOptions& recovery) {
   const resil::RecoveryStats recovery_before = resil::snapshot();
   WallTimer timer;
   try {
-    RankProgram prog(transport, a.nt(), dist, a, acc);
+    RankProgram prog(transport, a.nt(), dist, a, acc, recovery);
     prog.run();
     transport.drain();
   } catch (...) {

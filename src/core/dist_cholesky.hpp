@@ -18,6 +18,8 @@
 #pragma once
 
 #include "compress/compress.hpp"
+#include "core/checkpoint.hpp"
+#include "resilience/fault.hpp"
 #include "resilience/stats.hpp"
 #include "runtime/distribution.hpp"
 #include "runtime/mailbox.hpp"
@@ -43,6 +45,26 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
                                          const rt::Distribution& dist,
                                          const compress::Accuracy& acc);
 
+/// Rank-death recovery knobs for one rank process of the socket backend.
+/// Default-constructed = no checkpointing, first incarnation, no faults —
+/// the pre-recovery behavior.
+struct RankRecoveryOptions {
+  /// Periodic tile checkpointing (PTLR_CKPT / PTLR_CKPT_DIR).
+  CheckpointPolicy ckpt;
+  /// Incarnation of this rank process: 0 = launched normally, >0 = the
+  /// launcher respawned it after a crash (PTLR_EPOCH). A respawn loads its
+  /// checkpoint (if any) and replays from the stored frontier; injected
+  /// rank kills only fire at epoch 0, so a respawn cannot re-kill itself.
+  int epoch = 0;
+  /// Fault plan for the rank_kill class (PTLR_FAULTS "kill=<p>"). Message
+  /// and task faults stay where they were (transport / executor); the
+  /// whole-process kill is decided here because only the rank program
+  /// knows the k-step boundaries the plan is keyed on.
+  resil::FaultConfig faults;
+
+  static RankRecoveryOptions from_env();
+};
+
 /// Run ONE rank of the factorization over `transport` — the entry point a
 /// rank process of the socket backend calls. `a` is this process's replica
 /// of the matrix: only the tiles `dist` assigns to transport.rank() are
@@ -50,9 +72,16 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
 /// untouched (its factored value lives in the owning process). Completes
 /// the transport's drain barrier before returning, so wire-level stats
 /// are final. Comm stats in the result are this endpoint's own sends.
-DistCholeskyResult distributed_factorize_rank(tlr::TlrMatrix& a,
-                                              const rt::Distribution& dist,
-                                              const compress::Accuracy& acc,
-                                              rt::dist::Transport& transport);
+///
+/// With `recovery` enabled the rank checkpoints its tiles every
+/// ckpt.every steps, and — when running as a respawn (epoch > 0) —
+/// restores them, re-broadcasts the factored tiles peers may have lost
+/// with the old process, and resumes at the checkpointed frontier. The
+/// deterministic per-site compression seeds make the replay bitwise
+/// identical to an uninterrupted run.
+DistCholeskyResult distributed_factorize_rank(
+    tlr::TlrMatrix& a, const rt::Distribution& dist,
+    const compress::Accuracy& acc, rt::dist::Transport& transport,
+    const RankRecoveryOptions& recovery = {});
 
 }  // namespace ptlr::core

@@ -1,5 +1,7 @@
 #include "net/peer_mesh.hpp"
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <sstream>
 #include <string>
@@ -17,6 +19,9 @@ namespace {
 
 std::string rank_str(int r) { return "rank " + std::to_string(r); }
 
+/// The k-step a mailbox tag belongs to (make_tag packs k into bits 40..59).
+std::uint64_t tag_step(std::uint64_t tag) { return (tag >> 40) & 0xFFFFFu; }
+
 }  // namespace
 
 PeerMesh::PeerMesh(const NetConfig& cfg, rt::dist::Mailbox& inbox)
@@ -30,6 +35,13 @@ PeerMesh::PeerMesh(const NetConfig& cfg, rt::dist::Mailbox& inbox)
 }
 
 PeerMesh::~PeerMesh() { close(); }
+
+std::chrono::milliseconds PeerMesh::drain_deadline() const {
+  // Drain must outlive a pending rejoin: a rank killed near the last step
+  // can respawn and still BYE within the window.
+  return std::chrono::milliseconds(cfg_.connect_timeout_ms +
+                                   cfg_.rejoin_window_ms);
+}
 
 Frame PeerMesh::handshake_read(int fd, FrameDecoder& dec,
                                Clock::time_point dl) {
@@ -46,11 +58,25 @@ Frame PeerMesh::handshake_read(int fd, FrameDecoder& dec,
   }
 }
 
-void PeerMesh::validate_hello(const Frame& f, int expected_from) const {
-  PTLR_CHECK(f.type == FrameType::kHello,
-             "handshake: expected a HELLO frame, got frame type " +
-                 std::to_string(static_cast<int>(f.type)));
-  const Hello h = decode_hello(f);
+Frame PeerMesh::rejoin_read(int fd, FrameDecoder& dec, Clock::time_point dl) {
+  char buf[4096];
+  for (;;) {
+    if (auto f = dec.next()) return std::move(*f);
+    PTLR_CHECK(!closing_.load(std::memory_order_acquire),
+               "rejoin: mesh is closing");
+    const auto now = Clock::now();
+    PTLR_CHECK(now < dl, "rejoin: timeout waiting for the REJOIN frame");
+    if (!wait_readable(fd, std::min(dl, now + std::chrono::milliseconds(200))))
+      continue;
+    const long r = recv_some(fd, buf, sizeof(buf));
+    if (r == 0)
+      throw Error("rejoin: peer disconnected in the middle of the handshake");
+    PTLR_CHECK(r > 0, "rejoin: handshake read failed");
+    dec.feed(buf, static_cast<std::size_t>(r));
+  }
+}
+
+void PeerMesh::validate_hello_payload(const Hello& h) const {
   PTLR_CHECK(h.protocol == kProtocolVersion,
              "handshake: protocol version mismatch (peer speaks " +
                  std::to_string(h.protocol) + ", this build speaks " +
@@ -62,6 +88,13 @@ void PeerMesh::validate_hello(const Frame& f, int expected_from) const {
   PTLR_CHECK(h.build == build_hash(),
              "handshake: build hash mismatch — the ranks were not launched "
              "from the same binary build");
+}
+
+void PeerMesh::validate_hello(const Frame& f, int expected_from) const {
+  PTLR_CHECK(f.type == FrameType::kHello,
+             "handshake: expected a HELLO frame, got frame type " +
+                 std::to_string(static_cast<int>(f.type)));
+  validate_hello_payload(decode_hello(f));
   if (expected_from >= 0) {
     PTLR_CHECK(f.from == expected_from,
                "handshake: endpoint of " + rank_str(expected_from) +
@@ -78,41 +111,224 @@ void PeerMesh::connect() {
   if (cfg_.nranks == 1) return;
 
   const auto dl = Clock::now() + cfg_.connect_timeout();
-  const Hello mine{kProtocolVersion, static_cast<std::uint32_t>(cfg_.nranks),
-                   build_hash()};
-  const std::vector<char> hello = encode_hello(mine, cfg_.rank);
 
-  // Listener first: a peer's connect() retries against our backlog, so
-  // binding before any outbound dial makes the rendezvous order-free.
-  if (cfg_.rank < cfg_.nranks - 1) listener_ = listen_endpoint(cfg_);
+  // Every rank binds a listener — the highest rank accepts nothing during
+  // the rendezvous, but any rank may have to accept a REJOIN later.
+  listener_ = listen_endpoint(cfg_);
 
-  // Dial every lower rank; each unordered pair shares one stream.
-  for (int peer = 0; peer < cfg_.rank; ++peer) {
-    Peer& p = *peers_[static_cast<std::size_t>(peer)];
-    p.sock = connect_endpoint(cfg_, peer, dl);
-    PTLR_CHECK(send_all(p.sock.get(), hello.data(), hello.size()),
-               "handshake: sending HELLO to " + rank_str(peer) + " failed");
-    validate_hello(handshake_read(p.sock.get(), p.decoder, dl), peer);
-  }
+  if (cfg_.epoch > 0) {
+    // This process IS a respawn: skip the rendezvous, REJOIN-dial the
+    // survivors.
+    rejoin_connect(dl);
+  } else {
+    const Hello mine{kProtocolVersion,
+                     static_cast<std::uint32_t>(cfg_.nranks), build_hash()};
+    const std::vector<char> hello = encode_hello(mine, cfg_.rank);
 
-  // Accept every higher rank; they identify themselves in their HELLO.
-  for (int n = 0; n < cfg_.nranks - 1 - cfg_.rank; ++n) {
-    Fd fd = accept_endpoint(listener_, dl);
-    FrameDecoder dec;
-    const Frame f = handshake_read(fd.get(), dec, dl);
-    validate_hello(f, -1);
-    Peer& p = *peers_[static_cast<std::size_t>(f.from)];
-    PTLR_CHECK(!p.sock.valid(),
-               "handshake: " + rank_str(f.from) + " connected twice");
-    PTLR_CHECK(send_all(fd.get(), hello.data(), hello.size()),
-               "handshake: HELLO reply to " + rank_str(f.from) + " failed");
-    p.sock = std::move(fd);
-    p.decoder = std::move(dec);
+    // Dial every lower rank; each unordered pair shares one stream.
+    for (int peer = 0; peer < cfg_.rank; ++peer) {
+      Peer& p = *peers_[static_cast<std::size_t>(peer)];
+      p.sock = connect_endpoint(cfg_, peer, dl);
+      PTLR_CHECK(send_all(p.sock.get(), hello.data(), hello.size()),
+                 "handshake: sending HELLO to " + rank_str(peer) + " failed");
+      const Frame f = handshake_read(p.sock.get(), p.decoder, dl);
+      validate_hello(f, peer);
+      p.epoch = f.epoch;
+    }
+
+    // Accept every higher rank; they identify themselves in their HELLO.
+    for (int n = 0; n < cfg_.nranks - 1 - cfg_.rank; ++n) {
+      Fd fd = accept_endpoint(listener_, dl);
+      FrameDecoder dec;
+      const Frame f = handshake_read(fd.get(), dec, dl);
+      validate_hello(f, -1);
+      Peer& p = *peers_[static_cast<std::size_t>(f.from)];
+      PTLR_CHECK(!p.sock.valid(),
+                 "handshake: " + rank_str(f.from) + " connected twice");
+      PTLR_CHECK(send_all(fd.get(), hello.data(), hello.size()),
+                 "handshake: HELLO reply to " + rank_str(f.from) + " failed");
+      p.sock = std::move(fd);
+      p.decoder = std::move(dec);
+      p.epoch = f.epoch;
+    }
   }
 
   for (auto& p : peers_)
     if (p) start_session(*p);
   rto_ = std::thread([this] { rto_loop(); });
+  if (cfg_.rejoin_window_ms > 0)
+    accept_ = std::thread([this] { accept_loop(); });
+}
+
+void PeerMesh::rejoin_connect(Clock::time_point dl) {
+  const auto epoch8 = static_cast<std::uint8_t>(cfg_.epoch);
+  const Rejoin rj{Hello{kProtocolVersion,
+                        static_cast<std::uint32_t>(cfg_.nranks), build_hash()},
+                  cfg_.rejoin_frontier};
+  const std::vector<char> rejoin = encode_rejoin(rj, cfg_.rank, epoch8);
+  for (int peer = 0; peer < cfg_.nranks; ++peer) {
+    if (peer == cfg_.rank) continue;
+    Peer& p = *peers_[static_cast<std::size_t>(peer)];
+    p.sock = connect_endpoint(cfg_, peer, dl);
+    PTLR_CHECK(send_all(p.sock.get(), rejoin.data(), rejoin.size()),
+               "rejoin: sending REJOIN to " + rank_str(peer) + " failed");
+    const Frame f = handshake_read(p.sock.get(), p.decoder, dl);
+    PTLR_CHECK(f.type == FrameType::kWelcome,
+               "rejoin: " + rank_str(peer) +
+                   " did not WELCOME this respawn (frame type " +
+                   std::to_string(static_cast<int>(f.type)) + ")");
+    validate_hello_payload(decode_hello(f));
+    PTLR_CHECK(f.from == peer, "rejoin: endpoint of " + rank_str(peer) +
+                                   " answered as " + rank_str(f.from));
+    p.epoch = f.epoch;  // the survivor's own session epoch
+    {
+      std::lock_guard<std::mutex> lk(p.mu);
+      p.stats.rejoins += 1;
+    }
+    obs::record_net(obs::NetEvent::kRejoin, cfg_.rank, peer, 0);
+  }
+}
+
+void PeerMesh::accept_loop() {
+  while (!closing_.load(std::memory_order_acquire)) {
+    if (!wait_readable(listener_.get(),
+                       Clock::now() + std::chrono::milliseconds(200)))
+      continue;
+    Fd fd(::accept(listener_.get(), nullptr, nullptr));
+    if (!fd.valid()) continue;
+    try {
+      handle_rejoin(std::move(fd));
+    } catch (const Error&) {
+      // A rejected REJOIN (unknown rank, stale epoch, wrong build, peer
+      // not lost, garbage bytes) closes the intruder connection and keeps
+      // the mesh intact: the descriptive error is accounted per peer where
+      // one exists, and the dialer observes EOF instead of a WELCOME.
+    }
+  }
+}
+
+void PeerMesh::handle_rejoin(Fd fd) {
+  FrameDecoder dec;
+  const auto dl = Clock::now() + std::chrono::milliseconds(
+                                     std::min<long long>(
+                                         cfg_.connect_timeout_ms, 5000));
+  // Validation order mirrors the wire decoder: nothing is trusted (and no
+  // peer state touched) before the frame proves who it is. Failures here
+  // have no peer slot to account against — the Error propagates to the
+  // accept loop, which just closes the connection.
+  const Frame f = rejoin_read(fd.get(), dec, dl);
+  PTLR_CHECK(f.type == FrameType::kRejoin,
+             "rejoin: expected a REJOIN frame, got frame type " +
+                 std::to_string(static_cast<int>(f.type)));
+  PTLR_CHECK(f.from >= 0 && f.from < cfg_.nranks && f.from != cfg_.rank &&
+                 peers_[static_cast<std::size_t>(f.from)],
+             "rejoin: REJOIN from unknown " + rank_str(f.from));
+  Peer& p = *peers_[static_cast<std::size_t>(f.from)];
+  Rejoin rj;
+  try {
+    rj = decode_rejoin(f);
+    validate_hello_payload(rj.hello);
+
+    // The dying rank's EOF and its respawn's dial race on the survivor:
+    // give the old receiver a moment to observe the loss.
+    const auto lost_dl = Clock::now() + std::chrono::milliseconds(2000);
+    while (p.state.load() != static_cast<int>(PeerState::kLost) &&
+           Clock::now() < lost_dl &&
+           !closing_.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    PTLR_CHECK(p.state.load() == static_cast<int>(PeerState::kLost),
+               "rejoin: " + rank_str(f.from) + " is not lost");
+    {
+      std::lock_guard<std::mutex> lk(p.mu);
+      PTLR_CHECK(!p.failed, "rejoin: the window for " + rank_str(f.from) +
+                                " already expired");
+      // Exactly +1: an epoch regression is a replayed/imposter handshake,
+      // a skip means the peer crashed mid-rejoin and its history diverged
+      // from ours — both are refused (the launcher's backoff makes honest
+      // epochs strictly sequential).
+      PTLR_CHECK(static_cast<int>(f.epoch) ==
+                     static_cast<int>(p.epoch) + 1,
+                 "rejoin: " + rank_str(f.from) + " presented epoch " +
+                     std::to_string(static_cast<int>(f.epoch)) +
+                     ", expected " +
+                     std::to_string(static_cast<int>(p.epoch) + 1));
+    }
+  } catch (const Error&) {
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.stats.rejoin_rejects += 1;
+    throw;
+  }
+
+  // Validated: swap the link. The old session threads exited when the old
+  // socket died (sender wakes on kLost, receiver on EOF) — join them
+  // before their slots are reused.
+  if (p.sender.joinable()) p.sender.join();
+  if (p.receiver.joinable()) p.receiver.join();
+
+  const Hello mine{kProtocolVersion, static_cast<std::uint32_t>(cfg_.nranks),
+                   build_hash()};
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    p.sock = std::move(fd);
+    p.decoder = std::move(dec);
+    p.epoch = f.epoch;
+    p.bye_received = false;
+    p.lost_reason.clear();
+    const auto now = Clock::now();
+    // Everything still unacked is due for immediate retransmission on the
+    // new socket.
+    for (auto& [id, pend] : p.unacked) pend.due = now;
+    // Replay acked-but-lost frames the respawned peer cannot reconstruct:
+    // every logged MSG at or past its resume frontier re-enters the
+    // unacked set (deterministic ids make redundant deliveries dedup).
+    for (auto it = p.sent_log.begin(); it != p.sent_log.end();) {
+      if (tag_step(it->second.frame.tag) >= rj.frontier) {
+        Pending pend = std::move(it->second);
+        pend.due = now;
+        pend.injected_drop = false;  // its drop accounting already closed
+        p.unacked.insert_or_assign(it->first, std::move(pend));
+        it = p.sent_log.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // If our BYE was already sent (or lost from the queue), the respawned
+    // peer never saw it — make sure one reaches the new socket.
+    if (p.bye_enqueued) {
+      const bool queued = std::any_of(
+          p.queue.begin(), p.queue.end(), [](const QueueItem& qi) {
+            return qi.frame.type == FrameType::kBye;
+          });
+      if (!queued) {
+        p.bye_sent = false;
+        Frame bye;
+        bye.type = FrameType::kBye;
+        bye.from = cfg_.rank;
+        bye.epoch = static_cast<std::uint8_t>(cfg_.epoch);
+        p.queued_bytes += kHeaderBytes;
+        p.queue.push_back(QueueItem{std::move(bye), false});
+      }
+    }
+    // WELCOME must be the FIRST frame on the new socket — the dialer's
+    // handshake read expects it before any replayed MSG.
+    Frame wf;
+    wf.type = FrameType::kWelcome;
+    wf.from = cfg_.rank;
+    wf.epoch = static_cast<std::uint8_t>(cfg_.epoch);
+    wf.payload = hello_payload(mine);
+    p.queued_bytes += kHeaderBytes + wf.payload.size();
+    p.queue.push_front(QueueItem{std::move(wf), false});
+    p.state.store(static_cast<int>(PeerState::kConnected));
+    p.stats.rejoins += 1;
+    p.cv_send.notify_all();
+    p.cv_space.notify_all();
+    p.cv_state.notify_all();
+  }
+  // Fence the mailbox: any pre-crash envelope from the old session that
+  // is still queued (or still in flight through a decoder) is stale.
+  inbox_.fence_epoch(p.rank, f.epoch);
+  start_session(p);
+  obs::record_net(obs::NetEvent::kRejoin, p.rank, cfg_.rank, 0);
 }
 
 void PeerMesh::start_session(Peer& p) {
@@ -121,20 +337,23 @@ void PeerMesh::start_session(Peer& p) {
 }
 
 void PeerMesh::enqueue(Peer& p, Frame f, bool retransmit, bool control) {
+  f.epoch = static_cast<std::uint8_t>(cfg_.epoch);
   const std::size_t cost = kHeaderBytes + f.payload.size();
   std::unique_lock<std::mutex> lk(p.mu);
   if (!control) {
     // Backpressure: cap the bytes parked for one peer. Control frames
     // (ACK/BYE/retransmits) bypass the cap so the receiver and RTO loops
-    // can never block behind a full data queue.
+    // can never block behind a full data queue. A peer that is lost but
+    // still inside its rejoin window keeps accepting queued sends — they
+    // flow once the respawn's socket is swapped in; only a terminal
+    // failure (window expired / no window) throws.
     p.cv_space.wait(lk, [&] {
       return p.queued_bytes + cost <= cfg_.max_queue_bytes ||
-             closing_.load(std::memory_order_acquire) ||
-             p.state.load() == static_cast<int>(PeerState::kLost);
+             closing_.load(std::memory_order_acquire) || p.failed;
     });
     if (closing_.load(std::memory_order_acquire))
       throw Error("send to " + rank_str(p.rank) + ": transport is closing");
-    if (p.state.load() == static_cast<int>(PeerState::kLost))
+    if (p.failed)
       throw Error("send to " + rank_str(p.rank) + ": connection lost");
   }
   p.queued_bytes += cost;
@@ -152,6 +371,7 @@ void PeerMesh::send(int to, std::uint64_t tag, std::uint64_t id,
   Frame f;
   f.type = FrameType::kMsg;
   f.from = cfg_.rank;
+  f.epoch = static_cast<std::uint8_t>(cfg_.epoch);
   f.id = id;
   f.tag = tag;
   f.payload = std::move(payload);
@@ -179,9 +399,14 @@ void PeerMesh::sender_loop(Peer& p) {
     {
       std::unique_lock<std::mutex> lk(p.mu);
       p.cv_send.wait(lk, [&] {
-        return !p.queue.empty() || closing_.load(std::memory_order_acquire);
+        return !p.queue.empty() ||
+               closing_.load(std::memory_order_acquire) ||
+               p.state.load() == static_cast<int>(PeerState::kLost);
       });
       if (closing_.load(std::memory_order_acquire)) return;
+      // Leave the queue intact on loss: a rejoin swap restarts a fresh
+      // sender that drains it onto the new socket.
+      if (p.state.load() == static_cast<int>(PeerState::kLost)) return;
       item = std::move(p.queue.front());
       p.queue.pop_front();
       p.queued_bytes -= kHeaderBytes + item.frame.payload.size();
@@ -219,6 +444,16 @@ void PeerMesh::sender_loop(Peer& p) {
 void PeerMesh::receiver_loop(Peer& p) {
   std::vector<char> buf(64u << 10);
   for (;;) {
+    // Drain frames the handshake read may have over-consumed BEFORE the
+    // first socket read — after a rejoin the replayed MSGs can already sit
+    // fully buffered in the swapped-in decoder.
+    try {
+      while (auto f = p.decoder.next()) dispatch(p, std::move(*f));
+    } catch (const Error& e) {
+      mark_lost(p, "wire error on the stream from " + rank_str(p.rank) +
+                       ": " + e.what());
+      return;
+    }
     const long r = recv_some(p.sock.get(), buf.data(), buf.size());
     if (r <= 0) {
       bool graceful;
@@ -234,18 +469,22 @@ void PeerMesh::receiver_loop(Peer& p) {
                          " lost (read error)");
       return;
     }
-    try {
-      p.decoder.feed(buf.data(), static_cast<std::size_t>(r));
-      while (auto f = p.decoder.next()) dispatch(p, std::move(*f));
-    } catch (const Error& e) {
-      mark_lost(p, "wire error on the stream from " + rank_str(p.rank) +
-                       ": " + e.what());
-      return;
-    }
+    p.decoder.feed(buf.data(), static_cast<std::size_t>(r));
   }
 }
 
 void PeerMesh::dispatch(Peer& p, Frame f) {
+  // Epoch fence: a frame from any other session epoch than the one this
+  // mesh last validated for the peer is stale pre-crash traffic — it gets
+  // no ack, no deposit, no state transition.
+  if (f.type == FrameType::kMsg || f.type == FrameType::kAck ||
+      f.type == FrameType::kBye) {
+    std::lock_guard<std::mutex> lk(p.mu);
+    if (f.epoch != p.epoch) {
+      p.stats.stale_frames += 1;
+      return;
+    }
+  }
   switch (f.type) {
     case FrameType::kMsg: {
       const auto payload_bytes = static_cast<long long>(f.payload.size());
@@ -265,13 +504,22 @@ void PeerMesh::dispatch(Peer& p, Frame f) {
       env.id = f.id;
       env.tag = f.tag;
       env.recovered_drop = (f.flags & kFlagDropRetransmit) != 0;
+      env.from = p.rank;
+      env.epoch = f.epoch;
       env.payload = std::move(f.payload);
       inbox_.deposit(std::move(env));
       break;
     }
     case FrameType::kAck: {
       std::lock_guard<std::mutex> lk(p.mu);
-      p.unacked.erase(f.id);
+      if (auto it = p.unacked.find(f.id); it != p.unacked.end()) {
+        if (cfg_.rejoin_window_ms > 0) {
+          // Retain the acked frame for rejoin replay: a respawned peer
+          // cannot re-request data it acked before crashing.
+          p.sent_log.insert_or_assign(f.id, std::move(it->second));
+        }
+        p.unacked.erase(it);
+      }
       p.cv_state.notify_all();
       break;
     }
@@ -285,7 +533,11 @@ void PeerMesh::dispatch(Peer& p, Frame f) {
       break;
     }
     case FrameType::kHello:
-      throw Error("unexpected HELLO after the handshake");
+    case FrameType::kRejoin:
+    case FrameType::kWelcome:
+      throw Error("unexpected handshake frame (type " +
+                  std::to_string(static_cast<int>(f.type)) +
+                  ") after the handshake");
   }
 }
 
@@ -298,30 +550,58 @@ void PeerMesh::rto_loop() {
     for (auto& up : peers_) {
       if (!up) continue;
       Peer& p = *up;
-      std::lock_guard<std::mutex> lk(p.mu);
-      if (p.state.load() == static_cast<int>(PeerState::kLost)) continue;
-      for (auto& [id, pend] : p.unacked) {
-        if (pend.due > now) continue;
-        pend.due = now + std::chrono::milliseconds(cfg_.rto_ms);
-        Frame copy = pend.frame;
-        if (pend.injected_drop) copy.flags |= kFlagDropRetransmit;
-        p.queued_bytes += kHeaderBytes + copy.payload.size();
-        p.queue.push_back(QueueItem{std::move(copy), /*retransmit=*/true});
-        p.cv_send.notify_one();
+      std::string expired;
+      {
+        std::lock_guard<std::mutex> lk(p.mu);
+        if (p.state.load() == static_cast<int>(PeerState::kLost)) {
+          // The RTO thread doubles as the rejoin-window timer: once the
+          // window passes with no rejoin, the loss becomes terminal and
+          // blocked receivers fail exactly as they would without a window.
+          if (!p.failed && cfg_.rejoin_window_ms > 0 &&
+              now >= p.lost_at +
+                         std::chrono::milliseconds(cfg_.rejoin_window_ms)) {
+            p.failed = true;
+            expired = p.lost_reason + " (no rejoin within " +
+                      std::to_string(cfg_.rejoin_window_ms) + " ms)";
+            p.cv_space.notify_all();
+            p.cv_state.notify_all();
+          }
+        } else {
+          for (auto& [id, pend] : p.unacked) {
+            if (pend.due > now) continue;
+            pend.due = now + std::chrono::milliseconds(cfg_.rto_ms);
+            Frame copy = pend.frame;
+            if (pend.injected_drop) copy.flags |= kFlagDropRetransmit;
+            p.queued_bytes += kHeaderBytes + copy.payload.size();
+            p.queue.push_back(
+                QueueItem{std::move(copy), /*retransmit=*/true});
+            p.cv_send.notify_one();
+          }
+        }
       }
+      if (!expired.empty()) inbox_.fail(expired);
     }
   }
 }
 
 void PeerMesh::mark_lost(Peer& p, const std::string& why) {
+  bool fail_now;
   {
     std::lock_guard<std::mutex> lk(p.mu);
+    if (p.state.load() == static_cast<int>(PeerState::kLost)) return;
     p.state.store(static_cast<int>(PeerState::kLost));
+    p.lost_at = Clock::now();
+    p.lost_reason = why;
+    // Without a rejoin window the loss is immediately terminal (today's
+    // behavior); with one, the slot stays open and the RTO loop escalates
+    // only if no rejoin lands in time.
+    fail_now = cfg_.rejoin_window_ms <= 0;
+    if (fail_now) p.failed = true;
     p.cv_send.notify_all();
     p.cv_space.notify_all();
     p.cv_state.notify_all();
   }
-  inbox_.fail(why);
+  if (fail_now) inbox_.fail(why);
 }
 
 rt::dist::PeerState PeerMesh::peer_state(int peer) const {
@@ -332,20 +612,33 @@ rt::dist::PeerState PeerMesh::peer_state(int peer) const {
       peers_[static_cast<std::size_t>(peer)]->state.load());
 }
 
+int PeerMesh::peer_epoch(int peer) const {
+  if (peer < 0 || peer >= cfg_.nranks || peer == cfg_.rank ||
+      !peers_[static_cast<std::size_t>(peer)])
+    return 0;
+  Peer& p = *peers_[static_cast<std::size_t>(peer)];
+  std::lock_guard<std::mutex> lk(p.mu);
+  return static_cast<int>(p.epoch);
+}
+
 void PeerMesh::begin_drain() {
   if (cfg_.nranks == 1) return;
-  const auto dl = Clock::now() + cfg_.connect_timeout();
+  const auto dl = Clock::now() + drain_deadline();
+  std::vector<std::string> lost;
   for (auto& up : peers_) {
     if (!up) continue;
     Peer& p = *up;
     {
       std::unique_lock<std::mutex> lk(p.mu);
       const bool flushed = p.cv_state.wait_until(lk, dl, [&] {
-        return (p.queue.empty() && p.unacked.empty()) ||
-               p.state.load() == static_cast<int>(PeerState::kLost);
+        return (p.queue.empty() && p.unacked.empty()) || p.failed;
       });
-      if (p.state.load() == static_cast<int>(PeerState::kLost))
-        throw Error("drain: connection to " + rank_str(p.rank) + " lost");
+      if (p.failed) {
+        // Record and keep going: every lost peer must be named, not just
+        // the first one the iteration order happens to hit.
+        lost.push_back(rank_str(p.rank));
+        continue;
+      }
       if (!flushed) {
         std::ostringstream os;
         os << "drain: timed out flushing to " << rank_str(p.rank) << " ("
@@ -353,18 +646,25 @@ void PeerMesh::begin_drain() {
            << " unacked frames)";
         throw Error(os.str());
       }
+      p.bye_enqueued = true;
     }
     Frame bye;
     bye.type = FrameType::kBye;
     bye.from = cfg_.rank;
     enqueue(p, std::move(bye), /*retransmit=*/false, /*control=*/true);
   }
+  if (!lost.empty()) {
+    std::string all = lost.front();
+    for (std::size_t i = 1; i < lost.size(); ++i) all += ", " + lost[i];
+    throw Error("drain: connection to " + all + " lost");
+  }
 }
 
 void PeerMesh::drain() {
   if (cfg_.nranks == 1) return;
   begin_drain();
-  const auto dl = Clock::now() + cfg_.connect_timeout();
+  const auto dl = Clock::now() + drain_deadline();
+  std::vector<std::string> lost;
   for (auto& up : peers_) {
     if (!up) continue;
     Peer& p = *up;
@@ -373,15 +673,21 @@ void PeerMesh::drain() {
     // left the socket — otherwise a fast peer could satisfy the receive
     // half while our BYE still sits queued, and close() would drop it.
     const bool done = p.cv_state.wait_until(lk, dl, [&] {
-      return (p.bye_received && p.bye_sent) ||
-             p.state.load() == static_cast<int>(PeerState::kLost);
+      return (p.bye_received && p.bye_sent) || p.failed;
     });
-    if (p.state.load() == static_cast<int>(PeerState::kLost))
-      throw Error("drain: connection to " + rank_str(p.rank) +
-                  " lost before its BYE arrived");
+    if (p.failed) {
+      lost.push_back(rank_str(p.rank));
+      continue;
+    }
     if (!done)
       throw Error("drain: timed out waiting for BYE from " +
                   rank_str(p.rank));
+  }
+  if (!lost.empty()) {
+    std::string all = lost.front();
+    for (std::size_t i = 1; i < lost.size(); ++i) all += ", " + lost[i];
+    throw Error("drain: connection to " + all +
+                " lost before its BYE arrived");
   }
 }
 
@@ -389,6 +695,10 @@ void PeerMesh::close() {
   std::lock_guard<std::mutex> lk(lifecycle_mu_);
   if (joined_) return;
   closing_.store(true, std::memory_order_release);
+  // The accept loop must settle first: an in-flight rejoin swap may be
+  // reassigning session threads, and it finishes in bounded time once
+  // closing_ is set.
+  if (accept_.joinable()) accept_.join();
   for (auto& up : peers_) {
     if (!up) continue;
     up->sock.shutdown_both();
@@ -426,6 +736,9 @@ PeerWireStats PeerMesh::total_stats() const {
     out.msgs_recv += s.msgs_recv;
     out.bytes_recv += s.bytes_recv;
     out.retransmits += s.retransmits;
+    out.stale_frames += s.stale_frames;
+    out.rejoins += s.rejoins;
+    out.rejoin_rejects += s.rejoin_rejects;
   }
   return out;
 }

@@ -21,14 +21,28 @@
 //     handshake violation marks the peer kLost and fails the mailbox, so
 //     every blocked receiver on a survivor gets a clean ptlr::Error naming
 //     the dead peer instead of hanging.
+//
+// Rank-death recovery (PTLR_NET_REJOIN_MS > 0): instead of failing the
+// mailbox on loss, survivors hold the lost peer's slot open for a bounded
+// rejoin window and run an accept loop on their listener. A respawned rank
+// (PTLR_EPOCH > 0) re-dials every peer with a REJOIN frame carrying the
+// HELLO fields, its new session epoch, and the task frontier it resumes
+// from. The survivor re-runs the HELLO validation, requires the epoch to
+// advance by exactly one (regressions and skips are rejected), swaps the
+// socket under the peer lock, replays acked-but-lost MSG frames at or past
+// the frontier from a per-peer sent log, answers WELCOME, and fences the
+// mailbox so stale pre-crash envelopes are discarded by epoch. If the
+// window expires first, behavior degrades to the orderly failure above.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -47,6 +61,13 @@ struct PeerWireStats {
   long long msgs_recv = 0;
   long long bytes_recv = 0;
   long long retransmits = 0;
+  /// Frames from a stale session epoch discarded by the dispatch fence.
+  long long stale_frames = 0;
+  /// Successful rejoin handshakes on this link (either side).
+  long long rejoins = 0;
+  /// REJOIN attempts rejected by validation (unknown rank, bad epoch,
+  /// hello mismatch, peer not lost).
+  long long rejoin_rejects = 0;
 };
 
 class PeerMesh {
@@ -59,8 +80,9 @@ class PeerMesh {
   PeerMesh& operator=(const PeerMesh&) = delete;
 
   /// Rendezvous + handshake with every peer, then start the per-peer
-  /// session threads. Throws ptlr::Error on timeout, a version/build/mesh
-  /// mismatch, or a mid-handshake disconnect.
+  /// session threads. A respawned rank (cfg.epoch > 0) REJOIN-dials every
+  /// peer instead. Throws ptlr::Error on timeout, a version/build/mesh
+  /// mismatch, a rejected rejoin, or a mid-handshake disconnect.
   void connect();
 
   /// Queue a MSG for `to` (blocks on backpressure, never on the peer).
@@ -74,9 +96,12 @@ class PeerMesh {
   /// Connection state of `peer` as the mailbox diagnostics report it.
   [[nodiscard]] rt::dist::PeerState peer_state(int peer) const;
 
+  /// Session epoch this mesh currently tracks for `peer` (test hook).
+  [[nodiscard]] int peer_epoch(int peer) const;
+
   /// Graceful end-of-program barrier: per peer, wait until every queued
   /// frame is written and acked, send BYE, then wait for the peer's BYE.
-  /// Throws ptlr::Error if a peer is lost or the deadline passes.
+  /// Throws ptlr::Error naming ALL lost peers, or on a deadline pass.
   void drain();
 
   /// Flush-and-BYE only (the first half of drain()); exposed so tests can
@@ -116,6 +141,14 @@ class PeerMesh {
     std::deque<QueueItem> queue;
     std::size_t queued_bytes = 0;
     std::map<std::uint64_t, Pending> unacked;
+    /// Acked MSG frames retained for rejoin replay (only populated while
+    /// a rejoin window is configured). A respawned peer cannot recover
+    /// remote tiles it already acked before the crash — the survivor
+    /// replays every logged frame at or past the REJOIN frontier; the
+    /// deterministic message ids make the replay exactly-once. The log is
+    /// unbounded within one factorization — the documented memory cost of
+    /// enabling recovery.
+    std::map<std::uint64_t, Pending> sent_log;
     /// Stream decoder; seeded during the handshake so bytes the HELLO read
     /// over-consumed (an eager peer's first MSG) are not lost.
     FrameDecoder decoder;
@@ -123,26 +156,47 @@ class PeerMesh {
     /// Our own BYE hit the wire: drain() must confirm this before close()
     /// may tear the sender down, or a fast peer-BYE race drops our BYE.
     bool bye_sent = false;
+    /// begin_drain() queued a BYE at least once — a rejoin swap must make
+    /// sure one reaches the new socket.
+    bool bye_enqueued = false;
+    /// Session epoch this mesh last validated for the peer (HELLO or
+    /// WELCOME/REJOIN). Frames carrying any other epoch are stale.
+    std::uint8_t epoch = 0;
+    /// Loss bookkeeping. `failed` is terminal: the mailbox was failed
+    /// (window expired or no window configured); a rejoin is refused.
+    std::chrono::steady_clock::time_point lost_at{};
+    std::string lost_reason;
+    bool failed = false;
     std::atomic<int> state{static_cast<int>(rt::dist::PeerState::kConnected)};
     PeerWireStats stats;  // guarded by mu
   };
 
   Frame handshake_read(int fd, FrameDecoder& dec,
                        std::chrono::steady_clock::time_point dl);
+  /// handshake_read that also aborts when the mesh starts closing, so the
+  /// accept loop can never pin close() for a full handshake deadline.
+  Frame rejoin_read(int fd, FrameDecoder& dec,
+                    std::chrono::steady_clock::time_point dl);
   void validate_hello(const Frame& f, int expected_from) const;
+  void validate_hello_payload(const Hello& h) const;
   void start_session(Peer& p);
   void dispatch(Peer& p, Frame f);
   void sender_loop(Peer& p);
   void receiver_loop(Peer& p);
   void rto_loop();
+  void accept_loop();
+  void handle_rejoin(Fd fd);
+  void rejoin_connect(std::chrono::steady_clock::time_point dl);
   void enqueue(Peer& p, Frame f, bool retransmit, bool control);
   void mark_lost(Peer& p, const std::string& why);
+  [[nodiscard]] std::chrono::milliseconds drain_deadline() const;
 
   NetConfig cfg_;
   rt::dist::Mailbox& inbox_;
   std::vector<std::unique_ptr<Peer>> peers_;  ///< index = rank; self null
   Fd listener_;
   std::thread rto_;
+  std::thread accept_;
   std::mutex lifecycle_mu_;
   std::atomic<bool> closing_{false};
   bool connected_ = false;

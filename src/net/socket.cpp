@@ -91,6 +91,9 @@ NetConfig NetConfig::from_env() {
   cfg.rto_ms = env_ll("PTLR_NET_RTO_MS", 25);
   PTLR_CHECK(cfg.connect_timeout_ms > 0, "PTLR_NET_TIMEOUT_MS must be > 0");
   PTLR_CHECK(cfg.rto_ms > 0, "PTLR_NET_RTO_MS must be > 0");
+  cfg.epoch = static_cast<int>(env_ll("PTLR_EPOCH", 0));
+  PTLR_CHECK(cfg.epoch <= 255, "PTLR_EPOCH exceeds the wire epoch range");
+  cfg.rejoin_window_ms = env_ll("PTLR_NET_REJOIN_MS", 0);
   return cfg;
 }
 

@@ -60,11 +60,24 @@ struct NetConfig {
   long long connect_timeout_ms = 15000;  ///< rendezvous/drain deadline
   long long rto_ms = 25;                 ///< retransmit timeout
   std::size_t max_queue_bytes = 64u << 20;  ///< per-peer backpressure bound
+  /// Session epoch of THIS process: 0 for a first launch, the restart
+  /// count for a respawned rank (the launcher sets PTLR_EPOCH). A nonzero
+  /// epoch makes connect() REJOIN-dial every peer instead of running the
+  /// initial rendezvous.
+  int epoch = 0;
+  /// How long survivors hold a lost peer's slot open for a rejoin before
+  /// failing the mailbox. 0 (the default) keeps today's behavior: a lost
+  /// peer fails blocked receivers immediately.
+  long long rejoin_window_ms = 0;
+  /// Task frontier a respawned rank resumes from (carried in REJOIN so
+  /// survivors replay acked-but-lost frames at or past it). Set by the
+  /// caller from the checkpoint, not parsed from the environment.
+  std::uint64_t rejoin_frontier = 0;
 
   /// Parse PTLR_NET ("uds:<dir>" | "tcp:<host>:<base_port>"), PTLR_RANK,
-  /// PTLR_NRANKS, and the optional PTLR_NET_TIMEOUT_MS / PTLR_NET_RTO_MS.
-  /// Throws ptlr::Error on missing or malformed values — a typo fails
-  /// fast, it does not fall back silently.
+  /// PTLR_NRANKS, and the optional PTLR_NET_TIMEOUT_MS / PTLR_NET_RTO_MS /
+  /// PTLR_EPOCH / PTLR_NET_REJOIN_MS. Throws ptlr::Error on missing or
+  /// malformed values — a typo fails fast, it does not fall back silently.
   static NetConfig from_env();
 
   /// This rank's listen endpoint ("<dir>/ptlr.<r>.sock" or "host:port+r").

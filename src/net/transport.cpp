@@ -31,17 +31,23 @@ void SocketTransport::send(int to, std::uint64_t tag,
              "send to invalid rank " + std::to_string(to));
   perturber_.maybe_delay_delivery();
 
-  // Mesh-wide unique ids without coordination: sender rank in the high
-  // bits, a local counter below. Receiver-side dedup relies on this.
-  const std::uint64_t id =
-      (static_cast<std::uint64_t>(cfg_.rank + 1) << 40) |
-      next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  // Mesh-wide unique ids without coordination: a hash of (tag, sender).
+  // The owner-computes protocol sends each logical (tag, dest) at most
+  // once per factorization, so the hash is collision-safe in practice AND
+  // schedule-invariant: a respawned rank replaying a send stamps the same
+  // id, so receiver-side dedup makes delivery exactly-once across rank
+  // restarts. Zero is reserved ("no id"), hence the guard.
+  std::uint64_t id =
+      mix64(tag ^ mix64(static_cast<std::uint64_t>(cfg_.rank) + 1));
+  if (id == 0) id = 1;
 
   if (to == cfg_.rank) {
     // Self-sends never touch the wire (or the stats), same as in-process.
     rt::dist::Envelope env;
     env.id = id;
     env.tag = tag;
+    env.from = cfg_.rank;
+    env.epoch = static_cast<std::uint64_t>(cfg_.epoch);
     env.payload = std::move(payload);
     inbox_.deposit(std::move(env));
     return;

@@ -3,8 +3,11 @@
 // Implements the rt::dist::Transport seam (runtime/transport.hpp) over
 // src/net's PeerMesh, so the distributed Cholesky rank program runs
 // verbatim with ranks as OS processes. The full mailbox contract carries
-// over: sends are id-stamped (sender rank in the high bits, so ids are
-// unique mesh-wide without coordination), the receiver threads deposit
+// over: sends are id-stamped with a deterministic hash of (tag, sender) —
+// each logical (tag, dest) is sent at most once per factorization, so the
+// id is unique mesh-wide without coordination AND identical when a
+// respawned rank replays the send, which makes receiver-side dedup an
+// exactly-once guarantee across rank restarts. The receiver threads deposit
 // decoded envelopes into this rank's Mailbox, dedup/recovery/deadline-recv
 // are the shared runtime code paths. Seeded fault injection (PTLR_FAULTS)
 // and chaos perturbation (PTLR_PERTURB_SEED) apply at the send site with
@@ -12,7 +15,6 @@
 // same seed drops the same logical messages on both transports.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -67,7 +69,6 @@ class SocketTransport final : public rt::dist::Transport {
   PeerMesh mesh_;
   rt::Perturber perturber_;
   resil::FaultInjector injector_;
-  std::atomic<std::uint64_t> next_msg_id_{1};
   mutable std::mutex stats_mu_;
   rt::dist::Communicator::Stats stats_;
 };

@@ -36,6 +36,8 @@ std::uint64_t get_u64(const char* p) {
   return x;
 }
 
+}  // namespace
+
 // splitmix64, same mixer the fault injector uses for schedule invariance.
 std::uint64_t mix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
@@ -43,8 +45,6 @@ std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
 }
-
-}  // namespace
 
 std::uint64_t build_hash() {
   // Stable across ranks of one build: wire constants + compiler identity.
@@ -67,7 +67,7 @@ std::vector<char> encode_frame(const Frame& f) {
   out.push_back(static_cast<char>(kWireVersion));
   out.push_back(static_cast<char>(f.type));
   out.push_back(static_cast<char>(f.flags));
-  out.push_back(0);  // reserved
+  out.push_back(static_cast<char>(f.epoch));
   put_u32(out, static_cast<std::uint32_t>(f.from));
   put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
   put_u64(out, f.id);
@@ -76,24 +76,68 @@ std::vector<char> encode_frame(const Frame& f) {
   return out;
 }
 
+std::vector<char> hello_payload(const Hello& h) {
+  std::vector<char> out;
+  out.reserve(16);
+  put_u32(out, h.protocol);
+  put_u32(out, h.nranks);
+  put_u64(out, h.build);
+  return out;
+}
+
 std::vector<char> encode_hello(const Hello& h, int from_rank) {
   Frame f;
   f.type = FrameType::kHello;
   f.from = from_rank;
-  put_u32(f.payload, h.protocol);
-  put_u32(f.payload, h.nranks);
-  put_u64(f.payload, h.build);
+  f.payload = hello_payload(h);
   return encode_frame(f);
 }
 
 Hello decode_hello(const Frame& f) {
-  PTLR_CHECK(f.type == FrameType::kHello, "not a HELLO frame");
+  PTLR_CHECK(f.type == FrameType::kHello || f.type == FrameType::kWelcome,
+             "not a HELLO/WELCOME frame");
   PTLR_CHECK(f.payload.size() == 16, "HELLO payload size mismatch");
   Hello h;
   h.protocol = get_u32(f.payload.data());
   h.nranks = get_u32(f.payload.data() + 4);
   h.build = get_u64(f.payload.data() + 8);
   return h;
+}
+
+std::vector<char> encode_rejoin(const Rejoin& r, int from_rank,
+                                std::uint8_t epoch) {
+  Frame f;
+  f.type = FrameType::kRejoin;
+  f.from = from_rank;
+  f.epoch = epoch;
+  put_u32(f.payload, r.hello.protocol);
+  put_u32(f.payload, r.hello.nranks);
+  put_u64(f.payload, r.hello.build);
+  put_u64(f.payload, r.frontier);
+  return encode_frame(f);
+}
+
+Rejoin decode_rejoin(const Frame& f) {
+  PTLR_CHECK(f.type == FrameType::kRejoin, "not a REJOIN frame");
+  PTLR_CHECK(f.payload.size() == 24, "REJOIN payload size mismatch");
+  Rejoin r;
+  r.hello.protocol = get_u32(f.payload.data());
+  r.hello.nranks = get_u32(f.payload.data() + 4);
+  r.hello.build = get_u64(f.payload.data() + 8);
+  r.frontier = get_u64(f.payload.data() + 16);
+  return r;
+}
+
+std::vector<char> encode_welcome(const Hello& h, int from_rank,
+                                 std::uint8_t epoch) {
+  Frame f;
+  f.type = FrameType::kWelcome;
+  f.from = from_rank;
+  f.epoch = epoch;
+  put_u32(f.payload, h.protocol);
+  put_u32(f.payload, h.nranks);
+  put_u64(f.payload, h.build);
+  return encode_frame(f);
 }
 
 void FrameDecoder::feed(const char* data, std::size_t n) {
@@ -125,7 +169,7 @@ std::optional<Frame> FrameDecoder::next() {
     throw Error("wire: unsupported frame version " + std::to_string(version));
   const auto type = static_cast<std::uint8_t>(h[5]);
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kBye))
+      type > static_cast<std::uint8_t>(FrameType::kWelcome))
     throw Error("wire: unknown frame type " + std::to_string(type));
   const std::uint32_t len = get_u32(h + 12);
   if (len > kMaxFramePayload)
@@ -137,6 +181,7 @@ std::optional<Frame> FrameDecoder::next() {
   Frame f;
   f.type = static_cast<FrameType>(type);
   f.flags = static_cast<std::uint8_t>(h[6]);
+  f.epoch = static_cast<std::uint8_t>(h[7]);
   f.from = static_cast<std::int32_t>(get_u32(h + 8));
   f.id = get_u64(h + 16);
   f.tag = get_u64(h + 24);

@@ -24,20 +24,24 @@ namespace ptlr::net {
 
 /// "PTLR" (little-endian byte order P,T,L,R on the wire).
 constexpr std::uint32_t kMagic = 0x524C5450u;
-/// Bump on any header layout change.
-constexpr std::uint8_t kWireVersion = 1;
+/// Bump on any header layout change. v2: the former reserved byte 7 now
+/// carries the session epoch (rank-death recovery).
+constexpr std::uint8_t kWireVersion = 2;
 /// Bump on any semantic protocol change (handshake contents, ack rules).
-constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: REJOIN/WELCOME frames, epoch fencing.
+constexpr std::uint32_t kProtocolVersion = 2;
 constexpr std::size_t kHeaderBytes = 32;
 /// Hard ceiling on a frame payload: decoding rejects anything larger
 /// before allocating, so a corrupt length prefix cannot OOM the receiver.
 constexpr std::uint32_t kMaxFramePayload = 1u << 30;
 
 enum class FrameType : std::uint8_t {
-  kHello = 1,  ///< handshake: payload = Hello (below)
-  kMsg = 2,    ///< mailbox envelope: id/tag in header, tile bytes payload
-  kAck = 3,    ///< delivery ack of MSG `id` (empty payload)
-  kBye = 4,    ///< graceful drain marker: sender will send no more MSGs
+  kHello = 1,    ///< handshake: payload = Hello (below)
+  kMsg = 2,      ///< mailbox envelope: id/tag in header, tile bytes payload
+  kAck = 3,      ///< delivery ack of MSG `id` (empty payload)
+  kBye = 4,      ///< graceful drain marker: sender will send no more MSGs
+  kRejoin = 5,   ///< respawned rank re-dials: payload = Hello + frontier
+  kWelcome = 6,  ///< survivor accepts a REJOIN: payload = Hello
 };
 
 /// Frame flag bits.
@@ -50,6 +54,7 @@ enum : std::uint8_t {
 struct Frame {
   FrameType type = FrameType::kMsg;
   std::uint8_t flags = 0;
+  std::uint8_t epoch = 0;   ///< sender's session epoch (header byte 7)
   std::int32_t from = -1;   ///< sender rank
   std::uint64_t id = 0;     ///< message id (MSG/ACK); 0 otherwise
   std::uint64_t tag = 0;    ///< mailbox tag (MSG); 0 otherwise
@@ -66,18 +71,46 @@ struct Hello {
   std::uint64_t build = 0;
 };
 
+/// REJOIN payload: the full Hello re-validation plus the task frontier the
+/// respawned rank resumes from — survivors replay acked-but-lost frames
+/// whose step is at or past this frontier.
+struct Rejoin {
+  Hello hello;
+  std::uint64_t frontier = 0;
+};
+
 /// Identity of this binary's wire implementation, exchanged in Hello.
 /// Derived from the protocol constants and the compiler identity — two
 /// ranks launched from the same build always agree.
 std::uint64_t build_hash();
+
+/// splitmix64 — the schedule-invariant mixer shared with the fault
+/// injector. Exposed so the transport can derive deterministic message ids
+/// from (rank, tag): a replayed send after a rank respawn produces the
+/// SAME id, so receiver dedup gives exactly-once across epochs.
+std::uint64_t mix64(std::uint64_t x);
 
 /// Serialize a frame (header + payload). Throws ptlr::Error if the payload
 /// exceeds kMaxFramePayload.
 std::vector<char> encode_frame(const Frame& f);
 
 std::vector<char> encode_hello(const Hello& h, int from_rank);
-/// Decode a HELLO frame's payload. Throws ptlr::Error on size mismatch.
+/// Just the 16-byte Hello payload (for callers that build the Frame).
+std::vector<char> hello_payload(const Hello& h);
+/// Decode a HELLO or WELCOME frame's payload. Throws ptlr::Error on size
+/// mismatch (WELCOME is a Hello re-validation after a rejoin).
 Hello decode_hello(const Frame& f);
+
+/// Serialize a REJOIN frame carrying `epoch` in the header.
+std::vector<char> encode_rejoin(const Rejoin& r, int from_rank,
+                                std::uint8_t epoch);
+/// Decode a REJOIN frame's payload. Throws ptlr::Error on size mismatch —
+/// validated before any field is read, nothing is allocated.
+Rejoin decode_rejoin(const Frame& f);
+
+/// Serialize a WELCOME frame (Hello payload) carrying `epoch`.
+std::vector<char> encode_welcome(const Hello& h, int from_rank,
+                                 std::uint8_t epoch);
 
 /// Incremental decoder: feed() raw socket bytes, then drain next() until
 /// it returns nullopt (incomplete frame buffered). next() throws

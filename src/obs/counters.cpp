@@ -268,6 +268,9 @@ const char* resilience_event_name(ResilienceEvent ev) noexcept {
     case ResilienceEvent::kShiftRestart: return "shift_restart";
     case ResilienceEvent::kDenseFallback: return "dense_fallback";
     case ResilienceEvent::kWatchdogFire: return "watchdog_fire";
+    case ResilienceEvent::kCkptWrite: return "ckpt_write";
+    case ResilienceEvent::kCkptLoad: return "ckpt_load";
+    case ResilienceEvent::kRankRestart: return "rank_restart";
   }
   return "unknown";
 }

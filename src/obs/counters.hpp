@@ -94,9 +94,12 @@ enum class ResilienceEvent : int {
   kShiftRestart,        ///< diagonal shift applied, factorization restarted
   kDenseFallback,       ///< tile fell back to dense on maxrank overflow
   kWatchdogFire,        ///< watchdog converted a stall into an error
+  kCkptWrite,           ///< rank checkpoint written (crash-consistent)
+  kCkptLoad,            ///< rank checkpoint loaded after a respawn
+  kRankRestart,         ///< this process is a respawned rank (epoch > 0)
 };
 constexpr int kNumResilienceEvents =
-    static_cast<int>(ResilienceEvent::kWatchdogFire) + 1;
+    static_cast<int>(ResilienceEvent::kRankRestart) + 1;
 
 /// Per-event totals of the resilience channel.
 struct ResilienceCounters {

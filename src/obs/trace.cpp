@@ -230,9 +230,10 @@ void record_comm(int from, int to, long long bytes) {
 void record_net(NetEvent ev, int from, int to, long long bytes) {
   if (!enabled()) return;
   Span s;
-  s.name = ev == NetEvent::kSend     ? "net_send"
-           : ev == NetEvent::kRecv   ? "net_recv"
-                                     : "net_retransmit";
+  s.name = ev == NetEvent::kSend        ? "net_send"
+           : ev == NetEvent::kRecv      ? "net_recv"
+           : ev == NetEvent::kRejoin    ? "net_rejoin"
+                                        : "net_retransmit";
   s.cat = SpanCat::kComm;
   s.ti = from;
   s.tj = to;
@@ -240,8 +241,11 @@ void record_net(NetEvent ev, int from, int to, long long bytes) {
   s.t0 = s.t1 = now_seconds();
   s.bytes = bytes;
   thread_buffer().spans.push_back(std::move(s));
-  Counters::record_net(bytes, ev != NetEvent::kRecv,
-                       ev == NetEvent::kRetransmit);
+  // A rejoin is a handshake, not payload traffic: it lands in the trace
+  // but not in the msgs/bytes counters.
+  if (ev != NetEvent::kRejoin)
+    Counters::record_net(bytes, ev != NetEvent::kRecv,
+                         ev == NetEvent::kRetransmit);
 }
 
 void record_compression(int rank_in, int rank_out) {

@@ -132,7 +132,7 @@ void task_end(const std::string& name, int kind, int panel, int ti, int tj,
 void record_comm(int from, int to, long long bytes);
 
 /// What a wire-level frame event describes (src/net socket transport).
-enum class NetEvent : int { kSend = 0, kRecv, kRetransmit };
+enum class NetEvent : int { kSend = 0, kRecv, kRetransmit, kRejoin };
 
 /// Record one wire frame `from -> to` of `bytes` payload crossing a real
 /// socket: an instant comm-lane span named "net_send" / "net_recv" /

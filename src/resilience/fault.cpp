@@ -74,6 +74,8 @@ FaultConfig FaultConfig::parse(const char* spec) {
       cfg.message_drop_probability = parse_probability(key, value);
     } else if (key == "dup") {
       cfg.message_duplicate_probability = parse_probability(key, value);
+    } else if (key == "kill") {
+      cfg.rank_kill_probability = parse_probability(key, value);
     } else {
       throw Error("PTLR_FAULTS: unknown key '" + key + "'");
     }
@@ -99,6 +101,9 @@ constexpr std::uint64_t kSaltPoison = 0x706F6973ull;  // "pois"
 constexpr std::uint64_t kSaltWhere = 0x77686572ull;   // "wher"
 constexpr std::uint64_t kSaltDrop = 0x64726F70ull;    // "drop"
 constexpr std::uint64_t kSaltDup = 0x64757021ull;     // "dup!"
+constexpr std::uint64_t kSaltKill = 0x6B696C6Cull;    // "kill"
+constexpr std::uint64_t kSaltVictim = 0x76696374ull;  // "vict"
+constexpr std::uint64_t kSaltStep = 0x73746570ull;    // "step"
 }  // namespace
 
 bool FaultInjector::task_exception(std::uint64_t task, int attempt) const {
@@ -124,6 +129,18 @@ bool FaultInjector::drop_message(std::uint64_t tag, int from, int to) const {
       mix(tag) ^ (static_cast<std::uint64_t>(from) << 32 |
                   static_cast<std::uint64_t>(static_cast<unsigned>(to)));
   return roll(site, kSaltDrop) < cfg_.message_drop_probability;
+}
+
+std::optional<FaultInjector::RankKillPlan> FaultInjector::rank_kill(
+    int nranks, int nsteps) const {
+  if (!cfg_.enabled || nranks <= 0 || nsteps <= 0) return std::nullopt;
+  if (roll(0, kSaltKill) >= cfg_.rank_kill_probability) return std::nullopt;
+  RankKillPlan plan;
+  plan.victim = static_cast<int>(hash3(cfg_.seed, 0, kSaltVictim) %
+                                 static_cast<std::uint64_t>(nranks));
+  plan.step = static_cast<int>(hash3(cfg_.seed, 0, kSaltStep) %
+                               static_cast<std::uint64_t>(nsteps));
+  return plan;
 }
 
 bool FaultInjector::duplicate_message(std::uint64_t tag, int from,

@@ -45,6 +45,11 @@ struct FaultConfig {
   /// Probability that a mailbox deposit is duplicated; receivers dedupe
   /// by envelope id, so duplicates must be harmless.
   double message_duplicate_probability = 0.05;
+  /// Probability that one whole rank process is SIGKILLed mid-run (the
+  /// rank_kill fault class). Defaults to 0 — whole-process death is only
+  /// injected when explicitly asked for (PTLR_FAULTS "kill=<p>"), because
+  /// recovering it needs checkpointing + a respawning launcher.
+  double rank_kill_probability = 0.0;
 
   /// Enabled config with the given seed and the default probabilities.
   static FaultConfig with_seed(std::uint64_t s) {
@@ -89,6 +94,17 @@ class FaultInjector {
   [[nodiscard]] bool drop_message(std::uint64_t tag, int from, int to) const;
   [[nodiscard]] bool duplicate_message(std::uint64_t tag, int from,
                                        int to) const;
+
+  /// The rank_kill fault class: whether this run kills a rank, and if so
+  /// which (victim, k-step) pair. Pure hash of the seed — every rank of
+  /// the mesh computes the same plan, and only the victim raises SIGKILL
+  /// when it reaches the step. nullopt = no kill this run.
+  struct RankKillPlan {
+    int victim = 0;
+    int step = 0;
+  };
+  [[nodiscard]] std::optional<RankKillPlan> rank_kill(int nranks,
+                                                      int nsteps) const;
 
  private:
   /// splitmix64 of (seed, site, salt) → uniform in [0, 1).

@@ -63,6 +63,15 @@ struct RecoveryStats {
   [[nodiscard]] long long watchdog_fires() const {
     return of(ResilienceEvent::kWatchdogFire);
   }
+  [[nodiscard]] long long checkpoint_writes() const {
+    return of(ResilienceEvent::kCkptWrite);
+  }
+  [[nodiscard]] long long checkpoint_loads() const {
+    return of(ResilienceEvent::kCkptLoad);
+  }
+  [[nodiscard]] long long rank_restarts() const {
+    return of(ResilienceEvent::kRankRestart);
+  }
 
   /// One line per nonzero event ("retry=3 task_recovered=3"); empty string
   /// when nothing happened.

@@ -40,6 +40,16 @@ std::string Mailbox::describe(std::uint64_t tag, int from) const {
 void Mailbox::deposit(Envelope env) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Epoch fence: traffic from a peer that has since rejoined with a
+    // newer session epoch is stale pre-crash state — discard it here so a
+    // receiver can never observe a mix of old- and new-session payloads.
+    if (env.from >= 0) {
+      if (auto it = epoch_fence_.find(env.from);
+          it != epoch_fence_.end() && env.epoch < it->second) {
+        ++stale_discards_;
+        return;
+      }
+    }
     slots_[env.tag].push(std::move(env));
   }
   cv_.notify_all();
@@ -64,8 +74,11 @@ std::vector<char> Mailbox::recv(std::uint64_t tag, int from) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (aborted_.load(std::memory_order_acquire)) {
-      const std::string why =
+      std::string why =
           fail_reason_.empty() ? "communicator aborted" : fail_reason_;
+      if (extra_failures_ > 0)
+        why += " (+" + std::to_string(extra_failures_) +
+               " earlier/later failures)";
       throw Error(why + " while waiting for a message (" +
                   describe(tag, from) + ")");
     }
@@ -127,9 +140,40 @@ void Mailbox::abort() {
 void Mailbox::fail(const std::string& reason) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (fail_reason_.empty()) fail_reason_ = reason;
+    if (fail_reason_.empty())
+      fail_reason_ = reason;
+    else
+      ++extra_failures_;  // first reason wins the text, but count the rest
   }
   abort();
+}
+
+void Mailbox::fence_epoch(int from, std::uint64_t min_epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& fence = epoch_fence_[from];
+    if (min_epoch > fence) fence = min_epoch;
+    // Purge already-queued stale deposits from that sender too: a frame
+    // decoded just before the rejoin swap may still sit in a slot.
+    for (auto& [tag, q] : slots_) {
+      std::queue<Envelope> keep;
+      while (!q.empty()) {
+        Envelope env = std::move(q.front());
+        q.pop();
+        if (env.from == from && env.epoch < min_epoch)
+          ++stale_discards_;
+        else
+          keep.push(std::move(env));
+      }
+      q = std::move(keep);
+    }
+  }
+  cv_.notify_all();
+}
+
+long long Mailbox::stale_discards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_discards_;
 }
 
 void Mailbox::set_peer_state_fn(std::function<PeerState(int)> fn) {

@@ -63,6 +63,11 @@ struct Envelope {
   /// Wire transports set this on a retransmission that recovers an
   /// injected drop; delivering such a fresh envelope notes kMsgRecovered.
   bool recovered_drop = false;
+  /// Sender rank and session epoch, set by wire transports so the mailbox
+  /// can fence out stale pre-crash deposits after a peer rejoins. The
+  /// in-process Communicator leaves `from` at -1 (no fencing).
+  int from = -1;
+  std::uint64_t epoch = 0;
   std::vector<char> payload;
 };
 
@@ -97,8 +102,19 @@ class Mailbox {
   void abort();
 
   /// Wake every blocked receiver with `reason` (e.g. "connection to rank 2
-  /// lost"); recv() throws an Error carrying it. First reason wins.
+  /// lost"); recv() throws an Error carrying it. The first reason wins the
+  /// error text; subsequent reasons are counted and surfaced as
+  /// "(+N earlier/later failures)" so a multi-peer loss is not
+  /// misdiagnosed as a single-peer hang.
   void fail(const std::string& reason);
+
+  /// Discard any queued and future deposits from `from` whose epoch is
+  /// below `min_epoch` — stale pre-crash traffic after the peer rejoined
+  /// with a new session epoch. Envelopes with from < 0 are never fenced.
+  void fence_epoch(int from, std::uint64_t min_epoch);
+
+  /// Deposits discarded by the epoch fence so far (test/obs hook).
+  [[nodiscard]] long long stale_discards() const;
 
   [[nodiscard]] bool aborted() const {
     return aborted_.load(std::memory_order_acquire);
@@ -113,13 +129,16 @@ class Mailbox {
 
   int rank_;
   resil::WatchdogConfig watchdog_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::uint64_t, std::queue<Envelope>> slots_;
   std::map<std::uint64_t, std::queue<Envelope>> dead_letters_;
   std::unordered_set<std::uint64_t> delivered_;
   std::function<PeerState(int)> peer_state_;
   std::string fail_reason_;
+  int extra_failures_ = 0;
+  std::map<int, std::uint64_t> epoch_fence_;
+  long long stale_discards_ = 0;
   std::atomic<bool> aborted_{false};
 };
 

@@ -141,7 +141,7 @@ std::string LaunchResult::rank_output(int rank) const {
 
 LaunchResult launch_ranks(const std::string& name, int nranks,
                           const EnvList& env, const std::string& args,
-                          double timeout_sec) {
+                          double timeout_sec, int respawn) {
   PTLR_CHECK(nranks >= 1, "launch_ranks: need at least one rank");
 
   char tmpl[] = "/tmp/ptlr-mp-XXXXXX";
@@ -162,8 +162,10 @@ LaunchResult launch_ranks(const std::string& name, int nranks,
   std::ostringstream cmd;
   cmd << shell_quote(launcher_path()) << " --n " << nranks << " --report "
       << shell_quote(report) << " --timeout " << timeout_sec
-      << " --grace-ms 15000 -- " << shell_quote(self_exe()) << " > "
-      << shell_quote(out_file) << " 2>&1";
+      << " --grace-ms 15000";
+  if (respawn > 0) cmd << " --respawn " << respawn;
+  cmd << " -- " << shell_quote(self_exe()) << " > " << shell_quote(out_file)
+      << " 2>&1";
   const int raw = std::system(cmd.str().c_str());
 
   LaunchResult res;
@@ -171,15 +173,22 @@ LaunchResult launch_ranks(const std::string& name, int nranks,
       WIFEXITED(raw) ? WEXITSTATUS(raw) : 128 + WTERMSIG(raw);
   res.output = slurp(out_file);
   res.rank_codes.assign(static_cast<std::size_t>(nranks), -1);
+  res.rank_respawns.assign(static_cast<std::size_t>(nranks), 0);
   std::istringstream rep(slurp(report));
   std::string word;
   while (rep >> word) {
     int rank = -1, code = -1;
     std::string what;
+    // "rank R respawns N" / "rank R exit C" / "rank R signal S (SIGNAME)".
+    // The decoded signal name is a trailing token the `word` loop skips.
     if (word == "rank" && (rep >> rank >> what >> code) && rank >= 0 &&
-        rank < nranks)
-      res.rank_codes[static_cast<std::size_t>(rank)] =
-          what == "signal" ? 128 + code : code;
+        rank < nranks) {
+      if (what == "respawns")
+        res.rank_respawns[static_cast<std::size_t>(rank)] = code;
+      else
+        res.rank_codes[static_cast<std::size_t>(rank)] =
+            what == "signal" ? 128 + code : code;
+    }
   }
 
   ::unlink(report.c_str());

@@ -51,6 +51,7 @@ using EnvList = std::vector<std::pair<std::string, std::string>>;
 struct LaunchResult {
   int launcher_code = -1;        ///< ptlr-launch exit status
   std::vector<int> rank_codes;   ///< per-rank exit code (128+sig: signal)
+  std::vector<int> rank_respawns;  ///< launcher restarts per rank
   std::string output;            ///< multiplexed "[rank r] ..." transcript
 
   /// Every rank launched, exited, and returned 0.
@@ -63,12 +64,14 @@ struct LaunchResult {
 /// Launch `nranks` processes of THIS test binary running rank case `name`
 /// via ptlr-launch (UDS mesh in a private directory). `env` is set for
 /// the children (and restored in the parent); `args` are forwarded to the
-/// rank case via PTLR_MP_ARGS. Never throws on rank failure — inspect the
-/// result — but throws ptlr::Error if the launcher itself cannot run.
+/// rank case via PTLR_MP_ARGS. `respawn` > 0 passes --respawn to the
+/// launcher, so signal deaths are restarted instead of failing the run.
+/// Never throws on rank failure — inspect the result — but throws
+/// ptlr::Error if the launcher itself cannot run.
 LaunchResult launch_ranks(const std::string& name, int nranks,
                           const EnvList& env = {},
                           const std::string& args = "",
-                          double timeout_sec = 120.0);
+                          double timeout_sec = 120.0, int respawn = 0);
 
 /// PTLR_MP_ARGS value of this rank process ("" when absent): the `args`
 /// string the launching test passed.

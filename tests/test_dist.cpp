@@ -86,6 +86,33 @@ std::string faults_spec(std::uint64_t seed) {
          ",task=0,alloc=0,poison=0,drop=0.3,dup=0.3";
 }
 
+// Kill-only spec for the rank-death tests: message drops stay off so the
+// DROPS==RECOVERED symmetry of the other sweeps is not entangled with the
+// replayed sends of a respawned rank.
+std::string kill_spec(std::uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         ",task=0,alloc=0,poison=0,drop=0,dup=0,kill=1";
+}
+
+// Scratch directory for one launch's checkpoint files; removed with
+// contents on destruction (stale checkpoints from a previous launch would
+// be rejected by the loader, but must not leak either way).
+class ScopedDir {
+ public:
+  ScopedDir() {
+    char tmpl[] = "/tmp/ptlr-ckpt-XXXXXX";
+    if (mkdtemp(tmpl) != nullptr) path_ = tmpl;
+  }
+  ~ScopedDir() {
+    if (path_.empty()) return;
+    std::system(("rm -rf " + path_).c_str());
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
 // Sum "KEY=<n>" occurrences over the multiplexed transcript.
 long long sum_metric(const std::string& output, const std::string& key) {
   long long total = 0;
@@ -148,6 +175,50 @@ PTLR_RANK_CASE(dist_bitwise) {
           tlr::tile_to_bytes(oracle.at(i, j))) {
         std::cerr << "tile (" << i << "," << j << ") of rank " << t.rank()
                   << " differs from the shared-memory oracle\n";
+        return 9;
+      }
+    }
+  return 0;
+}
+
+// One rank of the factorization under the rank_kill fault class: the
+// seeded plan SIGKILLs one rank at one k-step, the launcher respawns it
+// (PTLR_EPOCH > 0), and the respawn reloads its checkpoint, rejoins the
+// mesh and replays. Every rank — including the restarted one — must end
+// bitwise identical to the in-process oracle. Prints "RESTARTS=…
+// CKPT_WRITES=… CKPT_LOADS=… REJOINS=…" for cross-process aggregation.
+PTLR_RANK_CASE(dist_kill_recover) {
+  const std::string kind = mp::rank_case_args();
+  const compress::Accuracy acc{1e-6, 1 << 30};
+  tlr::TlrMatrix a = replica(acc);
+
+  const auto rec = core::RankRecoveryOptions::from_env();
+  net::NetConfig cfg = net::NetConfig::from_env();
+  if (cfg.epoch > 0 && rec.ckpt.enabled())
+    cfg.rejoin_frontier =
+        core::peek_checkpoint_frontier(rec.ckpt.path_of(cfg.rank));
+
+  net::SocketTransport t(cfg);
+  const auto dist = make_dist(kind, t.nranks());
+  const auto res = core::distributed_factorize_rank(a, *dist, acc, t, rec);
+  std::cout << "RESTARTS=" << res.recovery.rank_restarts()
+            << " CKPT_WRITES=" << res.recovery.checkpoint_writes()
+            << " CKPT_LOADS=" << res.recovery.checkpoint_loads()
+            << " REJOINS=" << t.wire_stats().rejoins << std::endl;
+
+  const ScopedEnv no_faults("PTLR_FAULTS", nullptr);
+  const ScopedEnv no_chaos("PTLR_PERTURB_SEED", nullptr);
+  tlr::TlrMatrix oracle = replica(acc);
+  core::distributed_factorize(oracle, *dist, acc);
+
+  for (int i = 0; i < a.nt(); ++i)
+    for (int j = 0; j <= i; ++j) {
+      if (dist->owner(i, j) != t.rank()) continue;
+      if (tlr::tile_to_bytes(a.at(i, j)) !=
+          tlr::tile_to_bytes(oracle.at(i, j))) {
+        std::cerr << "tile (" << i << "," << j << ") of rank " << t.rank()
+                  << " differs from the shared-memory oracle after the"
+                  << " rank restart\n";
         return 9;
       }
     }
@@ -237,6 +308,68 @@ TEST(DistSocket, EightSeedBitwiseSweepUnderFaults) {
   // injected drop costs at least one real retransmission.
   EXPECT_GT(drops_total, 0);
   EXPECT_GE(retransmits_total, drops_total);
+}
+
+// The rank-death acceptance sweep: 8 kill seeds × {2, 4} rank processes,
+// alternating band and 2d distributions. Every run SIGKILLs exactly one
+// rank (kill=1) at a seed-chosen step; the launcher must respawn it, the
+// mesh must readmit it, and every rank must still match the oracle
+// bitwise. The restart accounting must agree across processes: the
+// launcher reports exactly one respawn, and exactly one rank program saw
+// itself restarted.
+TEST(DistSocket, RankDeathRecoverySweep) {
+  for (const int nranks : {2, 4}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const std::string kind = (seed % 2 == 1) ? "band" : "2d";
+      const ScopedDir ckpt_dir;
+      ASSERT_FALSE(ckpt_dir.path().empty());
+      const auto r = mp::launch_ranks(
+          "dist_kill_recover", nranks,
+          {{"PTLR_FAULTS", kill_spec(seed)},
+           {"PTLR_CKPT", "every:2"},
+           {"PTLR_CKPT_DIR", ckpt_dir.path()}},
+          kind, /*timeout_sec=*/120.0, /*respawn=*/2);
+      ASSERT_TRUE(r.ok()) << "nranks=" << nranks << " seed=" << seed
+                          << " dist=" << kind << "\n" << r.output;
+      long long respawns = 0;
+      for (const int n : r.rank_respawns) respawns += n;
+      EXPECT_EQ(respawns, 1)
+          << "nranks=" << nranks << " seed=" << seed << "\n" << r.output;
+      EXPECT_EQ(sum_metric(r.output, "RESTARTS"), 1)
+          << "nranks=" << nranks << " seed=" << seed << "\n" << r.output;
+      // The mesh readmitted the respawn: it re-handshook every survivor,
+      // and every survivor accounted the rejoin.
+      EXPECT_GE(sum_metric(r.output, "REJOINS"), 2 * (nranks - 1))
+          << r.output;
+    }
+  }
+}
+
+// With no respawn budget the kill degrades to today's orderly failure:
+// the victim reports the signal, every survivor exits 7 with an error
+// naming the lost peer — nothing hangs, nothing rejoins.
+TEST(DistSocket, RankDeathWithoutRespawnFailsOrderly) {
+  const std::uint64_t seed = 1;
+  const ScopedDir ckpt_dir;
+  const auto r = mp::launch_ranks(
+      "dist_kill_recover", 2,
+      {{"PTLR_FAULTS", kill_spec(seed)},
+       {"PTLR_CKPT", "every:2"},
+       {"PTLR_CKPT_DIR", ckpt_dir.path()}},
+      "band", /*timeout_sec=*/120.0, /*respawn=*/0);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.rank_codes.size(), 2u) << r.output;
+  int victims = 0, survivors = 0;
+  for (const int code : r.rank_codes) {
+    if (code == 128 + 9) ++victims;  // SIGKILL
+    if (code == 106) ++survivors;    // harness exit: ptlr::Error escaped
+  }
+  EXPECT_EQ(victims, 1) << r.output;
+  EXPECT_EQ(survivors, 1) << r.output;
+  // The survivor's factorization dies in recv with the descriptive error
+  // (the rank case maps any ptlr::Error to the harness's exception exit).
+  EXPECT_NE(r.output.find("lost"), std::string::npos) << r.output;
+  for (const int n : r.rank_respawns) EXPECT_EQ(n, 0) << r.output;
 }
 
 int main(int argc, char** argv) {

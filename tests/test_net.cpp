@@ -243,6 +243,92 @@ TEST(Wire, BuildHashIsStableWithinProcess) {
   EXPECT_NE(net::build_hash(), 0u);
 }
 
+// ----------------------------------------------------- rejoin wire format
+
+TEST(Wire, EpochByteRoundTrips) {
+  Frame f = sample_frame();
+  f.epoch = 7;
+  const auto bytes = net::encode_frame(f);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto got = dec.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->epoch, 7);
+}
+
+TEST(Wire, RejoinRoundTripsAndRejectsTruncation) {
+  const net::Rejoin rj{net::Hello{net::kProtocolVersion, 4, net::build_hash()},
+                       /*frontier=*/3};
+  const auto bytes = net::encode_rejoin(rj, /*from_rank=*/2, /*epoch=*/1);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::kRejoin);
+  EXPECT_EQ(f->from, 2);
+  EXPECT_EQ(f->epoch, 1);
+  const net::Rejoin back = net::decode_rejoin(*f);
+  EXPECT_EQ(back.hello.protocol, rj.hello.protocol);
+  EXPECT_EQ(back.hello.nranks, rj.hello.nranks);
+  EXPECT_EQ(back.hello.build, rj.hello.build);
+  EXPECT_EQ(back.frontier, 3u);
+
+  // Every truncation of the payload must reject loudly — the payload size
+  // is fixed, and nothing may be allocated from a partial REJOIN.
+  for (std::size_t cut = 0; cut < f->payload.size(); ++cut) {
+    Frame bad = *f;
+    bad.payload.resize(cut);
+    EXPECT_THROW(net::decode_rejoin(bad), Error) << "cut at " << cut;
+  }
+}
+
+TEST(Wire, WelcomeCarriesHelloAndEpoch) {
+  const net::Hello h{net::kProtocolVersion, 2, net::build_hash()};
+  const auto bytes = net::encode_welcome(h, /*from_rank=*/0, /*epoch=*/1);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::kWelcome);
+  EXPECT_EQ(f->epoch, 1);
+  const net::Hello back = net::decode_hello(*f);  // accepts HELLO or WELCOME
+  EXPECT_EQ(back.nranks, h.nranks);
+
+  Frame bad = *f;
+  bad.payload.pop_back();
+  EXPECT_THROW(net::decode_hello(bad), Error);
+}
+
+TEST(Wire, RejoinHeaderBitFlipsNeverCrashOrOverallocate) {
+  const net::Rejoin rj{net::Hello{net::kProtocolVersion, 4, net::build_hash()},
+                       /*frontier=*/5};
+  const auto bytes = net::encode_rejoin(rj, 1, 1);
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<char> corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      FrameDecoder dec;
+      try {
+        dec.feed(corrupt.data(), corrupt.size());
+        while (auto f = dec.next()) {
+          // A structurally valid frame may still decode; the REJOIN parser
+          // must then reject any payload whose size disagrees.
+          if (f->type == FrameType::kRejoin ||
+              f->type == FrameType::kWelcome) {
+            try {
+              (void)net::decode_rejoin(*f);
+            } catch (const Error&) {
+            }
+          }
+        }
+        EXPECT_LE(dec.buffered(), corrupt.size());
+      } catch (const Error&) {
+        // Loud reject is the other acceptable outcome.
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------- handshake
 
 TEST(Handshake, MidHandshakeDisconnectIsDescriptive) {
@@ -494,4 +580,260 @@ TEST(SocketMesh, WatchdogTimeoutNamesPeerConnectionState) {
     drain_all(set);
   }
   remove_mesh_dir(dir, 2);
+}
+
+// ------------------------------------------------------------ mesh rejoin
+
+namespace {
+
+// Dial `victim`'s listener raw, write `bytes`, and report whether a
+// WELCOME frame came back before EOF/timeout — the attacker's view of a
+// rejoin attempt. Everything short of a WELCOME (silent close, garbage)
+// counts as rejected.
+bool rejoin_attempt(const net::NetConfig& cfg, int victim,
+                    const std::vector<char>& bytes) {
+  const auto dl =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  net::Fd fd = net::connect_endpoint(cfg, victim, dl);
+  if (!net::send_all(fd.get(), bytes.data(), bytes.size())) return false;
+  FrameDecoder dec;
+  char buf[4096];
+  while (std::chrono::steady_clock::now() < dl) {
+    if (!net::wait_readable(fd.get(), std::chrono::steady_clock::now() +
+                                          std::chrono::milliseconds(100)))
+      continue;
+    const long n = net::recv_some(fd.get(), buf, sizeof(buf));
+    if (n <= 0) return false;  // EOF / reset: the mesh closed on us
+    try {
+      dec.feed(buf, static_cast<std::size_t>(n));
+      while (auto f = dec.next())
+        if (f->type == FrameType::kWelcome) return true;
+    } catch (const Error&) {
+      return false;
+    }
+  }
+  return false;
+}
+
+net::NetConfig recovery_config(const std::string& dir, int rank,
+                               int nranks) {
+  net::NetConfig cfg = uds_config(dir, rank, nranks);
+  cfg.rejoin_window_ms = 20000;
+  return cfg;
+}
+
+// TransportSet with a rejoin window on every endpoint: loss holds the slot
+// open instead of failing the mailbox.
+struct RecoverySet {
+  std::vector<std::unique_ptr<net::SocketTransport>> t;
+
+  RecoverySet(const std::string& dir, int nranks, int epoch_of_rank = -1,
+              int epoch = 0) {
+    t.resize(static_cast<std::size_t>(nranks));
+    std::vector<std::thread> builders;
+    builders.reserve(t.size());
+    for (int r = 0; r < nranks; ++r)
+      builders.emplace_back([&, r] {
+        net::NetConfig cfg = recovery_config(dir, r, nranks);
+        if (r == epoch_of_rank) cfg.epoch = epoch;
+        t[static_cast<std::size_t>(r)] = std::make_unique<net::SocketTransport>(
+            cfg, rt::PerturbConfig{}, resil::FaultConfig{},
+            watchdog_ms(20000));
+      });
+    for (auto& b : builders) b.join();
+    for (const auto& p : t) EXPECT_NE(p, nullptr);
+  }
+};
+
+void wait_for_lost(net::SocketTransport& t, int peer) {
+  const auto dl =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (t.mesh().peer_state(peer) != rt::dist::PeerState::kLost &&
+         std::chrono::steady_clock::now() < dl)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(t.mesh().peer_state(peer), rt::dist::PeerState::kLost);
+}
+
+}  // namespace
+
+TEST(SocketMesh, RejoinValidationRejectsImpostersThenAcceptsTheRespawn) {
+  const std::string dir = make_mesh_dir();
+  {
+    RecoverySet set(dir, 2);
+    // A pre-crash message rank 1 receives and acks: after the crash the
+    // respawn cannot reconstruct it, so the survivor must replay it from
+    // the sent log.
+    const auto tag = make_tag(0, 0, 1, 0);
+    set.t[0]->send(1, tag, std::vector<char>{'p', 'r', 'e'});
+    EXPECT_EQ(set.t[1]->recv(tag, 0), (std::vector<char>{'p', 'r', 'e'}));
+
+    // Rank 1 dies hard; rank 0 holds the slot open (window configured).
+    set.t[1]->abort();
+    set.t[1].reset();
+    wait_for_lost(*set.t[0], 1);
+
+    const net::NetConfig dial = uds_config(dir, 1, 2);
+    const net::Hello good{net::kProtocolVersion, 2, net::build_hash()};
+
+    // Epoch regression (replayed handshake): epoch must be exactly +1.
+    EXPECT_FALSE(rejoin_attempt(
+        dial, 0, net::encode_rejoin(net::Rejoin{good, 0}, 1, 0)));
+    // Epoch skip: a diverged history is refused, not resynced.
+    EXPECT_FALSE(rejoin_attempt(
+        dial, 0, net::encode_rejoin(net::Rejoin{good, 0}, 1, 2)));
+    // Unknown rank: no peer slot, silently closed.
+    EXPECT_FALSE(rejoin_attempt(
+        dial, 0, net::encode_rejoin(net::Rejoin{good, 0}, 7, 1)));
+    // Wrong build identity.
+    const net::Hello skewed{net::kProtocolVersion, 2,
+                            net::build_hash() ^ 1u};
+    EXPECT_FALSE(rejoin_attempt(
+        dial, 0, net::encode_rejoin(net::Rejoin{skewed, 0}, 1, 1)));
+    // Garbage bytes never reach validation.
+    EXPECT_FALSE(rejoin_attempt(
+        dial, 0, std::vector<char>(64, static_cast<char>(0xEE))));
+
+    // Only known-rank, post-decode failures are accounted against the
+    // peer: bad epochs (2) and the build mismatch (1).
+    EXPECT_GE(set.t[0]->mesh().peer_stats(1).rejoin_rejects, 3);
+    EXPECT_EQ(set.t[0]->mesh().peer_stats(1).rejoins, 0);
+    ASSERT_EQ(set.t[0]->mesh().peer_state(1), rt::dist::PeerState::kLost)
+        << "a rejected rejoin must not disturb the held slot";
+
+    // The honest respawn (epoch 1, frontier 0) still succeeds after the
+    // attack battery...
+    net::NetConfig cfg1 = recovery_config(dir, 1, 2);
+    cfg1.epoch = 1;
+    cfg1.rejoin_frontier = 0;
+    net::SocketTransport respawn(cfg1, rt::PerturbConfig{},
+                                 resil::FaultConfig{}, watchdog_ms(20000));
+    EXPECT_EQ(set.t[0]->mesh().peer_state(1),
+              rt::dist::PeerState::kConnected);
+    EXPECT_EQ(set.t[0]->mesh().peer_epoch(1), 1);
+    EXPECT_GE(set.t[0]->mesh().peer_stats(1).rejoins, 1);
+
+    // ...and the acked pre-crash message is replayed to the new session
+    // (frontier 0 covers it), stamped with its original deterministic id.
+    EXPECT_EQ(respawn.recv(tag, 0), (std::vector<char>{'p', 'r', 'e'}));
+
+    // Fresh traffic flows both ways across the rebuilt link.
+    const auto t2 = make_tag(0, 1, 0, 1);
+    respawn.send(0, t2, std::vector<char>{'n', 'e', 'w'});
+    EXPECT_EQ(set.t[0]->recv(t2, 1), (std::vector<char>{'n', 'e', 'w'}));
+
+    std::thread d([&] { respawn.drain(); });
+    set.t[0]->drain();
+    d.join();
+  }
+  remove_mesh_dir(dir, 2);
+}
+
+TEST(SocketMesh, RejoinWindowExpiryDegradesToOrderlyFailure) {
+  const std::string dir = make_mesh_dir();
+  {
+    std::vector<std::unique_ptr<net::SocketTransport>> t(2);
+    std::vector<std::thread> builders;
+    for (int r = 0; r < 2; ++r)
+      builders.emplace_back([&, r] {
+        net::NetConfig cfg = uds_config(dir, r, 2);
+        cfg.rejoin_window_ms = 100;  // expires before any respawn shows up
+        t[static_cast<std::size_t>(r)] = std::make_unique<net::SocketTransport>(
+            cfg, rt::PerturbConfig{}, resil::FaultConfig{},
+            watchdog_ms(20000));
+      });
+    for (auto& b : builders) b.join();
+
+    t[1]->abort();
+    t[1].reset();
+    std::string what;
+    try {
+      t[0]->recv(make_tag(0, 2, 2, 2), 1);
+    } catch (const Error& e) {
+      what = e.what();
+    }
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("no rejoin within"), std::string::npos) << what;
+  }
+  remove_mesh_dir(dir, 2);
+}
+
+TEST(SocketMesh, DrainNamesEveryLostPeer) {
+  const std::string dir = make_mesh_dir();
+  {
+    TransportSet set(dir, 3);
+    // Both peers of rank 0 die hard, in either order.
+    set.t[1]->abort();
+    set.t[2]->abort();
+    std::string what;
+    try {
+      set.t[0]->drain();
+    } catch (const Error& e) {
+      what = e.what();
+    }
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("lost"), std::string::npos) << what;
+  }
+  remove_mesh_dir(dir, 3);
+}
+
+// ---------------------------------------------------- mailbox epoch fence
+
+TEST(Mailbox, EpochFenceDiscardsStaleDeposits) {
+  rt::dist::Mailbox box(0, watchdog_ms(5000));
+  const auto tag = make_tag(0, 1, 1, 1);
+
+  // Already-queued pre-crash envelope from rank 1, epoch 0.
+  rt::dist::Envelope stale;
+  stale.id = 1;
+  stale.tag = tag;
+  stale.from = 1;
+  stale.epoch = 0;
+  stale.payload = {'s'};
+  box.deposit(stale);
+
+  box.fence_epoch(1, 1);
+  EXPECT_EQ(box.stale_discards(), 1);
+
+  // A late-arriving stale deposit is fenced on entry too.
+  rt::dist::Envelope late = stale;
+  late.id = 2;
+  box.deposit(late);
+  EXPECT_EQ(box.stale_discards(), 2);
+
+  // Post-rejoin traffic (epoch >= fence) passes.
+  rt::dist::Envelope fresh;
+  fresh.id = 3;
+  fresh.tag = tag;
+  fresh.from = 1;
+  fresh.epoch = 1;
+  fresh.payload = {'f'};
+  box.deposit(fresh);
+  EXPECT_EQ(box.recv(tag, 1), std::vector<char>{'f'});
+
+  // Self/in-process deposits (from < 0) are never fenced.
+  rt::dist::Envelope self;
+  self.id = 4;
+  self.tag = tag;
+  self.payload = {'x'};
+  box.deposit(self);
+  EXPECT_EQ(box.recv(tag, -1), std::vector<char>{'x'});
+  EXPECT_EQ(box.stale_discards(), 2);
+}
+
+TEST(Mailbox, MultipleFailuresSurfaceTheCount) {
+  rt::dist::Mailbox box(0, watchdog_ms(5000));
+  box.fail("connection to rank 1 lost");
+  box.fail("connection to rank 2 lost");
+  box.fail("connection to rank 3 lost");
+  std::string what;
+  try {
+    box.recv(make_tag(0, 1, 1, 1), 1);
+  } catch (const Error& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("connection to rank 1 lost"), std::string::npos)
+      << what;
+  EXPECT_NE(what.find("(+2 earlier/later failures)"), std::string::npos)
+      << what;
 }

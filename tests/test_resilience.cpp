@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <future>
 #include <limits>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/checkpoint.hpp"
 #include "core/cholesky.hpp"
 #include "core/dist_cholesky.hpp"
 #include "dense/util.hpp"
@@ -776,6 +778,210 @@ TEST(DistRecovery, DropsAndDuplicatesRecoverBitwise) {
                      result.recovery.messages_duplicated();
   }
   EXPECT_GT(faulted_total, 0);
+}
+
+// ------------------------------------------------ rank-kill fault class ----
+
+TEST(FaultConfig, KillKeyParsesAndValidates) {
+  const FaultConfig c = FaultConfig::parse("seed=3,kill=0.5");
+  EXPECT_TRUE(c.enabled);
+  EXPECT_DOUBLE_EQ(c.rank_kill_probability, 0.5);
+  // Whole-process death is opt-in: a bare seed leaves it at zero.
+  EXPECT_DOUBLE_EQ(FaultConfig::parse("9").rank_kill_probability, 0.0);
+  EXPECT_THROW(FaultConfig::parse("kill=1.5"), ptlr::Error);
+  EXPECT_THROW(FaultConfig::parse("kill=often"), ptlr::Error);
+}
+
+TEST(FaultInjector, RankKillPlanIsDeterministicAndInRange) {
+  FaultConfig cfg = FaultConfig::with_seed(5);
+  cfg.rank_kill_probability = 1.0;
+  const resil::FaultInjector a(cfg);
+  const resil::FaultInjector b(cfg);
+  const auto pa = a.rank_kill(4, 6);
+  const auto pb = b.rank_kill(4, 6);
+  ASSERT_TRUE(pa.has_value());
+  ASSERT_TRUE(pb.has_value());
+  // Every rank of the mesh computes the same plan from the seed alone.
+  EXPECT_EQ(pa->victim, pb->victim);
+  EXPECT_EQ(pa->step, pb->step);
+  EXPECT_GE(pa->victim, 0);
+  EXPECT_LT(pa->victim, 4);
+  EXPECT_GE(pa->step, 0);
+  EXPECT_LT(pa->step, 6);
+
+  int differs = 0;
+  for (std::uint64_t s = 1; s <= 16; ++s) {
+    FaultConfig c = FaultConfig::with_seed(s);
+    c.rank_kill_probability = 1.0;
+    const auto plan = resil::FaultInjector(c).rank_kill(4, 6);
+    ASSERT_TRUE(plan.has_value()) << "seed " << s;
+    EXPECT_GE(plan->victim, 0);
+    EXPECT_LT(plan->victim, 4);
+    EXPECT_GE(plan->step, 0);
+    EXPECT_LT(plan->step, 6);
+    if (plan->victim != pa->victim || plan->step != pa->step) ++differs;
+  }
+  EXPECT_GT(differs, 0);  // different seeds pick different (victim, step)
+
+  // Disabled injection and the default zero probability never kill.
+  EXPECT_FALSE(resil::FaultInjector(FaultConfig{}).rank_kill(4, 6));
+  EXPECT_FALSE(
+      resil::FaultInjector(FaultConfig::with_seed(5)).rank_kill(4, 6));
+}
+
+// ----------------------------------------------------- tile checkpoints ----
+
+// RAII checkpoint directory under /tmp.
+class ScopedCkptDir {
+ public:
+  ScopedCkptDir() {
+    char tmpl[] = "/tmp/ptlr-ckpt-test-XXXXXX";
+    EXPECT_NE(mkdtemp(tmpl), nullptr);
+    path_ = tmpl;
+  }
+  ~ScopedCkptDir() { std::system(("rm -rf '" + path_ + "'").c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<char> slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit_file(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void poke_u64(std::vector<char>& bytes, std::size_t offset,
+              std::uint64_t v) {
+  ASSERT_GE(bytes.size(), offset + 8);
+  std::memcpy(bytes.data() + offset, &v, 8);
+}
+
+TEST(Checkpoint, PolicyParsesSpecAndDirectory) {
+  EXPECT_FALSE(core::CheckpointPolicy::parse(nullptr, nullptr).enabled());
+  EXPECT_FALSE(core::CheckpointPolicy::parse("", "/x").enabled());
+  EXPECT_FALSE(core::CheckpointPolicy::parse("off", nullptr).enabled());
+  const auto p = core::CheckpointPolicy::parse("every:3", "/tmp/ck");
+  EXPECT_TRUE(p.enabled());
+  EXPECT_EQ(p.every, 3);
+  EXPECT_EQ(p.path_of(2), "/tmp/ck/ptlr-ckpt.2.bin");
+  EXPECT_EQ(core::CheckpointPolicy::parse("every:1", nullptr).dir, ".");
+  EXPECT_THROW(core::CheckpointPolicy::parse("every:0", nullptr),
+               ptlr::Error);
+  EXPECT_THROW(core::CheckpointPolicy::parse("every:abc", nullptr),
+               ptlr::Error);
+  EXPECT_THROW(core::CheckpointPolicy::parse("sometimes", nullptr),
+               ptlr::Error);
+  EXPECT_THROW(core::CheckpointPolicy::parse("every:2000000", nullptr),
+               ptlr::Error);
+}
+
+TEST(Checkpoint, SaveLoadRoundTripsOwnedTilesAndFrontier) {
+  const auto prob = stars::make_problem(stars::ProblemKind::kSt3DExp, 96);
+  const compress::Accuracy acc{1e-6, 1 << 30};
+  const tlr::TlrMatrix orig = problem_matrix(prob, 16);
+  const rt::TwoDBlockCyclic dist(2, 1);
+
+  // Checkpoint a half-interesting state: the factorized matrix of rank 0.
+  tlr::TlrMatrix factored = orig;
+  {
+    ScopedEnv env("PTLR_FAULTS", nullptr);
+    core::distributed_factorize(factored, dist, acc);
+  }
+
+  ScopedCkptDir dir;
+  const std::string path = dir.path() + "/ptlr-ckpt.0.bin";
+  core::save_rank_checkpoint(path, factored, dist, /*rank=*/0,
+                             /*frontier=*/3);
+  EXPECT_EQ(core::peek_checkpoint_frontier(path), 3u);
+  // Crash consistency: a completed save leaves no tmp file behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  tlr::TlrMatrix loaded = orig;
+  EXPECT_EQ(core::load_rank_checkpoint(path, loaded, dist, /*rank=*/0), 3u);
+  for (int i = 0; i < orig.nt(); ++i)
+    for (int j = 0; j <= i; ++j) {
+      const auto& want =
+          dist.owner(i, j) == 0 ? factored.at(i, j) : orig.at(i, j);
+      EXPECT_EQ(tlr::tile_to_bytes(loaded.at(i, j)),
+                tlr::tile_to_bytes(want))
+          << "tile (" << i << "," << j << ")";
+    }
+
+  // A missing checkpoint means replay-from-scratch, not an error.
+  EXPECT_EQ(core::peek_checkpoint_frontier(dir.path() + "/absent.bin"), 0u);
+  EXPECT_THROW(
+      core::load_rank_checkpoint(dir.path() + "/absent.bin", loaded, dist, 0),
+      ptlr::Error);
+}
+
+TEST(Checkpoint, RejectsMismatchedConfiguration) {
+  const auto prob = stars::make_problem(stars::ProblemKind::kSt3DExp, 96);
+  const tlr::TlrMatrix a = problem_matrix(prob, 16);
+  const rt::TwoDBlockCyclic dist(2, 1);
+  ScopedCkptDir dir;
+  const std::string path = dir.path() + "/ptlr-ckpt.0.bin";
+  core::save_rank_checkpoint(path, a, dist, 0, 2);
+
+  // Wrong rank: the stored tiles belong to rank 0.
+  tlr::TlrMatrix same = problem_matrix(prob, 16);
+  EXPECT_THROW(core::load_rank_checkpoint(path, same, dist, 1), ptlr::Error);
+  // Wrong tiling: a stale file from another run must not be replayed.
+  tlr::TlrMatrix coarser = problem_matrix(prob, 32);
+  EXPECT_THROW(core::load_rank_checkpoint(path, coarser, dist, 0),
+               ptlr::Error);
+}
+
+TEST(Checkpoint, CorruptFilesRejectLoudlyWithoutOverallocation) {
+  const auto prob = stars::make_problem(stars::ProblemKind::kSt3DExp, 96);
+  const tlr::TlrMatrix a = problem_matrix(prob, 16);
+  const rt::TwoDBlockCyclic dist(2, 1);
+  ScopedCkptDir dir;
+  const std::string good_path = dir.path() + "/ptlr-ckpt.0.bin";
+  core::save_rank_checkpoint(good_path, a, dist, 0, 1);
+  const std::vector<char> good = slurp_file(good_path);
+  ASSERT_GT(good.size(), 80u);  // header (56 B) + first tile record
+
+  const std::string bad_path = dir.path() + "/corrupt.bin";
+  tlr::TlrMatrix scratch = problem_matrix(prob, 16);
+  const auto expect_reject = [&](const std::vector<char>& bytes) {
+    spit_file(bad_path, bytes);
+    EXPECT_THROW(core::load_rank_checkpoint(bad_path, scratch, dist, 0),
+                 ptlr::Error);
+  };
+
+  // Truncations at the header, mid-table and mid-payload.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{8}, std::size_t{40}, std::size_t{55},
+        std::size_t{70}, good.size() - 1})
+    expect_reject(std::vector<char>(good.begin(),
+                                    good.begin() + static_cast<long>(cut)));
+
+  // Field bombs: each size field is bounds-checked against the real file
+  // size BEFORE any allocation it controls (header layout: magic@0,
+  // version@8, rank@16, nranks@24, nt@32, frontier@40, ntiles@48, then
+  // {i, j, nbytes} tile records).
+  std::vector<char> bytes = good;
+  poke_u64(bytes, 0, 0x0123456789ABCDEFull);  // bad magic
+  expect_reject(bytes);
+  bytes = good;
+  poke_u64(bytes, 8, 999);  // unsupported version
+  expect_reject(bytes);
+  bytes = good;
+  poke_u64(bytes, 48, ~std::uint64_t{0});  // ntiles bomb
+  expect_reject(bytes);
+  bytes = good;
+  poke_u64(bytes, 72, ~std::uint64_t{0});  // first tile's nbytes bomb
+  expect_reject(bytes);
+  bytes = good;
+  poke_u64(bytes, 56, 1u << 20);  // tile index out of range
+  expect_reject(bytes);
 }
 
 }  // namespace

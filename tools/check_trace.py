@@ -18,7 +18,7 @@ Checks the schema contract the obs layer promises:
 
 Usage:
   check_trace.py TRACE.json [--expect-tasks N] [--require-metadata]
-                 [--min-resilience N] [--min-comm N]
+                 [--min-resilience N] [--min-comm N] [--min-rejoin N]
 
 Exits 0 when the trace is valid, 1 with a diagnostic otherwise — CI runs it
 against a traced example (the trace-smoke job).
@@ -39,13 +39,15 @@ RESILIENCE_EVENTS = frozenset((
     "msg_drop", "msg_dup",
     "retry", "task_recovered", "msg_recovered",
     "shift_restart", "dense_fallback", "watchdog_fire",
+    "ckpt_write", "ckpt_load", "rank_restart",
 ))
 RESILIENCE_PID = 2
 
 # Canonical comm event names: logical mailbox deposits plus the wire-frame
-# events the socket peer mesh records (obs::record_net).
+# events the socket peer mesh records (obs::record_net). "net_rejoin" marks
+# a successful rank-death rejoin handshake on the link.
 COMM_EVENTS = frozenset((
-    "send", "net_send", "net_recv", "net_retransmit",
+    "send", "net_send", "net_recv", "net_retransmit", "net_rejoin",
 ))
 COMM_PID = 1
 
@@ -66,6 +68,12 @@ def main():
                     help="minimum number of resilience instant events")
     ap.add_argument("--min-comm", type=int, default=None,
                     help="minimum number of comm instant events")
+    ap.add_argument("--min-rejoin", type=int, default=None,
+                    help="minimum number of net_rejoin comm events")
+    ap.add_argument("--allow-no-tasks", action="store_true",
+                    help="accept a trace with zero task spans (a respawned "
+                         "rank that resumed past its last owned task "
+                         "records only recovery/comm events)")
     args = ap.parse_args()
 
     try:
@@ -80,7 +88,7 @@ def main():
     if not isinstance(events, list):
         fail("traceEvents is not an array")
 
-    tasks = comms = resil = 0
+    tasks = comms = resil = rejoins = 0
     saw_metadata = False
     last_ts = {}
     for idx, ev in enumerate(events):
@@ -137,6 +145,8 @@ def main():
                 if comm_args["bytes"] < 0:
                     fail(f"{where}: comm event with negative bytes")
                 comms += 1
+                if ev["name"] == "net_rejoin":
+                    rejoins += 1
             continue
         if ph != "X":
             fail(f"{where}: unexpected phase {ph!r}")
@@ -163,7 +173,10 @@ def main():
              f"found {resil}")
     if args.min_comm is not None and comms < args.min_comm:
         fail(f"expected at least {args.min_comm} comm events, found {comms}")
-    if tasks == 0:
+    if args.min_rejoin is not None and rejoins < args.min_rejoin:
+        fail(f"expected at least {args.min_rejoin} net_rejoin events, "
+             f"found {rejoins}")
+    if tasks == 0 and not args.allow_no_tasks:
         fail("trace holds no task spans")
 
     print(f"check_trace: OK: {tasks} task spans, {comms} comm events, "

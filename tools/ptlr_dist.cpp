@@ -56,8 +56,17 @@ int main(int argc, char** argv) try {
   const int band = args.integer("band", 2);
   const bool verify = args.integer("verify", 0) != 0;
 
-  const net::NetConfig cfg = net::NetConfig::from_env();
+  net::NetConfig cfg = net::NetConfig::from_env();
   const compress::Accuracy acc{tol, 1 << 30};
+
+  // Rank-death recovery (PTLR_CKPT / PTLR_EPOCH, see docs/distributed.md):
+  // a respawned rank announces its checkpointed frontier in its REJOIN so
+  // survivors replay exactly the acked messages the dead process took with
+  // it — nothing older.
+  const auto rec = core::RankRecoveryOptions::from_env();
+  if (cfg.epoch > 0 && rec.ckpt.enabled())
+    cfg.rejoin_frontier =
+        core::peek_checkpoint_frontier(rec.ckpt.path_of(cfg.rank));
 
   obs::enable_from_env();
   obs::set_metadata("tool", "ptlr-dist");
@@ -77,7 +86,7 @@ int main(int argc, char** argv) try {
   net::PeerWireStats wire;
   {
     net::SocketTransport transport(cfg);
-    res = core::distributed_factorize_rank(a, *dist, acc, transport);
+    res = core::distributed_factorize_rank(a, *dist, acc, transport, rec);
     wire = transport.wire_stats();
   }
 
@@ -86,7 +95,12 @@ int main(int argc, char** argv) try {
             << " s, sent " << res.comm.messages << " msgs ("
             << res.comm.bytes << " B), wire " << wire.msgs_sent << " out/"
             << wire.msgs_recv << " in frames, " << wire.retransmits
-            << " retransmits\n";
+            << " retransmits, " << wire.rejoins << " rejoins\n";
+  if (res.recovery.rank_restarts() > 0 || res.recovery.checkpoint_writes() > 0)
+    std::cout << "rank " << cfg.rank
+              << ": recovery restarts=" << res.recovery.rank_restarts()
+              << " ckpt_writes=" << res.recovery.checkpoint_writes()
+              << " ckpt_loads=" << res.recovery.checkpoint_loads() << "\n";
 
   // Flush the trace before any --verify oracle runs: the trace documents
   // the wire run, and the oracle's in-process rank threads would interleave
