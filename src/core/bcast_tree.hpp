@@ -1,0 +1,53 @@
+// Binomial broadcast trees for the distributed Cholesky collectives.
+//
+// The owner-computes protocol broadcasts every factored tile to the set of
+// ranks whose updates read it. Unicasting that set costs the origin O(|D|)
+// serialized sends — at scale the panel owner becomes the bottleneck the
+// paper's PTG collectives exist to avoid. Here the destination set is
+// arranged into a *root-offload* binomial tree:
+//
+//   * the participants are the destinations minus the origin, sorted, then
+//     rotated by a hash of the tag — so successive broadcasts start their
+//     trees at different ranks and no single rank eats every first hop;
+//   * the origin sends exactly ONE copy, to the participant at position 0
+//     (its egress is O(1) per broadcast instead of O(|D|));
+//   * among the participants, position p forwards to positions p + 2^j for
+//     every power 2^j > p (the classic binomial tree rooted at position 0),
+//     giving O(log |D|) hops to the farthest destination.
+//
+// Everything is a pure function of (tag, origin, dests): every rank
+// computes the identical tree with no coordination, a respawned rank
+// replays the identical edges, and the deterministic per-(tag, sender)
+// message ids keep tree delivery exactly-once under retransmission and
+// rank-death replay.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace ptlr::core::bcast {
+
+/// The broadcast participants: `dests` minus `origin`, sorted ascending,
+/// rotated left by hash(tag) % n. Position 0 is the tree root (the one
+/// rank the origin transmits to).
+std::vector<int> participants(std::uint64_t tag, int origin,
+                              const std::set<int>& dests);
+
+/// The single rank the origin sends to, or -1 when the destination set is
+/// empty (nothing to do).
+int first_hop(std::uint64_t tag, int origin, const std::set<int>& dests);
+
+/// Ranks `self` must forward the payload to, in send order. For the
+/// origin this is {first_hop}; for a participant at position p the
+/// binomial children p + 2^j (2^j > p) that exist; empty for leaves and
+/// for ranks outside the broadcast.
+std::vector<int> children(std::uint64_t tag, int origin,
+                          const std::set<int>& dests, int self);
+
+/// Hop count from the origin to the farthest destination: 1 for the
+/// origin→root edge plus ceil(log2(ndests)) binomial levels; 0 for an
+/// empty set. This is the latency multiplier of the placement cost model.
+int depth(std::size_t ndests);
+
+}  // namespace ptlr::core::bcast

@@ -1,5 +1,6 @@
 #include "core/dist_cholesky.hpp"
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/bcast_tree.hpp"
 #include "hcore/kernels.hpp"
 #include "obs/trace.hpp"
 #include "tlr/io.hpp"
@@ -29,7 +31,8 @@ class RankProgram {
  public:
   RankProgram(rt::dist::Transport& t, int nt, const rt::Distribution& dist,
               tlr::TlrMatrix& a, const compress::Accuracy& acc,
-              const RankRecoveryOptions& rec = {})
+              const RankRecoveryOptions& rec = {},
+              const DistCommOptions& opts = {})
       : t_(t),
         rank_(t.rank()),
         nt_(nt),
@@ -37,7 +40,11 @@ class RankProgram {
         a_(a),
         acc_(acc),
         rec_(rec),
-        injector_(rec.faults) {}
+        opts_(opts),
+        injector_(rec.faults),
+        flow_(t, cstats_) {
+    cstats_.rank = rank_;
+  }
 
   void run() {
     int k0 = 0;
@@ -47,13 +54,20 @@ class RankProgram {
                       std::to_string(rec_.epoch));
       k0 = restore();
     }
+    registered_upto_ = k0;
     for (int k = k0; k < nt_; ++k) {
+      // Post expected receives for this panel AND the lookahead window:
+      // while blocked anywhere in step k, arrivals for steps up to
+      // k + lookahead are pulled in (and tree-forwarded) immediately.
+      register_through(std::min(nt_ - 1, k + opts_.lookahead));
       maybe_kill(k);
       factor_panel(k);
       update_trailing(k);
       maybe_checkpoint(k);
     }
   }
+
+  [[nodiscard]] const RankCommStats& comm_stats() const { return cstats_; }
 
  private:
   [[nodiscard]] bool mine(int i, int j) const {
@@ -69,19 +83,80 @@ class RankProgram {
   void traced(const char* op, int k, int i, int j, Body&& body) {
     obs::task_begin();
     body();
+    // The output of every kernel here is tile (i, j) in place; its
+    // serialized size is what a broadcast of the result would carry.
+    const long long out_bytes =
+        obs::enabled()
+            ? static_cast<long long>(tlr::tile_byte_size(local(i, j)))
+            : 0;
     obs::task_end(std::string(op) + "(" + std::to_string(i) + "," +
                       std::to_string(j) + ")",
                   /*kind=*/-1, /*panel=*/k, i, j, /*worker=*/rank_,
-                  /*output_bytes=*/0);
+                  out_bytes);
   }
 
   void broadcast(const tlr::Tile& t, std::uint64_t tag,
                  const std::set<int>& dests) {
-    // One message per destination rank — the PTG collective semantics.
-    const std::vector<char> bytes = tlr::tile_to_bytes(t);
-    for (const int d : dests) {
-      if (d != rank_) t_.send(d, tag, bytes);
+    // Serialized exactly once into a refcounted buffer: every queued
+    // send, retransmit copy and replay log entry shares it.
+    const Bytes bytes = tlr::tile_to_bytes(t);
+    const auto size = static_cast<long long>(bytes.size());
+    if (opts_.tree) {
+      // Root-offload binomial tree: the origin transmits ONE copy; the
+      // receivers forward (core/tile_flow.hpp) down the deterministic
+      // tree, so root egress is O(1) per broadcast instead of O(|dests|).
+      const int hop = bcast::first_hop(tag, rank_, dests);
+      if (hop < 0) return;
+      t_.send(hop, tag, bytes);
+      cstats_.messages += 1;
+      cstats_.bytes += size;
+      cstats_.root_egress_bytes += size;
+      return;
     }
+    // Flat mode: one unicast per destination rank (the PTG collective
+    // semantics, kept as the comparison baseline under PTLR_BCAST=flat).
+    for (const int d : dests) {
+      if (d == rank_) continue;
+      t_.send(d, tag, bytes);
+      cstats_.messages += 1;
+      cstats_.bytes += size;
+      cstats_.root_egress_bytes += size;
+    }
+  }
+
+  // ---- expected-receive registration (lookahead + tree forwarding) ----
+
+  [[nodiscard]] std::vector<int> tree_children(std::uint64_t tag, int origin,
+                                               const std::set<int>& dests)
+      const {
+    if (!opts_.tree) return {};
+    return bcast::children(tag, origin, dests, rank_);
+  }
+
+  /// Register every broadcast of step `s` this rank will receive, with
+  /// the children it must forward each payload to. Safe to call for
+  /// overlapping windows — TileFlow::expect is idempotent per tag.
+  void register_step(int s) {
+    const std::uint64_t diag_tag =
+        make_tag(0, static_cast<std::uint32_t>(s), s, s);
+    const int diag_owner = dist_.owner(s, s);
+    const std::set<int> ddests = diag_dests(s);
+    if (rank_ != diag_owner && ddests.count(rank_) != 0)
+      flow_.expect(diag_tag, tree_children(diag_tag, diag_owner, ddests));
+    for (int i = s + 1; i < nt_; ++i) {
+      const int panel_owner = dist_.owner(i, s);
+      if (panel_owner == rank_) continue;
+      const std::set<int> pdests = panel_dests(s, i);
+      if (pdests.count(rank_) == 0) continue;
+      const std::uint64_t tag = make_tag(1, static_cast<std::uint32_t>(s),
+                                         static_cast<std::uint32_t>(i), s);
+      flow_.expect(tag, tree_children(tag, panel_owner, pdests));
+    }
+  }
+
+  void register_through(int hi) {
+    for (; registered_upto_ <= hi; ++registered_upto_)
+      register_step(registered_upto_);
   }
 
   // Destination sets of the step-k broadcasts, shared by the live
@@ -124,6 +199,12 @@ class RankProgram {
   void maybe_checkpoint(int k) {
     if (!rec_.ckpt.enabled()) return;
     if ((k + 1) % rec_.ckpt.every != 0 || k + 1 >= nt_) return;
+    // Ack barrier BEFORE the frontier advances on disk: every send this
+    // rank made so far — broadcast roots and tree forwards alike — must
+    // be delivered, not merely queued. If this rank dies later, replay
+    // only re-covers steps at or past the frontier; anything older has to
+    // already be at its receiver.
+    t_.flush();
     save_rank_checkpoint(rec_.ckpt.path_of(rank_), a_, dist_, rank_,
                          static_cast<std::uint64_t>(k + 1));
     resil::note(resil::ResilienceEvent::kCkptWrite,
@@ -187,7 +268,8 @@ class RankProgram {
     if (mine(k, k)) {
       diag = &local(k, k);
     } else {
-      diag_copy = tlr::tile_from_bytes(t_.recv(diag_tag, diag_owner));
+      (void)diag_owner;
+      diag_copy = tlr::tile_from_bytes(flow_.get(diag_tag));
       diag = &diag_copy;
     }
 
@@ -210,11 +292,14 @@ class RankProgram {
       if (mine(i, k)) return local(i, k);
       auto it = cache.find(i);
       if (it == cache.end()) {
+        // Consume through the flow: a hit means the bytes arrived while
+        // this rank was computing (lookahead/forwarding did its job); a
+        // miss blocks in recv_any, servicing other expected tags.
         it = cache
-                 .emplace(i, tlr::tile_from_bytes(t_.recv(
+                 .emplace(i, tlr::tile_from_bytes(flow_.get(
                                  make_tag(1, static_cast<std::uint32_t>(k),
-                                          static_cast<std::uint32_t>(i), k),
-                                 dist_.owner(i, k))))
+                                          static_cast<std::uint32_t>(i),
+                                          k))))
                  .first;
       }
       return it->second;
@@ -250,7 +335,12 @@ class RankProgram {
   tlr::TlrMatrix& a_;
   compress::Accuracy acc_;
   RankRecoveryOptions rec_;
+  DistCommOptions opts_;
   resil::FaultInjector injector_;
+  RankCommStats cstats_;
+  TileFlow flow_;
+  /// First step whose broadcasts are NOT yet registered with the flow.
+  int registered_upto_ = 0;
 };
 
 }  // namespace
@@ -271,7 +361,8 @@ RankRecoveryOptions RankRecoveryOptions::from_env() {
 
 DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
                                          const rt::Distribution& dist,
-                                         const compress::Accuracy& acc) {
+                                         const compress::Accuracy& acc,
+                                         const DistCommOptions& opts) {
   const int nt = a.nt();
   const int nranks = dist.nproc();
 
@@ -279,6 +370,7 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
   rt::dist::Communicator comm(nranks);
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(nranks));
+  std::vector<RankCommStats> rank_comm(static_cast<std::size_t>(nranks));
   WallTimer timer;
   {
     // Rank threads share the one matrix replica: owners write disjoint
@@ -290,13 +382,14 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
     for (int r = 0; r < nranks; ++r) {
       ranks.emplace_back([&, r] {
         rt::dist::SimTransport transport(comm, r);
+        RankProgram prog(transport, nt, dist, a, acc, {}, opts);
         try {
-          RankProgram prog(transport, nt, dist, a, acc);
           prog.run();
         } catch (...) {
           errors[static_cast<std::size_t>(r)] = std::current_exception();
           transport.abort();  // wake peers blocked on recv
         }
+        rank_comm[static_cast<std::size_t>(r)] = prog.comm_stats();
       });
     }
     for (auto& th : ranks) th.join();
@@ -308,17 +401,18 @@ DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
     if (e) std::rethrow_exception(e);
   }
   result.comm = comm.stats();
+  result.rank_comm = std::move(rank_comm);
   return result;
 }
 
 DistCholeskyResult distributed_factorize_rank(
     tlr::TlrMatrix& a, const rt::Distribution& dist,
     const compress::Accuracy& acc, rt::dist::Transport& transport,
-    const RankRecoveryOptions& recovery) {
+    const RankRecoveryOptions& recovery, const DistCommOptions& opts) {
   const resil::RecoveryStats recovery_before = resil::snapshot();
   WallTimer timer;
+  RankProgram prog(transport, a.nt(), dist, a, acc, recovery, opts);
   try {
-    RankProgram prog(transport, a.nt(), dist, a, acc, recovery);
     prog.run();
     transport.drain();
   } catch (...) {
@@ -329,6 +423,7 @@ DistCholeskyResult distributed_factorize_rank(
   result.seconds = timer.seconds();
   result.recovery = resil::diff(recovery_before, resil::snapshot());
   result.comm = transport.stats();
+  result.rank_comm.push_back(prog.comm_stats());
   return result;
 }
 

@@ -5,9 +5,15 @@
 //
 //   POTRF(k)   on owner(k,k), then L(k,k)  → ranks owning panel k tiles;
 //   TRSM(i,k)  on owner(i,k), then A(i,k)  → ranks owning the trailing
-//              tiles it updates (one message per destination rank, the
-//              PTG collective semantics);
+//              tiles it updates;
 //   SYRK/GEMM  on the owner of the updated tile, reading received copies.
+//
+// Broadcasts travel binomial trees by default (core/bcast_tree.hpp): the
+// origin serializes the tile once into a refcounted buffer and sends ONE
+// copy; receivers forward down deterministic trees via the lookahead
+// prefetcher (core/tile_flow.hpp), which also posts expected receives for
+// the next PTLR_LOOKAHEAD panels so updates rarely block in recv.
+// PTLR_BCAST=flat restores the one-unicast-per-destination PTG pattern.
 //
 // Numerically identical to the shared-memory factorization (same kernel
 // sequence per tile), which the tests assert tile-by-tile. The rank
@@ -17,8 +23,11 @@
 // OS process per rank, see src/net and tools/ptlr-launch).
 #pragma once
 
+#include <vector>
+
 #include "compress/compress.hpp"
 #include "core/checkpoint.hpp"
+#include "core/tile_flow.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/stats.hpp"
 #include "runtime/distribution.hpp"
@@ -35,15 +44,23 @@ struct DistCholeskyResult {
   /// Recovery events over this run (message drops/duplicates injected by
   /// the communicator's fault config, and their recoveries).
   resil::RecoveryStats recovery;
+  /// Per-rank communication-path counters (broadcast egress, tree
+  /// forwards, lookahead hits, blocked-receive time). One entry per rank
+  /// for the in-process driver; exactly one entry — this endpoint's — for
+  /// distributed_factorize_rank.
+  std::vector<RankCommStats> rank_comm;
 };
 
 /// Factorize `a` in place with `nranks` ranks (one thread each) owning
 /// tiles per `dist`, over the in-process transport. Kernels are the
 /// non-recursive hcore set; `acc` controls low-rank recompression as in
-/// the shared-memory path.
-DistCholeskyResult distributed_factorize(tlr::TlrMatrix& a,
-                                         const rt::Distribution& dist,
-                                         const compress::Accuracy& acc);
+/// the shared-memory path. `opts` selects the communication path
+/// (broadcast trees, panel lookahead); the default reads PTLR_BCAST /
+/// PTLR_LOOKAHEAD.
+DistCholeskyResult distributed_factorize(
+    tlr::TlrMatrix& a, const rt::Distribution& dist,
+    const compress::Accuracy& acc,
+    const DistCommOptions& opts = DistCommOptions::from_env());
 
 /// Rank-death recovery knobs for one rank process of the socket backend.
 /// Default-constructed = no checkpointing, first incarnation, no faults —
@@ -82,6 +99,7 @@ struct RankRecoveryOptions {
 DistCholeskyResult distributed_factorize_rank(
     tlr::TlrMatrix& a, const rt::Distribution& dist,
     const compress::Accuracy& acc, rt::dist::Transport& transport,
-    const RankRecoveryOptions& recovery = {});
+    const RankRecoveryOptions& recovery = {},
+    const DistCommOptions& opts = DistCommOptions::from_env());
 
 }  // namespace ptlr::core

@@ -1,0 +1,90 @@
+#include "core/tile_flow.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace ptlr::core {
+
+DistCommOptions DistCommOptions::from_env() {
+  DistCommOptions opts;
+  if (const char* e = std::getenv("PTLR_BCAST")) {
+    const std::string v(e);
+    if (v == "tree") {
+      opts.tree = true;
+    } else if (v == "flat") {
+      opts.tree = false;
+    } else {
+      throw Error("PTLR_BCAST must be tree or flat, got: " + v);
+    }
+  }
+  if (const char* e = std::getenv("PTLR_LOOKAHEAD")) {
+    char* end = nullptr;
+    const long v = std::strtol(e, &end, 10);
+    PTLR_CHECK(end != nullptr && *end == '\0' && v >= 0 && v <= 1000,
+               "PTLR_LOOKAHEAD: expected 0..1000, got '" + std::string(e) +
+                   "'");
+    opts.lookahead = static_cast<int>(v);
+  }
+  return opts;
+}
+
+void TileFlow::expect(std::uint64_t tag, std::vector<int> children) {
+  if (!seen_.insert(tag).second) return;
+  pending_.emplace(tag, std::move(children));
+}
+
+void TileFlow::note_arrival(std::uint64_t tag, Bytes payload) {
+  const auto it = pending_.find(tag);
+  PTLR_CHECK(it != pending_.end(),
+             "TileFlow: arrival of a tag that was never expected");
+  // Forward FIRST, consume later: the children's progress must not wait
+  // for this rank to get around to its own update.
+  for (const int child : it->second) {
+    t_.send(child, tag, payload);  // shares the buffer, no copy
+    stats_.messages += 1;
+    stats_.bytes += static_cast<long long>(payload.size());
+    stats_.forwards += 1;
+    stats_.forward_bytes += static_cast<long long>(payload.size());
+  }
+  pending_.erase(it);
+  arrived_.emplace(tag, std::move(payload));
+}
+
+Bytes TileFlow::get(std::uint64_t tag) {
+  if (const auto it = arrived_.find(tag); it != arrived_.end()) {
+    Bytes out = std::move(it->second);
+    arrived_.erase(it);
+    stats_.prefetch_hits += 1;
+    return out;
+  }
+  PTLR_CHECK(seen_.count(tag) != 0,
+             "TileFlow::get of a tag that was never expected");
+  PTLR_CHECK(pending_.count(tag) != 0,
+             "TileFlow::get of a tag that was already consumed");
+  stats_.prefetch_misses += 1;
+  WallTimer blocked;
+  std::vector<std::uint64_t> tags;
+  for (;;) {
+    // The wanted tag first (recv_any checks in order), then every other
+    // outstanding registration — whatever lands gets forwarded right away.
+    tags.clear();
+    tags.push_back(tag);
+    for (const auto& [other, children] : pending_) {
+      (void)children;
+      if (other != tag) tags.push_back(other);
+    }
+    rt::dist::TaggedMessage msg = t_.recv_any(tags);
+    note_arrival(msg.tag, std::move(msg.payload));
+    if (const auto it = arrived_.find(tag); it != arrived_.end()) {
+      Bytes out = std::move(it->second);
+      arrived_.erase(it);
+      stats_.blocked_recv_seconds += blocked.seconds();
+      return out;
+    }
+  }
+}
+
+}  // namespace ptlr::core

@@ -1,0 +1,96 @@
+// Receiver-side tile flow of the distributed Cholesky: broadcast-tree
+// forwarding and panel lookahead, behind one consume-by-tag interface.
+//
+// The rank program registers every broadcast it will receive for the next
+// PTLR_LOOKAHEAD panels (expect), then consumes payloads by tag (get).
+// While get() blocks for one tile it keeps receiving — via the
+// transport's recv_any — every *other* registered tag, so:
+//
+//   * a tile whose bytes already arrived is handed over without touching
+//     the transport (the lookahead hit: TRSM/GEMM/SYRK never block in
+//     recv for data that is already here);
+//   * a tile this rank must forward down its broadcast tree is forwarded
+//     the moment it arrives — even while the rank is still computing an
+//     earlier panel — which is what moves the tree's latency off the
+//     critical path.
+//
+// Forward-on-first-arrival is also the recovery invariant: every edge of
+// a broadcast tree is an ordinary transport send, so acks, retransmission
+// and rejoin sent-log replay make each edge independently reliable. A
+// forwarder that dies after receiving re-receives on replay (fresh
+// incarnation, fresh dedup state) and re-forwards with the same
+// deterministic ids, which the children dedup — exactly-once end to end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "runtime/transport.hpp"
+
+namespace ptlr::core {
+
+/// Communication-path knobs of a distributed factorization.
+struct DistCommOptions {
+  /// Broadcast factored tiles over binomial trees (core/bcast_tree.hpp)
+  /// instead of one unicast per destination. PTLR_BCAST=tree|flat.
+  bool tree = true;
+  /// How many panels ahead of the current one to post expected receives
+  /// for (0 = only the current panel). PTLR_LOOKAHEAD.
+  int lookahead = 2;
+
+  /// Strict parse of PTLR_BCAST / PTLR_LOOKAHEAD; a typo throws.
+  static DistCommOptions from_env();
+};
+
+/// One rank's communication counters over a factorization, the numbers
+/// BENCH_dist.json reports per rank.
+struct RankCommStats {
+  int rank = -1;
+  long long messages = 0;      ///< tile messages this rank put on the wire
+  long long bytes = 0;         ///< payload bytes of those messages
+  /// Bytes sent as broadcast ORIGIN — the root-egress the tree bounds at
+  /// one tile per broadcast.
+  long long root_egress_bytes = 0;
+  long long forwards = 0;        ///< tree forwards performed
+  long long forward_bytes = 0;   ///< payload bytes of those forwards
+  long long prefetch_hits = 0;   ///< get() served from already-arrived bytes
+  long long prefetch_misses = 0; ///< get() had to block on the transport
+  double blocked_recv_seconds = 0.0;  ///< wall time spent blocked in recv
+};
+
+/// The per-rank prefetch/forward engine. Not thread-safe: one rank
+/// program drives it from its own thread, like the transport beneath it.
+class TileFlow {
+ public:
+  TileFlow(rt::dist::Transport& t, RankCommStats& stats)
+      : t_(t), stats_(stats) {}
+
+  /// Register an expected broadcast delivery: `tag` will arrive from this
+  /// rank's tree parent (or, flat mode, from the owner) and must be
+  /// forwarded to `children` on first arrival (empty = leaf / flat).
+  /// Idempotent per tag — lookahead windows overlap across steps.
+  void expect(std::uint64_t tag, std::vector<int> children);
+
+  /// Consume the payload for `tag`, which must have been expect()ed.
+  /// Returns immediately when the bytes already arrived while this rank
+  /// was busy elsewhere; otherwise blocks in recv_any over every still-
+  /// outstanding registered tag, forwarding each arrival to its children,
+  /// until `tag` lands. Each tag is consumable exactly once.
+  Bytes get(std::uint64_t tag);
+
+ private:
+  /// Forward to the tag's registered children (sharing the one payload
+  /// buffer) and stash the payload for its consumer.
+  void note_arrival(std::uint64_t tag, Bytes payload);
+
+  rt::dist::Transport& t_;
+  RankCommStats& stats_;
+  std::map<std::uint64_t, std::vector<int>> pending_;  ///< expected, not arrived
+  std::map<std::uint64_t, Bytes> arrived_;  ///< arrived, not yet consumed
+  std::set<std::uint64_t> seen_;            ///< every tag ever expect()ed
+};
+
+}  // namespace ptlr::core

@@ -31,10 +31,18 @@ PeerMesh::PeerMesh(const NetConfig& cfg, rt::dist::Mailbox& inbox)
     if (r != cfg_.rank) {
       peers_[static_cast<std::size_t>(r)] = std::make_unique<Peer>();
       peers_[static_cast<std::size_t>(r)]->rank = r;
+      // Seed the per-link estimator from the configured RTO so a cold
+      // link retransmits on the same schedule as before adaptation.
+      peers_[static_cast<std::size_t>(r)]->rtt =
+          RttEstimator(static_cast<double>(cfg_.rto_ms));
     }
 }
 
 PeerMesh::~PeerMesh() { close(); }
+
+long long PeerMesh::rto_for(const Peer& p) const {
+  return cfg_.rto_fixed ? cfg_.rto_ms : p.rtt.rto_ms();
+}
 
 std::chrono::milliseconds PeerMesh::drain_deadline() const {
   // Drain must outlive a pending rejoin: a rank killed near the last step
@@ -362,8 +370,7 @@ void PeerMesh::enqueue(Peer& p, Frame f, bool retransmit, bool control) {
 }
 
 void PeerMesh::send(int to, std::uint64_t tag, std::uint64_t id,
-                    std::vector<char> payload, bool drop_first_send,
-                    bool duplicate) {
+                    Bytes payload, bool drop_first_send, bool duplicate) {
   PTLR_CHECK(to >= 0 && to < cfg_.nranks && to != cfg_.rank,
              "PeerMesh::send: bad destination rank " + std::to_string(to));
   Peer& p = *peers_[static_cast<std::size_t>(to)];
@@ -379,8 +386,10 @@ void PeerMesh::send(int to, std::uint64_t tag, std::uint64_t id,
   {
     std::lock_guard<std::mutex> lk(p.mu);
     Pending pend;
-    pend.frame = f;
-    pend.due = Clock::now() + std::chrono::milliseconds(cfg_.rto_ms);
+    pend.frame = f;  // shares the payload buffer, no byte copy
+    const auto now = Clock::now();
+    pend.due = now + std::chrono::milliseconds(rto_for(p));
+    pend.sent_at = now;
     pend.injected_drop = drop_first_send;
     p.unacked.emplace(id, std::move(pend));
   }
@@ -413,8 +422,16 @@ void PeerMesh::sender_loop(Peer& p) {
       p.cv_space.notify_all();
       p.cv_state.notify_all();
     }
-    const std::vector<char> bytes = encode_frame(item.frame);
-    if (!send_all(p.sock.get(), bytes.data(), bytes.size())) {
+    // Zero-copy write: the 32-byte header lives on the stack, the payload
+    // goes straight from its shared buffer to the socket. No per-frame
+    // header+payload concatenation buffer exists anywhere on this path.
+    const std::array<char, kHeaderBytes> header = encode_header(item.frame);
+    const bool ok =
+        send_all(p.sock.get(), header.data(), header.size()) &&
+        (item.frame.payload.empty() ||
+         send_all(p.sock.get(), item.frame.payload.data(),
+                  item.frame.payload.size()));
+    if (!ok) {
       if (!closing_.load(std::memory_order_acquire))
         mark_lost(p, "connection to " + rank_str(p.rank) +
                          " lost (send failed)");
@@ -513,6 +530,14 @@ void PeerMesh::dispatch(Peer& p, Frame f) {
     case FrameType::kAck: {
       std::lock_guard<std::mutex> lk(p.mu);
       if (auto it = p.unacked.find(f.id); it != p.unacked.end()) {
+        // Karn's rule: only a frame that was never retransmitted yields an
+        // unambiguous round trip. Injected drops are excluded too — their
+        // first "transmission" never left this process.
+        if (!it->second.retransmitted && !it->second.injected_drop) {
+          const std::chrono::duration<double, std::milli> rtt =
+              Clock::now() - it->second.sent_at;
+          p.rtt.sample(rtt.count());
+        }
         if (cfg_.rejoin_window_ms > 0) {
           // Retain the acked frame for rejoin replay: a respawned peer
           // cannot re-request data it acked before crashing.
@@ -569,8 +594,9 @@ void PeerMesh::rto_loop() {
         } else {
           for (auto& [id, pend] : p.unacked) {
             if (pend.due > now) continue;
-            pend.due = now + std::chrono::milliseconds(cfg_.rto_ms);
-            Frame copy = pend.frame;
+            pend.due = now + std::chrono::milliseconds(rto_for(p));
+            pend.retransmitted = true;  // Karn: its ack is now ambiguous
+            Frame copy = pend.frame;    // payload buffer shared, not copied
             if (pend.injected_drop) copy.flags |= kFlagDropRetransmit;
             p.queued_bytes += kHeaderBytes + copy.payload.size();
             p.queue.push_back(
@@ -612,6 +638,24 @@ rt::dist::PeerState PeerMesh::peer_state(int peer) const {
       peers_[static_cast<std::size_t>(peer)]->state.load());
 }
 
+double PeerMesh::peer_srtt_ms(int peer) const {
+  if (peer < 0 || peer >= cfg_.nranks || peer == cfg_.rank ||
+      !peers_[static_cast<std::size_t>(peer)])
+    return 0.0;
+  Peer& p = *peers_[static_cast<std::size_t>(peer)];
+  std::lock_guard<std::mutex> lk(p.mu);
+  return p.rtt.srtt_ms();
+}
+
+long long PeerMesh::peer_rto_ms(int peer) const {
+  if (peer < 0 || peer >= cfg_.nranks || peer == cfg_.rank ||
+      !peers_[static_cast<std::size_t>(peer)])
+    return cfg_.rto_ms;
+  Peer& p = *peers_[static_cast<std::size_t>(peer)];
+  std::lock_guard<std::mutex> lk(p.mu);
+  return rto_for(p);
+}
+
 int PeerMesh::peer_epoch(int peer) const {
   if (peer < 0 || peer >= cfg_.nranks || peer == cfg_.rank ||
       !peers_[static_cast<std::size_t>(peer)])
@@ -619,6 +663,40 @@ int PeerMesh::peer_epoch(int peer) const {
   Peer& p = *peers_[static_cast<std::size_t>(peer)];
   std::lock_guard<std::mutex> lk(p.mu);
   return static_cast<int>(p.epoch);
+}
+
+void PeerMesh::flush() {
+  if (cfg_.nranks == 1) return;
+  const auto dl = Clock::now() + drain_deadline();
+  std::vector<std::string> lost;
+  for (auto& up : peers_) {
+    if (!up) continue;
+    Peer& p = *up;
+    std::unique_lock<std::mutex> lk(p.mu);
+    // Same settle predicate as begin_drain(), but NO BYE afterwards: the
+    // link stays live. Once the queue is empty and every MSG is acked,
+    // everything sent before this call is durably at its peer — the
+    // invariant a checkpoint needs before recording progress.
+    const bool flushed = p.cv_state.wait_until(lk, dl, [&] {
+      return (p.queue.empty() && p.unacked.empty()) || p.failed;
+    });
+    if (p.failed) {
+      lost.push_back(rank_str(p.rank));
+      continue;
+    }
+    if (!flushed) {
+      std::ostringstream os;
+      os << "flush: timed out flushing to " << rank_str(p.rank) << " ("
+         << p.queue.size() << " queued, " << p.unacked.size()
+         << " unacked frames)";
+      throw Error(os.str());
+    }
+  }
+  if (!lost.empty()) {
+    std::string all = lost.front();
+    for (std::size_t i = 1; i < lost.size(); ++i) all += ", " + lost[i];
+    throw Error("flush: connection to " + all + " lost");
+  }
 }
 
 void PeerMesh::begin_drain() {

@@ -10,10 +10,17 @@
 //     into the rank's Mailbox, so dedup / retransmit accounting / deadline
 //     recv run unchanged over the wire;
 //   * positive acks + a retransmit (RTO) loop — every MSG is held until
-//     the peer acks its id; unacked frames are resent on a timer. An
+//     the peer acks its id; unacked frames are resent on a timer. The
+//     timeout adapts per link: acks of first transmissions feed a
+//     Jacobson/Karels RTT estimator (net/rtt.hpp, Karn's rule excludes
+//     retransmitted frames) unless PTLR_NET_RTO_MS pins it. An
 //     injected drop (resilience fault) suppresses only the FIRST
 //     transmission, so recovery exercises a real retransmission on a real
 //     wire; receivers dedup by envelope id as always;
+//   * zero-copy frames — a payload is a refcounted immutable Bytes
+//     buffer; queue, unacked set, rejoin sent log, and duplicates all
+//     share it, and the sender writes header and payload separately so no
+//     concatenated copy is ever built;
 //   * wire-level stats per peer (frames/bytes in+out, retransmits),
 //     mirrored into the obs counters and trace layer (net_send/net_recv/
 //     net_retransmit instant events);
@@ -46,6 +53,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/bytes.hpp"
+#include "net/rtt.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "runtime/mailbox.hpp"
@@ -86,12 +95,14 @@ class PeerMesh {
   void connect();
 
   /// Queue a MSG for `to` (blocks on backpressure, never on the peer).
+  /// The payload is refcounted: the queue copy, the unacked/retransmit
+  /// copy, the rejoin sent-log copy, and an injected duplicate all share
+  /// ONE buffer — a broadcast serializes its tile exactly once.
   /// `drop_first_send` suppresses the initial transmission (injected
   /// drop: the RTO loop recovers it with a flagged retransmission);
   /// `duplicate` transmits the frame twice (receiver dedups by id).
-  void send(int to, std::uint64_t tag, std::uint64_t id,
-            std::vector<char> payload, bool drop_first_send = false,
-            bool duplicate = false);
+  void send(int to, std::uint64_t tag, std::uint64_t id, Bytes payload,
+            bool drop_first_send = false, bool duplicate = false);
 
   /// Connection state of `peer` as the mailbox diagnostics report it.
   [[nodiscard]] rt::dist::PeerState peer_state(int peer) const;
@@ -107,6 +118,23 @@ class PeerMesh {
   /// Flush-and-BYE only (the first half of drain()); exposed so tests can
   /// observe the kDraining state on the remote side.
   void begin_drain();
+
+  /// Ack barrier WITHOUT a BYE: block until every frame queued so far is
+  /// written and acked by its peer. Safe mid-factorization — the session
+  /// stays fully open afterwards. Called before a rank checkpoint is
+  /// written, so a later crash can never lose a send the checkpoint
+  /// already assumes delivered. Throws ptlr::Error naming ALL lost peers,
+  /// or on a deadline pass.
+  void flush();
+
+  /// Smoothed RTT the adaptive RTO tracks for `peer`, in ms (test hook;
+  /// 0 before the first sample).
+  [[nodiscard]] double peer_srtt_ms(int peer) const;
+
+  /// Effective retransmit timeout for `peer` right now (test hook): the
+  /// fixed cfg value under PTLR_NET_RTO_MS, the adaptive estimate
+  /// otherwise.
+  [[nodiscard]] long long peer_rto_ms(int peer) const;
 
   /// Abrupt teardown: shut every socket down and join the session
   /// threads. Peers observe EOF-without-BYE and mark this rank lost.
@@ -127,6 +155,11 @@ class PeerMesh {
   struct Pending {
     Frame frame;
     std::chrono::steady_clock::time_point due;
+    /// When the frame FIRST hit the send path — the RTT sample an ack
+    /// yields, valid only while `retransmitted` stays false (Karn's rule:
+    /// an ack after a retransmission cannot be attributed).
+    std::chrono::steady_clock::time_point sent_at;
+    bool retransmitted = false;
     bool injected_drop = false;
   };
   struct Peer {
@@ -169,6 +202,9 @@ class PeerMesh {
     bool failed = false;
     std::atomic<int> state{static_cast<int>(rt::dist::PeerState::kConnected)};
     PeerWireStats stats;  // guarded by mu
+    /// Per-link smoothed RTT feeding the adaptive RTO (guarded by mu);
+    /// seeded from cfg.rto_ms, sampled on first-transmission acks only.
+    RttEstimator rtt;
   };
 
   Frame handshake_read(int fd, FrameDecoder& dec,
@@ -190,6 +226,8 @@ class PeerMesh {
   void enqueue(Peer& p, Frame f, bool retransmit, bool control);
   void mark_lost(Peer& p, const std::string& why);
   [[nodiscard]] std::chrono::milliseconds drain_deadline() const;
+  /// Effective RTO for one peer; call with p.mu held.
+  [[nodiscard]] long long rto_for(const Peer& p) const;
 
   NetConfig cfg_;
   rt::dist::Mailbox& inbox_;

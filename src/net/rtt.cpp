@@ -1,0 +1,28 @@
+#include "net/rtt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptlr::net {
+
+void RttEstimator::sample(double rtt_ms) {
+  const double r = std::max(0.0, rtt_ms);
+  if (samples_ == 0) {
+    // RFC 6298 initialization: the first measurement seeds both EWMAs.
+    srtt_ = r;
+    rttvar_ = r / 2.0;
+  } else {
+    constexpr double kAlpha = 1.0 / 8.0;  // srtt gain
+    constexpr double kBeta = 1.0 / 4.0;   // rttvar gain
+    rttvar_ = (1.0 - kBeta) * rttvar_ + kBeta * std::abs(srtt_ - r);
+    srtt_ = (1.0 - kAlpha) * srtt_ + kAlpha * r;
+  }
+  ++samples_;
+}
+
+long long RttEstimator::rto_ms() const {
+  const double raw = samples_ == 0 ? seed_ : srtt_ + 4.0 * rttvar_;
+  return static_cast<long long>(std::llround(std::clamp(raw, min_, max_)));
+}
+
+}  // namespace ptlr::net

@@ -1,0 +1,44 @@
+// Smoothed round-trip-time estimation for the retransmit timeout.
+//
+// Jacobson/Karels, the TCP estimator: an EWMA of the RTT (srtt, gain 1/8)
+// plus an EWMA of its deviation (rttvar, gain 1/4); the retransmit timeout
+// is srtt + 4·rttvar, clamped to [min, max]. Until the first sample the
+// configured seed (25 ms by default — the old fixed PTLR_NET_RTO_MS value)
+// is used, so a cold link behaves exactly as before adaptation existed.
+//
+// Karn's rule is the caller's contract: never sample a frame that was
+// retransmitted — its ACK cannot be attributed to a specific transmission,
+// and sampling it would collapse the estimate after recovery storms. The
+// peer mesh enforces this by flagging each Pending on first retransmit.
+#pragma once
+
+namespace ptlr::net {
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(double seed_rto_ms = 25.0, double min_rto_ms = 5.0,
+                        double max_rto_ms = 2000.0)
+      : seed_(seed_rto_ms), min_(min_rto_ms), max_(max_rto_ms) {}
+
+  /// Fold in one measured round trip (milliseconds; first transmissions
+  /// only — Karn). Negative samples are clamped to zero.
+  void sample(double rtt_ms);
+
+  /// Current retransmit timeout: the seed before any sample, otherwise
+  /// srtt + 4·rttvar, clamped to [min, max].
+  [[nodiscard]] long long rto_ms() const;
+
+  [[nodiscard]] double srtt_ms() const { return srtt_; }
+  [[nodiscard]] double rttvar_ms() const { return rttvar_; }
+  [[nodiscard]] long long samples() const { return samples_; }
+
+ private:
+  double seed_;
+  double min_;
+  double max_;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  long long samples_ = 0;
+};
+
+}  // namespace ptlr::net

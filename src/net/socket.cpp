@@ -89,6 +89,9 @@ NetConfig NetConfig::from_env() {
              "PTLR_RANK out of range for PTLR_NRANKS");
   cfg.connect_timeout_ms = env_ll("PTLR_NET_TIMEOUT_MS", 15000);
   cfg.rto_ms = env_ll("PTLR_NET_RTO_MS", 25);
+  // An explicit PTLR_NET_RTO_MS pins the timeout (the pre-adaptive
+  // contract); otherwise the 25 ms default only seeds the RTT estimator.
+  cfg.rto_fixed = std::getenv("PTLR_NET_RTO_MS") != nullptr;
   PTLR_CHECK(cfg.connect_timeout_ms > 0, "PTLR_NET_TIMEOUT_MS must be > 0");
   PTLR_CHECK(cfg.rto_ms > 0, "PTLR_NET_RTO_MS must be > 0");
   cfg.epoch = static_cast<int>(env_ll("PTLR_EPOCH", 0));

@@ -58,7 +58,12 @@ struct NetConfig {
   int rank = -1;
   int nranks = 0;
   long long connect_timeout_ms = 15000;  ///< rendezvous/drain deadline
-  long long rto_ms = 25;                 ///< retransmit timeout
+  /// Retransmit timeout seed. Unless rto_fixed, this only initializes the
+  /// per-peer RTT estimator (net/rtt.hpp) and the effective timeout adapts
+  /// to ACK round trips; with rto_fixed it is the timeout, verbatim.
+  long long rto_ms = 25;
+  /// Set when PTLR_NET_RTO_MS was given explicitly: disables adaptation.
+  bool rto_fixed = false;
   std::size_t max_queue_bytes = 64u << 20;  ///< per-peer backpressure bound
   /// Session epoch of THIS process: 0 for a first launch, the restart
   /// count for a respawned rank (the launcher sets PTLR_EPOCH). A nonzero

@@ -25,8 +25,7 @@ SocketTransport::SocketTransport(const NetConfig& cfg,
 
 SocketTransport::~SocketTransport() { mesh_.close(); }
 
-void SocketTransport::send(int to, std::uint64_t tag,
-                           std::vector<char> payload) {
+void SocketTransport::send(int to, std::uint64_t tag, Bytes payload) {
   PTLR_CHECK(to >= 0 && to < cfg_.nranks,
              "send to invalid rank " + std::to_string(to));
   perturber_.maybe_delay_delivery();
@@ -77,9 +76,16 @@ void SocketTransport::send(int to, std::uint64_t tag,
   mesh_.send(to, tag, id, std::move(payload), drop, dup);
 }
 
-std::vector<char> SocketTransport::recv(std::uint64_t tag, int from) {
+Bytes SocketTransport::recv(std::uint64_t tag, int from) {
   return inbox_.recv(tag, from);
 }
+
+rt::dist::TaggedMessage SocketTransport::recv_any(
+    const std::vector<std::uint64_t>& tags) {
+  return inbox_.recv_any(tags);
+}
+
+void SocketTransport::flush() { mesh_.flush(); }
 
 void SocketTransport::abort() {
   inbox_.abort();

@@ -42,8 +42,14 @@ class SocketTransport final : public rt::dist::Transport {
   [[nodiscard]] int rank() const override { return cfg_.rank; }
   [[nodiscard]] int nranks() const override { return cfg_.nranks; }
 
-  void send(int to, std::uint64_t tag, std::vector<char> payload) override;
-  std::vector<char> recv(std::uint64_t tag, int from) override;
+  void send(int to, std::uint64_t tag, Bytes payload) override;
+  Bytes recv(std::uint64_t tag, int from) override;
+  rt::dist::TaggedMessage recv_any(
+      const std::vector<std::uint64_t>& tags) override;
+
+  /// Ack barrier without BYE (PeerMesh::flush): everything sent so far is
+  /// acked when this returns. Called before a rank checkpoint is written.
+  void flush() override;
 
   /// Fail local receivers and tear the sockets down abruptly: peers see
   /// EOF without BYE and mark this rank lost.

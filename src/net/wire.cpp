@@ -58,20 +58,37 @@ std::uint64_t build_hash() {
   return h;
 }
 
-std::vector<char> encode_frame(const Frame& f) {
+std::array<char, kHeaderBytes> encode_header(const Frame& f) {
   PTLR_CHECK(f.payload.size() <= kMaxFramePayload,
              "frame payload exceeds wire limit");
+  std::array<char, kHeaderBytes> h{};
+  auto put32 = [&h](std::size_t at, std::uint32_t x) {
+    for (int i = 0; i < 4; ++i)
+      h[at + static_cast<std::size_t>(i)] =
+          static_cast<char>((x >> (8 * i)) & 0xFF);
+  };
+  auto put64 = [&h](std::size_t at, std::uint64_t x) {
+    for (int i = 0; i < 8; ++i)
+      h[at + static_cast<std::size_t>(i)] =
+          static_cast<char>((x >> (8 * i)) & 0xFF);
+  };
+  put32(0, kMagic);
+  h[4] = static_cast<char>(kWireVersion);
+  h[5] = static_cast<char>(f.type);
+  h[6] = static_cast<char>(f.flags);
+  h[7] = static_cast<char>(f.epoch);
+  put32(8, static_cast<std::uint32_t>(f.from));
+  put32(12, static_cast<std::uint32_t>(f.payload.size()));
+  put64(16, f.id);
+  put64(24, f.tag);
+  return h;
+}
+
+std::vector<char> encode_frame(const Frame& f) {
+  const std::array<char, kHeaderBytes> h = encode_header(f);
   std::vector<char> out;
   out.reserve(kHeaderBytes + f.payload.size());
-  put_u32(out, kMagic);
-  out.push_back(static_cast<char>(kWireVersion));
-  out.push_back(static_cast<char>(f.type));
-  out.push_back(static_cast<char>(f.flags));
-  out.push_back(static_cast<char>(f.epoch));
-  put_u32(out, static_cast<std::uint32_t>(f.from));
-  put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
-  put_u64(out, f.id);
-  put_u64(out, f.tag);
+  out.insert(out.end(), h.begin(), h.end());
   out.insert(out.end(), f.payload.begin(), f.payload.end());
   return out;
 }
@@ -110,10 +127,13 @@ std::vector<char> encode_rejoin(const Rejoin& r, int from_rank,
   f.type = FrameType::kRejoin;
   f.from = from_rank;
   f.epoch = epoch;
-  put_u32(f.payload, r.hello.protocol);
-  put_u32(f.payload, r.hello.nranks);
-  put_u64(f.payload, r.hello.build);
-  put_u64(f.payload, r.frontier);
+  std::vector<char> pl;
+  pl.reserve(24);
+  put_u32(pl, r.hello.protocol);
+  put_u32(pl, r.hello.nranks);
+  put_u64(pl, r.hello.build);
+  put_u64(pl, r.frontier);
+  f.payload = std::move(pl);
   return encode_frame(f);
 }
 
@@ -134,9 +154,12 @@ std::vector<char> encode_welcome(const Hello& h, int from_rank,
   f.type = FrameType::kWelcome;
   f.from = from_rank;
   f.epoch = epoch;
-  put_u32(f.payload, h.protocol);
-  put_u32(f.payload, h.nranks);
-  put_u64(f.payload, h.build);
+  std::vector<char> pl;
+  pl.reserve(16);
+  put_u32(pl, h.protocol);
+  put_u32(pl, h.nranks);
+  put_u64(pl, h.build);
+  f.payload = std::move(pl);
   return encode_frame(f);
 }
 
@@ -185,7 +208,9 @@ std::optional<Frame> FrameDecoder::next() {
   f.from = static_cast<std::int32_t>(get_u32(h + 8));
   f.id = get_u64(h + 16);
   f.tag = get_u64(h + 24);
-  f.payload.assign(h + kHeaderBytes, h + kHeaderBytes + len);
+  // The one copy a received payload pays: out of the stream buffer into
+  // its own allocation, shared from here on (decoder → envelope → cache).
+  f.payload = std::vector<char>(h + kHeaderBytes, h + kHeaderBytes + len);
   pos_ += kHeaderBytes + len;
   return f;
 }

@@ -16,9 +16,12 @@
 // truncations, oversized length prefixes) against it.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
+
+#include "common/bytes.hpp"
 
 namespace ptlr::net {
 
@@ -58,7 +61,9 @@ struct Frame {
   std::int32_t from = -1;   ///< sender rank
   std::uint64_t id = 0;     ///< message id (MSG/ACK); 0 otherwise
   std::uint64_t tag = 0;    ///< mailbox tag (MSG); 0 otherwise
-  std::vector<char> payload;
+  /// Refcounted: every copy of a Frame (send queue, unacked set, rejoin
+  /// sent-log, duplicate/retransmit requeues) shares one payload buffer.
+  Bytes payload;
 };
 
 /// Handshake payload exchanged right after connect: both sides must agree
@@ -90,8 +95,15 @@ std::uint64_t build_hash();
 /// SAME id, so receiver dedup gives exactly-once across epochs.
 std::uint64_t mix64(std::uint64_t x);
 
-/// Serialize a frame (header + payload). Throws ptlr::Error if the payload
-/// exceeds kMaxFramePayload.
+/// Serialize just the fixed 32-byte header of `f` (the payload is written
+/// separately from the shared buffer — the zero-copy send path: one
+/// header on the stack, zero payload copies). Throws ptlr::Error if the
+/// payload exceeds kMaxFramePayload.
+std::array<char, kHeaderBytes> encode_header(const Frame& f);
+
+/// Serialize a frame (header + payload) into one buffer — the handshake
+/// and test path. Throws ptlr::Error if the payload exceeds
+/// kMaxFramePayload.
 std::vector<char> encode_frame(const Frame& f);
 
 std::vector<char> encode_hello(const Hello& h, int from_rank);

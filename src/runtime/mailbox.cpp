@@ -37,6 +37,14 @@ std::string Mailbox::describe(std::uint64_t tag, int from) const {
   return os.str();
 }
 
+std::string Mailbox::describe_any(const std::vector<std::uint64_t>& tags,
+                                  int from) const {
+  std::string s = describe(tags.empty() ? 0 : tags.front(), from);
+  if (tags.size() > 1)
+    s += " +" + std::to_string(tags.size() - 1) + " more tags";
+  return s;
+}
+
 void Mailbox::deposit(Envelope env) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -65,7 +73,13 @@ void Mailbox::park(Envelope env) {
   cv_.notify_all();
 }
 
-std::vector<char> Mailbox::recv(std::uint64_t tag, int from) {
+Bytes Mailbox::recv(std::uint64_t tag, int from) {
+  return recv_any({tag}, from).payload;
+}
+
+TaggedMessage Mailbox::recv_any(const std::vector<std::uint64_t>& tags,
+                                int from) {
+  PTLR_CHECK(!tags.empty(), "recv_any: empty tag set");
   // One absolute deadline for the whole receive: the CV waits below sleep
   // until a real wake (message, abort, requeue) or this point in time —
   // no periodic polling wakeups, no drift from re-deriving the remainder.
@@ -80,12 +94,14 @@ std::vector<char> Mailbox::recv(std::uint64_t tag, int from) {
         why += " (+" + std::to_string(extra_failures_) +
                " earlier/later failures)";
       throw Error(why + " while waiting for a message (" +
-                  describe(tag, from) + ")");
+                  describe_any(tags, from) + ")");
     }
 
-    // Drain the slot until a message with a fresh id appears; injected
-    // duplicates are discarded here.
-    if (auto it = slots_.find(tag); it != slots_.end()) {
+    // Drain the slots in tag order until a message with a fresh id
+    // appears; injected duplicates are discarded here.
+    for (const std::uint64_t tag : tags) {
+      auto it = slots_.find(tag);
+      if (it == slots_.end()) continue;
       while (!it->second.empty()) {
         Envelope env = std::move(it->second.front());
         it->second.pop();
@@ -94,25 +110,29 @@ std::vector<char> Mailbox::recv(std::uint64_t tag, int from) {
             resil::note(resil::ResilienceEvent::kMsgRecovered,
                         describe(tag, from));
           }
-          return std::move(env.payload);
+          return TaggedMessage{tag, std::move(env.payload)};
         }
       }
     }
 
-    // Dead-letter recovery: the receiver is blocked on a tag nothing fresh
-    // arrived for — exactly the condition under which a real runtime's
-    // receiver would detect the gap and request retransmission. Requeue
-    // every parked message for the tag and retry the drain.
-    if (auto dl = dead_letters_.find(tag);
-        dl != dead_letters_.end() && !dl->second.empty()) {
+    // Dead-letter recovery: the receiver is blocked on a tag set nothing
+    // fresh arrived for — exactly the condition under which a real
+    // runtime's receiver would detect the gap and request retransmission.
+    // Requeue every parked message across the whole set and retry the
+    // drain above.
+    bool requeued = false;
+    for (const std::uint64_t tag : tags) {
+      auto dl = dead_letters_.find(tag);
+      if (dl == dead_letters_.end() || dl->second.empty()) continue;
       while (!dl->second.empty()) {
         resil::note(resil::ResilienceEvent::kMsgRecovered,
                     describe(tag, from));
         slots_[tag].push(std::move(dl->second.front()));
         dl->second.pop();
       }
-      continue;
+      requeued = true;
     }
+    if (requeued) continue;
 
     if (!watchdog_.enabled()) {
       cv_.wait(lock);
@@ -124,7 +144,7 @@ std::vector<char> Mailbox::recv(std::uint64_t tag, int from) {
     if (std::chrono::steady_clock::now() >= deadline_tp) {
       const std::string what =
           "watchdog: receive waited " + std::to_string(watchdog_.deadline_ms) +
-          " ms with no message (" + describe(tag, from) + ")";
+          " ms with no message (" + describe_any(tags, from) + ")";
       resil::note(resil::ResilienceEvent::kWatchdogFire, what);
       throw Error(what);
     }
@@ -196,8 +216,7 @@ Communicator::Communicator(int nranks, const PerturbConfig& perturb,
   }
 }
 
-void Communicator::send(int from, int to, std::uint64_t tag,
-                        std::vector<char> payload) {
+void Communicator::send(int from, int to, std::uint64_t tag, Bytes payload) {
   PTLR_CHECK(to >= 0 && to < nranks_, "send to invalid rank");
   // Chaos mode: hold the message in flight for a moment so a later send
   // (to another tag or another rank) can overtake it.
@@ -238,9 +257,16 @@ void Communicator::send(int from, int to, std::uint64_t tag,
   }
 }
 
-std::vector<char> Communicator::recv(int rank, std::uint64_t tag, int from) {
+Bytes Communicator::recv(int rank, std::uint64_t tag, int from) {
   PTLR_CHECK(rank >= 0 && rank < nranks_, "recv on invalid rank");
   return boxes_[static_cast<std::size_t>(rank)]->recv(tag, from);
+}
+
+TaggedMessage Communicator::recv_any(int rank,
+                                     const std::vector<std::uint64_t>& tags,
+                                     int from) {
+  PTLR_CHECK(rank >= 0 && rank < nranks_, "recv on invalid rank");
+  return boxes_[static_cast<std::size_t>(rank)]->recv_any(tags, from);
 }
 
 void Communicator::abort() {

@@ -28,6 +28,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/watchdog.hpp"
 #include "runtime/perturb.hpp"
@@ -68,7 +69,15 @@ struct Envelope {
   /// in-process Communicator leaves `from` at -1 (no fencing).
   int from = -1;
   std::uint64_t epoch = 0;
-  std::vector<char> payload;
+  /// Refcounted: an envelope shares its buffer with the sender's queue /
+  /// retransmit / replay holders instead of owning a copy.
+  Bytes payload;
+};
+
+/// What recv_any() pops: the payload plus which of the waited tags it was.
+struct TaggedMessage {
+  std::uint64_t tag = 0;
+  Bytes payload;
 };
 
 /// One rank's tagged inbox: the receiver half of the message contract.
@@ -96,7 +105,16 @@ class Mailbox {
   /// a watchdog timeout then names the peer's connection state so a
   /// dead-peer hang reads differently from a slow-peer hang. Throws
   /// ptlr::Error on abort/failure or when the watchdog deadline passes.
-  std::vector<char> recv(std::uint64_t tag, int from = -1);
+  Bytes recv(std::uint64_t tag, int from = -1);
+
+  /// Block until a fresh message with ANY of `tags` is available; pop the
+  /// first one found (tags are checked in the given order each wake-up).
+  /// The dead-letter recovery sweeps the whole tag set: a receiver blocked
+  /// on a window of expected broadcasts detects and requeues every parked
+  /// drop among them. Same abort/watchdog semantics as recv(). `tags` must
+  /// be non-empty.
+  TaggedMessage recv_any(const std::vector<std::uint64_t>& tags,
+                         int from = -1);
 
   /// Wake every blocked receiver with a generic abort error.
   void abort();
@@ -126,6 +144,8 @@ class Mailbox {
 
  private:
   [[nodiscard]] std::string describe(std::uint64_t tag, int from) const;
+  [[nodiscard]] std::string describe_any(
+      const std::vector<std::uint64_t>& tags, int from) const;
 
   int rank_;
   resil::WatchdogConfig watchdog_;
@@ -171,13 +191,19 @@ class Communicator {
   [[nodiscard]] int nranks() const { return nranks_; }
 
   /// Deposit a message for `to` (non-blocking). Self-sends are allowed.
-  void send(int from, int to, std::uint64_t tag, std::vector<char> payload);
+  /// The payload buffer is shared, not copied — a duplicate fault deposits
+  /// the same Bytes twice.
+  void send(int from, int to, std::uint64_t tag, Bytes payload);
 
   /// Block until a message with `tag` is available for `rank`; pop it.
   /// `from` is the expected producer rank (-1 unknown), threaded into the
   /// timeout diagnostics. Throws ptlr::Error if the communicator was
   /// aborted while waiting, or if the watchdog deadline passes.
-  std::vector<char> recv(int rank, std::uint64_t tag, int from = -1);
+  Bytes recv(int rank, std::uint64_t tag, int from = -1);
+
+  /// recv over a tag set (Mailbox::recv_any) for `rank`.
+  TaggedMessage recv_any(int rank, const std::vector<std::uint64_t>& tags,
+                         int from = -1);
 
   /// Wake every blocked receiver with an error — called by a rank that
   /// hit an exception so its peers do not deadlock waiting for messages

@@ -28,13 +28,22 @@ class Transport {
   [[nodiscard]] virtual int nranks() const = 0;
 
   /// Non-blocking-ish deposit for `to` (may block on transport
-  /// backpressure, never on the receiver). Self-sends are allowed.
-  virtual void send(int to, std::uint64_t tag, std::vector<char> payload) = 0;
+  /// backpressure, never on the receiver). Self-sends are allowed. The
+  /// payload is a refcounted buffer: a broadcast hands the SAME Bytes to
+  /// every destination and the transport's queues/retransmit/replay
+  /// holders all share that one allocation.
+  virtual void send(int to, std::uint64_t tag, Bytes payload) = 0;
 
   /// Block until a fresh message with `tag` arrives; pop its payload.
   /// `from` is the rank expected to produce it (threaded into deadline
   /// diagnostics, see Mailbox::recv).
-  virtual std::vector<char> recv(std::uint64_t tag, int from) = 0;
+  virtual Bytes recv(std::uint64_t tag, int from) = 0;
+
+  /// Block until a fresh message with ANY of `tags` arrives; pop the
+  /// first. The lookahead prefetcher (core/tile_flow.hpp) lives on this:
+  /// while blocked for one tile it keeps receiving — and tree-forwarding —
+  /// whatever else lands.
+  virtual TaggedMessage recv_any(const std::vector<std::uint64_t>& tags) = 0;
 
   /// Wake every local blocked receiver with an error and tear the mesh
   /// down hard — called by a rank that hit an exception so its peers do
@@ -44,6 +53,16 @@ class Transport {
   /// Graceful end-of-program: flush outstanding sends and (on a wire
   /// transport) wait for every peer's drain marker. No-op by default.
   virtual void drain() {}
+
+  /// Ack barrier for this endpoint's own sends: block until every frame
+  /// this rank queued has been written AND acknowledged (or a peer failed
+  /// terminally — then throws ptlr::Error). Unlike drain() it sends no
+  /// BYE and requires nothing of the peers' progress, so it is safe
+  /// mid-factorization. The rank program calls it before writing a
+  /// checkpoint: a tree-forwarded tile must be *delivered*, not merely
+  /// queued, before the frontier that assumes it advances. No-op on the
+  /// in-process transport (deposits are synchronous).
+  virtual void flush() {}
 
   /// Messages and payload bytes this endpoint sent (self-sends excluded).
   [[nodiscard]] virtual Communicator::Stats stats() const = 0;
@@ -59,12 +78,16 @@ class SimTransport final : public Transport {
   [[nodiscard]] int rank() const override { return rank_; }
   [[nodiscard]] int nranks() const override { return comm_->nranks(); }
 
-  void send(int to, std::uint64_t tag, std::vector<char> payload) override {
+  void send(int to, std::uint64_t tag, Bytes payload) override {
     comm_->send(rank_, to, tag, std::move(payload));
   }
 
-  std::vector<char> recv(std::uint64_t tag, int from) override {
+  Bytes recv(std::uint64_t tag, int from) override {
     return comm_->recv(rank_, tag, from);
+  }
+
+  TaggedMessage recv_any(const std::vector<std::uint64_t>& tags) override {
+    return comm_->recv_any(rank_, tags);
   }
 
   void abort() override { comm_->abort(); }

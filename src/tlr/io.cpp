@@ -171,34 +171,62 @@ void append_matrix(std::vector<char>& buf, const dense::Matrix& m) {
   buf.insert(buf.end(), p, p + m.size() * sizeof(double));
 }
 
-std::uint64_t take_u64(const std::vector<char>& buf, std::size_t& pos) {
-  PTLR_CHECK(pos + sizeof(std::uint64_t) <= buf.size(),
-             "truncated tile buffer");
+std::uint64_t take_u64(const char* buf, std::size_t size, std::size_t& pos) {
+  PTLR_CHECK(pos + sizeof(std::uint64_t) <= size, "truncated tile buffer");
   std::uint64_t v;
-  std::memcpy(&v, buf.data() + pos, sizeof(v));
+  std::memcpy(&v, buf + pos, sizeof(v));
   pos += sizeof(v);
   return v;
 }
 
-dense::Matrix take_matrix(const std::vector<char>& buf, std::size_t& pos) {
-  const std::uint64_t rows = take_u64(buf, pos);
-  const std::uint64_t cols = take_u64(buf, pos);
+dense::Matrix take_matrix(const char* buf, std::size_t size,
+                          std::size_t& pos) {
+  const std::uint64_t rows = take_u64(buf, size, pos);
+  const std::uint64_t cols = take_u64(buf, size, pos);
   PTLR_CHECK(rows < (1u << 24) && cols < (1u << 24), "corrupt tile buffer");
   // Bound the declared payload by the actual buffer BEFORE allocating, in
   // 64-bit arithmetic — a bit-flipped dimension must throw, not OOM.
   const std::uint64_t bytes = rows * cols * sizeof(double);
-  PTLR_CHECK(bytes <= buf.size() - pos, "truncated tile buffer");
+  PTLR_CHECK(bytes <= size - pos, "truncated tile buffer");
   dense::Matrix m(static_cast<int>(rows), static_cast<int>(cols));
   if (bytes > 0)
-    std::memcpy(m.data(), buf.data() + pos, static_cast<std::size_t>(bytes));
+    std::memcpy(m.data(), buf + pos, static_cast<std::size_t>(bytes));
   pos += static_cast<std::size_t>(bytes);
   return m;
 }
 
+std::size_t matrix_byte_size(const dense::Matrix& m) {
+  return 2 * sizeof(std::uint64_t) + m.size() * sizeof(double);
+}
+
+Tile tile_from_buffer(const char* buf, std::size_t size) {
+  std::size_t pos = 0;
+  const std::uint64_t tag = take_u64(buf, size, pos);
+  PTLR_CHECK(tag <= 1, "corrupt tile buffer tag");
+  if (tag == 0) return Tile::make_dense(take_matrix(buf, size, pos));
+  dense::Matrix u = take_matrix(buf, size, pos);
+  dense::Matrix v = take_matrix(buf, size, pos);
+  return Tile::make_lowrank({std::move(u), std::move(v)});
+}
+
 }  // namespace
 
+std::size_t tile_byte_size(const Tile& t) {
+  std::size_t n = sizeof(std::uint64_t);  // dense/low-rank discriminator
+  if (t.is_dense()) {
+    n += matrix_byte_size(t.dense_data());
+  } else {
+    n += matrix_byte_size(t.lr().u) + matrix_byte_size(t.lr().v);
+  }
+  return n;
+}
+
 std::vector<char> tile_to_bytes(const Tile& t) {
+  // One exact-size reservation: the append helpers below may not grow the
+  // buffer past it, so the serialized payload never pays a realloc — the
+  // tests hold capacity() == size() to pin this down.
   std::vector<char> buf;
+  buf.reserve(tile_byte_size(t));
   append_u64(buf, t.is_dense() ? 0 : 1);
   if (t.is_dense()) {
     append_matrix(buf, t.dense_data());
@@ -210,13 +238,11 @@ std::vector<char> tile_to_bytes(const Tile& t) {
 }
 
 Tile tile_from_bytes(const std::vector<char>& bytes) {
-  std::size_t pos = 0;
-  const std::uint64_t tag = take_u64(bytes, pos);
-  PTLR_CHECK(tag <= 1, "corrupt tile buffer tag");
-  if (tag == 0) return Tile::make_dense(take_matrix(bytes, pos));
-  dense::Matrix u = take_matrix(bytes, pos);
-  dense::Matrix v = take_matrix(bytes, pos);
-  return Tile::make_lowrank({std::move(u), std::move(v)});
+  return tile_from_buffer(bytes.data(), bytes.size());
+}
+
+Tile tile_from_bytes(const Bytes& bytes) {
+  return tile_from_buffer(bytes.data(), bytes.size());
 }
 
 }  // namespace ptlr::tlr

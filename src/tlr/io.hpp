@@ -7,8 +7,10 @@
 // Format: a fixed little-endian header plus per-tile records; versioned.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
+#include "common/bytes.hpp"
 #include "tlr/tlr_matrix.hpp"
 
 namespace ptlr::tlr {
@@ -20,11 +22,19 @@ void save(const TlrMatrix& m, const std::string& path);
 /// failure, bad magic, or version mismatch.
 TlrMatrix load(const std::string& path);
 
+/// Exact serialized size of tile_to_bytes(t) without serializing — lets
+/// the buffer be reserved once (no realloc growth on the send path) and
+/// gives the obs layer the per-task output volume for free.
+std::size_t tile_byte_size(const Tile& t);
+
 /// Serialize one tile to a self-describing byte buffer (used as the wire
-/// format of the distributed execution layer).
+/// format of the distributed execution layer). The result is sized by
+/// tile_byte_size(t) up front: one allocation, no insert-driven growth.
 std::vector<char> tile_to_bytes(const Tile& t);
 
 /// Inverse of tile_to_bytes. Throws ptlr::Error on corrupt input.
 Tile tile_from_bytes(const std::vector<char>& bytes);
+/// Zero-copy overload for payloads arriving as shared wire buffers.
+Tile tile_from_bytes(const Bytes& bytes);
 
 }  // namespace ptlr::tlr

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <map>
 #include <numbers>
+#include <set>
 
 #include "core/band_tuner.hpp"
 #include "core/cholesky.hpp"
@@ -904,6 +907,314 @@ TEST(DistributedCholesky, NonSpdInputAbortsAllRanksCleanly) {
   rt::TwoDBlockCyclic dist(2, 2);
   EXPECT_THROW(core::distributed_factorize(a, dist, {1e-6, 1 << 30}),
                ptlr::Error);
+}
+
+// --------------------------------- broadcast trees & placement heuristic ----
+
+#include <thread>
+
+#include "core/bcast_tree.hpp"
+#include "core/placement.hpp"
+#include "resilience/watchdog.hpp"
+#include "runtime/transport.hpp"
+#include "tlr/io.hpp"
+
+namespace {
+
+using rt::dist::make_tag;
+
+// RAII environment override restoring the previous value on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value == nullptr)
+      unsetenv(name);
+    else
+      setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_)
+      setenv(name_.c_str(), old_.c_str(), 1);
+    else
+      unsetenv(name_.c_str());
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+}  // namespace
+
+// Walk the tree edges from the origin and count arrivals: every
+// destination other than the origin must be delivered to exactly once, by
+// exactly one parent, with the origin transmitting at most one copy —
+// under any tag (the tags rotate the tree) and any destination shape.
+TEST(BcastTree, EveryDestinationIsReachedExactlyOnce) {
+  const std::set<int> shapes[] = {
+      {5},
+      {0, 1, 2, 3, 4, 5, 6, 7},
+      {1, 3, 4, 9, 12},
+      {2, 11},
+      {0, 6, 7, 8, 13, 21, 22, 23, 24, 40},
+  };
+  const std::uint64_t tags[] = {make_tag(0, 1, 2, 3), make_tag(1, 7, 5, 1),
+                                make_tag(1, 19, 11, 4), make_tag(0, 0, 0, 0)};
+  for (const auto& dests : shapes) {
+    for (const std::uint64_t tag : tags) {
+      for (const int origin : {0, 5, 17}) {
+        std::map<int, int> arrivals;
+        int origin_sends = 0;
+        std::vector<int> frontier{origin};
+        int hops = 0;
+        while (!frontier.empty()) {
+          std::vector<int> next;
+          for (const int self : frontier)
+            for (const int child :
+                 core::bcast::children(tag, origin, dests, self)) {
+              if (self == origin) ++origin_sends;
+              ++arrivals[child];
+              next.push_back(child);
+            }
+          if (!next.empty()) ++hops;
+          frontier = std::move(next);
+        }
+        std::set<int> expected = dests;
+        expected.erase(origin);
+        EXPECT_LE(origin_sends, 1) << "tag=" << tag << " origin=" << origin;
+        EXPECT_EQ(arrivals.size(), expected.size());
+        for (const int d : expected)
+          EXPECT_EQ(arrivals[d], 1)
+              << "dest " << d << " tag=" << tag << " origin=" << origin;
+        EXPECT_LE(hops, core::bcast::depth(expected.size()));
+      }
+    }
+  }
+}
+
+TEST(BcastTree, DepthIsLogarithmic) {
+  EXPECT_EQ(core::bcast::depth(0), 0);
+  EXPECT_EQ(core::bcast::depth(1), 1);
+  EXPECT_EQ(core::bcast::depth(2), 2);
+  EXPECT_EQ(core::bcast::depth(8), 4);   // 1 + ceil(log2 8)
+  EXPECT_EQ(core::bcast::depth(9), 5);
+  EXPECT_EQ(core::bcast::depth(1024), 11);
+}
+
+TEST(Placement, NamesAndMaterialization) {
+  EXPECT_STREQ(core::placement_name(core::PlacementKind::kOneD), "1d");
+  EXPECT_STREQ(core::placement_name(core::PlacementKind::kTwoD), "2d");
+  EXPECT_STREQ(core::placement_name(core::PlacementKind::kHybridBand),
+               "band");
+  for (const auto kind :
+       {core::PlacementKind::kOneD, core::PlacementKind::kTwoD,
+        core::PlacementKind::kHybridBand}) {
+    const auto dist = core::make_placement(kind, 6, 2);
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->nproc(), 6);
+    for (int i = 0; i < 10; ++i)
+      for (int j = 0; j <= i; ++j) {
+        EXPECT_GE(dist->owner(i, j), 0);
+        EXPECT_LT(dist->owner(i, j), 6);
+      }
+  }
+}
+
+TEST(Placement, ChoiceIsTheArgminOfTheModelCosts) {
+  core::PlacementProblem prob;
+  prob.nt = 12;
+  prob.block = 32;
+  prob.band = 2;
+  prob.avg_offband_rank = 6.0;
+  prob.nranks = 4;
+  const core::MeshParams mesh;
+  const auto choice = core::choose_placement(prob, mesh);
+  double best = 1e300;
+  for (const double c : choice.cost_seconds) {
+    EXPECT_GT(c, 0.0);
+    best = std::min(best, c);
+  }
+  EXPECT_EQ(choice.cost_seconds[static_cast<std::size_t>(choice.kind)],
+            best);
+  // The per-candidate costs are exactly the published model.
+  for (const auto kind :
+       {core::PlacementKind::kOneD, core::PlacementKind::kTwoD,
+        core::PlacementKind::kHybridBand})
+    EXPECT_DOUBLE_EQ(choice.cost_seconds[static_cast<std::size_t>(kind)],
+                     core::placement_comm_cost(prob, mesh, kind));
+  // Pipelined trees never cost more than origin-serialized unicast.
+  core::PlacementProblem flat = prob;
+  flat.tree = false;
+  for (const auto kind :
+       {core::PlacementKind::kOneD, core::PlacementKind::kTwoD,
+        core::PlacementKind::kHybridBand})
+    EXPECT_LE(core::placement_comm_cost(prob, mesh, kind),
+              core::placement_comm_cost(flat, mesh, kind));
+}
+
+TEST(Placement, SingleRankCostsNothingAndKeepsBand) {
+  core::PlacementProblem prob;
+  prob.nt = 8;
+  prob.block = 32;
+  prob.nranks = 1;
+  const auto choice = core::choose_placement(prob, core::MeshParams{});
+  for (const double c : choice.cost_seconds) EXPECT_EQ(c, 0.0);
+  EXPECT_EQ(choice.kind, core::PlacementKind::kHybridBand);  // tie → band
+}
+
+TEST(Placement, EnvParamsMustComeTogether) {
+  {
+    const ScopedEnv a("PTLR_MESH_ALPHA", nullptr);
+    const ScopedEnv b("PTLR_MESH_BETA", nullptr);
+    EXPECT_FALSE(core::MeshParams::from_env().has_value());
+  }
+  {
+    const ScopedEnv a("PTLR_MESH_ALPHA", "1e-6");
+    const ScopedEnv b("PTLR_MESH_BETA", nullptr);
+    EXPECT_THROW(core::MeshParams::from_env(), ptlr::Error);
+  }
+  {
+    const ScopedEnv a("PTLR_MESH_ALPHA", "1e-6");
+    const ScopedEnv b("PTLR_MESH_BETA", "2.5e-10");
+    const auto p = core::MeshParams::from_env();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_DOUBLE_EQ(p->alpha_seconds, 1e-6);
+    EXPECT_DOUBLE_EQ(p->beta_seconds_per_byte, 2.5e-10);
+  }
+  {
+    const ScopedEnv a("PTLR_MESH_ALPHA", "banana");
+    const ScopedEnv b("PTLR_MESH_BETA", "2.5e-10");
+    EXPECT_THROW(core::MeshParams::from_env(), ptlr::Error);
+  }
+}
+
+TEST(DistCommOptions, EnvParsingIsStrict) {
+  {
+    const ScopedEnv b("PTLR_BCAST", nullptr);
+    const ScopedEnv l("PTLR_LOOKAHEAD", nullptr);
+    const auto opts = core::DistCommOptions::from_env();
+    EXPECT_TRUE(opts.tree);
+    EXPECT_EQ(opts.lookahead, 2);
+  }
+  {
+    const ScopedEnv b("PTLR_BCAST", "flat");
+    EXPECT_FALSE(core::DistCommOptions::from_env().tree);
+  }
+  {
+    const ScopedEnv b("PTLR_BCAST", "tree");
+    EXPECT_TRUE(core::DistCommOptions::from_env().tree);
+  }
+  {
+    const ScopedEnv b("PTLR_BCAST", "bogus");
+    EXPECT_THROW(core::DistCommOptions::from_env(), ptlr::Error);
+  }
+  {
+    const ScopedEnv l("PTLR_LOOKAHEAD", "0");
+    EXPECT_EQ(core::DistCommOptions::from_env().lookahead, 0);
+  }
+  {
+    const ScopedEnv l("PTLR_LOOKAHEAD", "-1");
+    EXPECT_THROW(core::DistCommOptions::from_env(), ptlr::Error);
+  }
+  {
+    const ScopedEnv l("PTLR_LOOKAHEAD", "1001");
+    EXPECT_THROW(core::DistCommOptions::from_env(), ptlr::Error);
+  }
+}
+
+// Four in-process ranks negotiate: the probe measures the (near-zero)
+// in-process α/β, rank 0 decides, and every rank must come back with the
+// identical choice and parameters.
+TEST(Placement, NegotiationAgreesAcrossRanks) {
+  constexpr int kRanks = 4;
+  resil::WatchdogConfig watchdog;
+  watchdog.deadline_ms = 20000;
+  rt::dist::Communicator comm(kRanks, rt::PerturbConfig{},
+                              resil::FaultConfig{}, watchdog);
+  core::PlacementProblem prob;
+  prob.nt = 12;
+  prob.block = 32;
+  prob.band = 2;
+  prob.nranks = kRanks;
+
+  const ScopedEnv a("PTLR_MESH_ALPHA", nullptr);
+  const ScopedEnv b("PTLR_MESH_BETA", nullptr);
+  std::vector<core::PlacementChoice> choices(kRanks);
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < kRanks; ++r)
+    ranks.emplace_back([&, r] {
+      rt::dist::SimTransport t(comm, r);
+      choices[static_cast<std::size_t>(r)] =
+          core::negotiate_placement(t, prob);
+    });
+  for (auto& th : ranks) th.join();
+
+  for (int r = 1; r < kRanks; ++r) {
+    EXPECT_EQ(choices[0].kind, choices[static_cast<std::size_t>(r)].kind);
+    EXPECT_DOUBLE_EQ(
+        choices[0].params.alpha_seconds,
+        choices[static_cast<std::size_t>(r)].params.alpha_seconds);
+    EXPECT_DOUBLE_EQ(
+        choices[0].params.beta_seconds_per_byte,
+        choices[static_cast<std::size_t>(r)].params.beta_seconds_per_byte);
+  }
+  EXPECT_GT(choices[0].params.alpha_seconds, 0.0);
+  EXPECT_GT(choices[0].params.beta_seconds_per_byte, 0.0);
+}
+
+// Tree and flat broadcasts, with and without lookahead, must factor the
+// matrix bit-for-bit identically — the communication path is invisible to
+// the numerics. The comm-path counters must meanwhile show the tree doing
+// its job: origin egress shrinks, forwards appear.
+TEST(DistributedCholesky, TreeAndFlatBroadcastsMatchBitwise) {
+  auto prob = test_problem(224, 91);
+  const compress::Accuracy acc{1e-6, 1 << 30};
+  const rt::BandDistribution dist(2, 2, 2);
+
+  struct Config {
+    bool tree;
+    int lookahead;
+  };
+  const Config configs[] = {{true, 2}, {true, 0}, {false, 2}};
+  std::vector<tlr::TlrMatrix> factors;
+  std::vector<core::DistCholeskyResult> results;
+  for (const Config& c : configs) {
+    core::DistCommOptions opts;
+    opts.tree = c.tree;
+    opts.lookahead = c.lookahead;
+    auto a = tlr::TlrMatrix::from_problem(prob, 32, acc, 2);
+    results.push_back(core::distributed_factorize(a, dist, acc, opts));
+    factors.push_back(std::move(a));
+  }
+
+  for (std::size_t v = 1; v < factors.size(); ++v)
+    for (int i = 0; i < factors[0].nt(); ++i)
+      for (int j = 0; j <= i; ++j)
+        EXPECT_EQ(tlr::tile_to_bytes(factors[0].at(i, j)),
+                  tlr::tile_to_bytes(factors[v].at(i, j)))
+            << "variant " << v << " tile (" << i << "," << j << ")";
+
+  long long tree_egress = 0, flat_egress = 0;
+  long long tree_forwards = 0, flat_forwards = 0;
+  ASSERT_EQ(results[0].rank_comm.size(), 4u);
+  for (const auto& cs : results[0].rank_comm) {
+    tree_egress += cs.root_egress_bytes;
+    tree_forwards += cs.forwards;
+  }
+  for (const auto& cs : results[2].rank_comm) {
+    flat_egress += cs.root_egress_bytes;
+    flat_forwards += cs.forwards;
+  }
+  EXPECT_EQ(flat_forwards, 0);
+  EXPECT_GT(tree_forwards, 0);
+  EXPECT_LT(tree_egress, flat_egress);
 }
 
 // ----------------------------------------------------------- kriging ----

@@ -285,7 +285,9 @@ TEST(DistSocket, BandDistributionMatchesOracle) {
 
 // The acceptance sweep: 8 fault seeds × {2, 4} rank processes, every rank
 // bitwise identical to the oracle, every injected drop recovered by a real
-// retransmission on the wire.
+// retransmission on the wire. PTLR_BCAST=tree is explicit (it is also the
+// default): drops and duplicates land on tree-forwarded edges too, and
+// recovery must still deliver exactly once.
 TEST(DistSocket, EightSeedBitwiseSweepUnderFaults) {
   long long drops_total = 0;
   long long retransmits_total = 0;
@@ -293,7 +295,8 @@ TEST(DistSocket, EightSeedBitwiseSweepUnderFaults) {
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
       const auto r = mp::launch_ranks(
           "dist_bitwise", nranks,
-          {{"PTLR_FAULTS", faults_spec(seed)}}, "2d");
+          {{"PTLR_FAULTS", faults_spec(seed)}, {"PTLR_BCAST", "tree"}},
+          "2d");
       ASSERT_TRUE(r.ok()) << "nranks=" << nranks << " seed=" << seed << "\n"
                           << r.output;
       const long long drops = sum_metric(r.output, "DROPS");
@@ -308,6 +311,25 @@ TEST(DistSocket, EightSeedBitwiseSweepUnderFaults) {
   // injected drop costs at least one real retransmission.
   EXPECT_GT(drops_total, 0);
   EXPECT_GE(retransmits_total, drops_total);
+}
+
+// The flat-broadcast escape hatch keeps working under the same fault
+// pressure: PTLR_BCAST=flat restores per-destination unicast, and the
+// recovery accounting must balance exactly as it does with trees.
+TEST(DistSocket, FlatBroadcastSweepUnderFaults) {
+  for (const int nranks : {2, 4}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto r = mp::launch_ranks(
+          "dist_bitwise", nranks,
+          {{"PTLR_FAULTS", faults_spec(seed)}, {"PTLR_BCAST", "flat"}},
+          "band");
+      ASSERT_TRUE(r.ok()) << "nranks=" << nranks << " seed=" << seed << "\n"
+                          << r.output;
+      EXPECT_EQ(sum_metric(r.output, "DROPS"),
+                sum_metric(r.output, "RECOVERED"))
+          << "nranks=" << nranks << " seed=" << seed << "\n" << r.output;
+    }
+  }
 }
 
 // The rank-death acceptance sweep: 8 kill seeds × {2, 4} rank processes,
@@ -327,7 +349,10 @@ TEST(DistSocket, RankDeathRecoverySweep) {
           "dist_kill_recover", nranks,
           {{"PTLR_FAULTS", kill_spec(seed)},
            {"PTLR_CKPT", "every:2"},
-           {"PTLR_CKPT_DIR", ckpt_dir.path()}},
+           {"PTLR_CKPT_DIR", ckpt_dir.path()},
+           // Explicitly tree: a killed rank may be a mid-tree forwarder,
+           // and the respawn's replayed forwards must stay exactly-once.
+           {"PTLR_BCAST", "tree"}},
           kind, /*timeout_sec=*/120.0, /*respawn=*/2);
       ASSERT_TRUE(r.ok()) << "nranks=" << nranks << " seed=" << seed
                           << " dist=" << kind << "\n" << r.output;

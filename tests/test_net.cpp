@@ -234,7 +234,7 @@ TEST(Wire, HelloRoundTripsAndRejectsWrongSize) {
   EXPECT_EQ(back.build, h.build);
 
   Frame bad = *f;
-  bad.payload.pop_back();
+  bad.payload = bad.payload.prefix(bad.payload.size() - 1);
   EXPECT_THROW(net::decode_hello(bad), Error);
 }
 
@@ -277,7 +277,7 @@ TEST(Wire, RejoinRoundTripsAndRejectsTruncation) {
   // is fixed, and nothing may be allocated from a partial REJOIN.
   for (std::size_t cut = 0; cut < f->payload.size(); ++cut) {
     Frame bad = *f;
-    bad.payload.resize(cut);
+    bad.payload = bad.payload.prefix(cut);
     EXPECT_THROW(net::decode_rejoin(bad), Error) << "cut at " << cut;
   }
 }
@@ -295,7 +295,7 @@ TEST(Wire, WelcomeCarriesHelloAndEpoch) {
   EXPECT_EQ(back.nranks, h.nranks);
 
   Frame bad = *f;
-  bad.payload.pop_back();
+  bad.payload = bad.payload.prefix(bad.payload.size() - 1);
   EXPECT_THROW(net::decode_hello(bad), Error);
 }
 
@@ -836,4 +836,102 @@ TEST(Mailbox, MultipleFailuresSurfaceTheCount) {
       << what;
   EXPECT_NE(what.find("(+2 earlier/later failures)"), std::string::npos)
       << what;
+}
+
+// ----------------------------------------------------------- adaptive RTO
+
+TEST(Rtt, SeedHoldsUntilFirstSample) {
+  net::RttEstimator e;
+  EXPECT_EQ(e.rto_ms(), 25);
+  EXPECT_EQ(e.samples(), 0);
+  net::RttEstimator custom(60.0);
+  EXPECT_EQ(custom.rto_ms(), 60);
+}
+
+TEST(Rtt, FirstSampleFollowsRfc6298Init) {
+  net::RttEstimator e;
+  e.sample(100.0);
+  EXPECT_DOUBLE_EQ(e.srtt_ms(), 100.0);
+  EXPECT_DOUBLE_EQ(e.rttvar_ms(), 50.0);
+  EXPECT_EQ(e.rto_ms(), 300);  // srtt + 4·rttvar
+  EXPECT_EQ(e.samples(), 1);
+}
+
+TEST(Rtt, ConvergesToASteadyRtt) {
+  net::RttEstimator e;
+  for (int i = 0; i < 200; ++i) e.sample(10.0);
+  EXPECT_NEAR(e.srtt_ms(), 10.0, 1e-9);
+  EXPECT_NEAR(e.rttvar_ms(), 0.0, 1e-9);
+  EXPECT_EQ(e.rto_ms(), 10);
+  EXPECT_EQ(e.samples(), 200);
+}
+
+TEST(Rtt, ClampsToConfiguredBounds) {
+  net::RttEstimator slow;
+  slow.sample(1e7);
+  EXPECT_EQ(slow.rto_ms(), 2000);
+
+  net::RttEstimator fast;
+  for (int i = 0; i < 200; ++i) fast.sample(0.01);
+  EXPECT_EQ(fast.rto_ms(), 5);
+
+  net::RttEstimator negative;
+  negative.sample(-3.0);  // clamped to zero, still within [min, max]
+  EXPECT_EQ(negative.rto_ms(), 5);
+}
+
+// Real traffic on a UDS pair feeds the estimator via acks of
+// first-transmission frames; the per-peer RTO follows the link instead of
+// the configured seed.
+TEST(SocketMesh, AdaptiveRtoSamplesAckedTraffic) {
+  const std::string dir = make_mesh_dir();
+  {
+    TransportSet set(dir, 2);
+    for (int i = 0; i < 5; ++i) {
+      set.t[0]->send(1, make_tag(0, static_cast<std::uint32_t>(i), 0, 0),
+                     std::vector<char>{'r'});
+      (void)set.t[1]->recv(make_tag(0, static_cast<std::uint32_t>(i), 0, 0),
+                           0);
+    }
+    set.t[0]->flush();  // every send acked => every first send sampled
+    EXPECT_GT(set.t[0]->mesh().peer_srtt_ms(1), 0.0);
+    const long long rto = set.t[0]->mesh().peer_rto_ms(1);
+    EXPECT_GE(rto, 5);
+    EXPECT_LE(rto, 2000);
+    drain_all(set);
+  }
+  remove_mesh_dir(dir, 2);
+}
+
+// PTLR_NET_RTO_MS pins the timeout: with rto_fixed the per-peer RTO stays
+// at the configured value no matter what the link measures.
+TEST(SocketMesh, FixedRtoOverridesTheEstimator) {
+  const std::string dir = make_mesh_dir();
+  {
+    std::vector<std::unique_ptr<net::SocketTransport>> t(2);
+    std::vector<std::thread> builders;
+    for (int r = 0; r < 2; ++r)
+      builders.emplace_back([&, r] {
+        net::NetConfig cfg = uds_config(dir, r, 2);
+        cfg.rto_ms = 77;
+        cfg.rto_fixed = true;
+        t[static_cast<std::size_t>(r)] =
+            std::make_unique<net::SocketTransport>(
+                cfg, rt::PerturbConfig{}, resil::FaultConfig{},
+                watchdog_ms(20000));
+      });
+    for (auto& b : builders) b.join();
+    for (int i = 0; i < 5; ++i) {
+      t[0]->send(1, make_tag(0, static_cast<std::uint32_t>(i), 0, 0),
+                 std::vector<char>{'f'});
+      (void)t[1]->recv(make_tag(0, static_cast<std::uint32_t>(i), 0, 0), 0);
+    }
+    t[0]->flush();
+    EXPECT_GT(t[0]->mesh().peer_srtt_ms(1), 0.0);  // still measured
+    EXPECT_EQ(t[0]->mesh().peer_rto_ms(1), 77);    // but not used
+    std::vector<std::thread> drains;
+    for (auto& p : t) drains.emplace_back([&p] { p->drain(); });
+    for (auto& th : drains) th.join();
+  }
+  remove_mesh_dir(dir, 2);
 }

@@ -650,7 +650,7 @@ TEST(Mailbox, SendRecvRoundTrip) {
 
 TEST(Mailbox, RecvBlocksUntilSendArrives) {
   dist::Communicator comm(2);
-  std::vector<char> got;
+  ptlr::Bytes got;
   std::thread receiver([&] { got = comm.recv(1, 42); });
   std::thread sender([&] { comm.send(0, 1, 42, {'x'}); });
   sender.join();

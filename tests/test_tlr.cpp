@@ -368,7 +368,28 @@ TEST(TlrIo, TileByteRoundTrip) {
 }
 
 TEST(TlrIo, TileFromGarbageThrows) {
-  EXPECT_THROW(tile_from_bytes({'x', 'y'}), ptlr::Error);
+  EXPECT_THROW(tile_from_bytes(std::vector<char>{'x', 'y'}), ptlr::Error);
+}
+
+// tile_byte_size is the exact-size contract of the send path: the buffer
+// is reserved once, so the size accounting and the actual serialization
+// must agree to the byte (capacity == size means no insert-driven growth).
+TEST(TlrIo, TileByteSizeAccountsExactly) {
+  Rng rng(33);
+  dense::Matrix d(12, 9);
+  dense::fill_uniform(d.view(), rng);
+  const Tile dense_tile = Tile::make_dense(d);
+
+  auto lr = dense::random_lowrank(16, 16, 4, 1.0, rng);
+  auto f = compress::compress(lr.view(), {1e-10, 1 << 30});
+  ASSERT_TRUE(f.has_value());
+  const Tile lr_tile = Tile::make_lowrank(std::move(*f));
+
+  for (const Tile* t : {&dense_tile, &lr_tile}) {
+    const std::vector<char> bytes = tile_to_bytes(*t);
+    EXPECT_EQ(bytes.size(), tile_byte_size(*t));
+    EXPECT_EQ(bytes.capacity(), bytes.size());
+  }
 }
 
 // ------------------------------------------- corruption fuzzing ----

@@ -19,6 +19,7 @@ Checks the schema contract the obs layer promises:
 Usage:
   check_trace.py TRACE.json [--expect-tasks N] [--require-metadata]
                  [--min-resilience N] [--min-comm N] [--min-rejoin N]
+                 [--min-task-bytes N]
 
 Exits 0 when the trace is valid, 1 with a diagnostic otherwise — CI runs it
 against a traced example (the trace-smoke job).
@@ -70,6 +71,9 @@ def main():
                     help="minimum number of comm instant events")
     ap.add_argument("--min-rejoin", type=int, default=None,
                     help="minimum number of net_rejoin comm events")
+    ap.add_argument("--min-task-bytes", type=int, default=None,
+                    help="minimum sum of args.bytes over task spans (real "
+                         "output-tile sizes, not placeholders)")
     ap.add_argument("--allow-no-tasks", action="store_true",
                     help="accept a trace with zero task spans (a respawned "
                          "rank that resumed past its last owned task "
@@ -89,6 +93,7 @@ def main():
         fail("traceEvents is not an array")
 
     tasks = comms = resil = rejoins = 0
+    task_bytes = 0
     saw_metadata = False
     last_ts = {}
     for idx, ev in enumerate(events):
@@ -163,6 +168,9 @@ def main():
             fail(f"{where}: kind {trace_args['kind']} out of range")
         if trace_args["flops"] < 0:
             fail(f"{where}: negative flops")
+        if trace_args["bytes"] < 0:
+            fail(f"{where}: negative bytes")
+        task_bytes += trace_args["bytes"]
 
     if args.require_metadata and not saw_metadata:
         fail("run_metadata event missing")
@@ -176,10 +184,14 @@ def main():
     if args.min_rejoin is not None and rejoins < args.min_rejoin:
         fail(f"expected at least {args.min_rejoin} net_rejoin events, "
              f"found {rejoins}")
+    if args.min_task_bytes is not None and task_bytes < args.min_task_bytes:
+        fail(f"expected at least {args.min_task_bytes} total task output "
+             f"bytes, found {task_bytes}")
     if tasks == 0 and not args.allow_no_tasks:
         fail("trace holds no task spans")
 
-    print(f"check_trace: OK: {tasks} task spans, {comms} comm events, "
+    print(f"check_trace: OK: {tasks} task spans ({task_bytes} output B), "
+          f"{comms} comm events, "
           f"{resil} resilience events, {len(last_ts)} lanes"
           + (", run metadata present" if saw_metadata else ""))
 

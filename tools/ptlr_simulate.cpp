@@ -12,6 +12,7 @@
 #include "common/table.hpp"
 #include "core/cholesky.hpp"
 #include "core/memory_model.hpp"
+#include "core/placement.hpp"
 #include "tlr/io.hpp"
 
 using namespace ptlr;
@@ -38,7 +39,14 @@ int main(int argc, char** argv) {
 
     const int nodes = args.integer("nodes", 64);
     if (args.integer("sweep", 1) != 0) {
-      Table t({"nodes", "time (s)", "Gflop/s", "messages", "max mem/node"});
+      // Score tile placements with the same (α, β) heuristic ptlr-dist's
+      // --dist auto negotiates over the wire — here fed straight from the
+      // virtual cluster's communication model.
+      MeshParams mesh;
+      mesh.alpha_seconds = cfg.comm.latency;
+      mesh.beta_seconds_per_byte = 1.0 / cfg.comm.bandwidth;
+      Table t({"nodes", "time (s)", "Gflop/s", "messages", "max mem/node",
+               "placement"});
       for (int nn = 1; nn <= nodes; nn *= 4) {
         cfg.nodes = nn;
         auto res = simulate_cholesky(ranks, cfg);
@@ -46,11 +54,20 @@ int main(int argc, char** argv) {
         rt::BandDistribution dist(p, q, ranks.band_size());
         const auto mem = per_process_footprint(ranks, dist,
                                                AllocPolicy::kExactRank);
+        PlacementProblem pp;
+        pp.nt = ranks.nt();
+        pp.block = ranks.tile_size();
+        pp.band = ranks.band_size();
+        pp.avg_offband_rank = ranks.avgrank();
+        pp.nranks = nn;
+        pp.tree = true;  // the real backend's default communication path
+        const auto choice = choose_placement(pp, mesh);
         t.row().cell(static_cast<long long>(nn))
             .cell(res.sim.makespan, 4)
             .cell(res.stats.model_flops / res.sim.makespan / 1e9, 4)
             .cell(res.sim.messages)
-            .cell(std::to_string(mem.max_bytes / 1e6) + " MB");
+            .cell(std::to_string(mem.max_bytes / 1e6) + " MB")
+            .cell(placement_name(choice.kind));
       }
       t.print(std::cout);
     }
